@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark: candidate merging throughput — the Label
+//! Merging/Elimination kernel (paper §III.E, Candidates Elimination).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pspc_core::scratch::CandScratch;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_candidates(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut rng = SmallRng::seed_from_u64(7);
+    // Heavy-duplication workload: 64k adds over 4k distinct hubs.
+    let adds: Vec<(u32, u64)> = (0..65_536)
+        .map(|_| (rng.gen_range(0..4096u32), rng.gen_range(1..100u64)))
+        .collect();
+    let mut scratch = CandScratch::new(n);
+    c.bench_function("cand_merge_64k_adds", |b| {
+        b.iter(|| {
+            scratch.clear();
+            for &(h, cnt) in &adds {
+                scratch.add(h, cnt);
+            }
+            std::hint::black_box(scratch.len())
+        })
+    });
+    // Low-duplication workload: all distinct hubs.
+    let distinct: Vec<(u32, u64)> = (0..16_384u32).map(|h| (h, 1)).collect();
+    c.bench_function("cand_merge_distinct_16k", |b| {
+        b.iter(|| {
+            scratch.clear();
+            for &(h, cnt) in &distinct {
+                scratch.add(h, cnt);
+            }
+            std::hint::black_box(scratch.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_candidates);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmark: index construction (the quantity behind
+//! Fig. 5) for HP-SPC vs PSPC on a small FB stand-in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pspc_bench::DatasetSpec;
+use pspc_core::builder::{build_pspc, Paradigm, PspcConfig};
+use pspc_core::hpspc::build_hpspc;
+use pspc_order::OrderingStrategy;
+
+fn bench_build(c: &mut Criterion) {
+    let g = DatasetSpec::by_code("FB").unwrap().generate(0.15);
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("hpspc_degree", |b| {
+        b.iter(|| std::hint::black_box(build_hpspc(&g, OrderingStrategy::Degree)))
+    });
+    group.bench_function("pspc_pull", |b| {
+        b.iter(|| {
+            let cfg = PspcConfig {
+                ordering: OrderingStrategy::Degree,
+                ..PspcConfig::default()
+            };
+            std::hint::black_box(build_pspc(&g, &cfg))
+        })
+    });
+    group.bench_function("pspc_push", |b| {
+        b.iter(|| {
+            let cfg = PspcConfig {
+                ordering: OrderingStrategy::Degree,
+                paradigm: Paradigm::Push,
+                ..PspcConfig::default()
+            };
+            std::hint::black_box(build_pspc(&g, &cfg))
+        })
+    });
+    group.bench_function("pspc_no_landmarks", |b| {
+        b.iter(|| {
+            let cfg = PspcConfig {
+                ordering: OrderingStrategy::Degree,
+                num_landmarks: 0,
+                ..PspcConfig::default()
+            };
+            std::hint::black_box(build_pspc(&g, &cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

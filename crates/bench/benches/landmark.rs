@@ -1,0 +1,54 @@
+//! Criterion micro-benchmark: landmark O(1) pruning vs the 2-hop merge
+//! query it replaces (the mechanism behind Fig. 10a / Fig. 12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pspc_bench::DatasetSpec;
+use pspc_core::landmark::Landmarks;
+use pspc_core::query::query_label_sets;
+use pspc_core::SpcIndex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn build_fixture() -> (SpcIndex, Landmarks) {
+    let g = DatasetSpec::by_code("FB").unwrap().generate(0.25);
+    let cfg = pspc_core::PspcConfig::default();
+    let (idx, _) = pspc_core::builder::build_pspc(&g, &cfg);
+    let rg = g.relabel(idx.order().order());
+    let lm = Landmarks::build(&rg, 100);
+    (idx, lm)
+}
+
+fn bench_landmark(c: &mut Criterion) {
+    let (idx, lm) = build_fixture();
+    let n = idx.num_vertices() as u32;
+    let mut rng = SmallRng::seed_from_u64(3);
+    let probes: Vec<(u32, u32)> = (0..4096)
+        .map(|_| (rng.gen_range(0..100u32), rng.gen_range(0..n)))
+        .collect();
+
+    let mut i = 0usize;
+    c.bench_function("landmark_prune_probe", |b| {
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            let (w, u) = probes[i];
+            std::hint::black_box(lm.prunes(w, u, 4))
+        })
+    });
+    let mut j = 0usize;
+    c.bench_function("merge_query_probe", |b| {
+        b.iter(|| {
+            j = (j + 1) % probes.len();
+            let (w, u) = probes[j];
+            std::hint::black_box(query_label_sets(
+                idx.labels_of_rank(w),
+                idx.labels_of_rank(u),
+                w,
+                u,
+                None,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_landmark);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark: point-to-point query latency (the quantity
+//! behind Fig. 7) on the FB stand-in, for both builders' indexes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pspc_bench::harness::random_pairs;
+use pspc_bench::DatasetSpec;
+use pspc_core::builder::{build_pspc, PspcConfig};
+use pspc_core::hpspc::build_hpspc;
+use pspc_order::OrderingStrategy;
+
+fn bench_query(c: &mut Criterion) {
+    let g = DatasetSpec::by_code("FB").unwrap().generate(0.5);
+    let (pspc, _) = build_pspc(&g, &PspcConfig::default());
+    let hpspc = build_hpspc(&g, OrderingStrategy::Degree);
+    let pairs = random_pairs(&g, 4096, 42);
+
+    let mut group = c.benchmark_group("query");
+    let mut i = 0usize;
+    group.bench_function("pspc_single", |b| {
+        b.iter(|| {
+            i = (i + 1) % pairs.len();
+            let (s, t) = pairs[i];
+            std::hint::black_box(pspc.query(s, t))
+        })
+    });
+    let mut j = 0usize;
+    group.bench_function("hpspc_single", |b| {
+        b.iter(|| {
+            j = (j + 1) % pairs.len();
+            let (s, t) = pairs[j];
+            std::hint::black_box(hpspc.query(s, t))
+        })
+    });
+    group.bench_function("pspc_batch_1k", |b| {
+        b.iter_batched(
+            || pairs[..1024].to_vec(),
+            |batch| std::hint::black_box(pspc.query_batch_sequential(&batch)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Binary wrapper for `pspc_bench::experiments::exp2_index_size`.
+use pspc_bench::experiments;
+use pspc_bench::ExpOptions;
+
+fn main() {
+    let opt = ExpOptions::from_args();
+    let _ = &opt;
+    experiments::exp2_index_size(&opt);
+}

@@ -1,0 +1,34 @@
+//! Exp 5 (Fig. 10): ablation of landmark labeling, schedule plan and node
+//! order. First positional argument selects the panel: `ll`, `schedule`,
+//! `order`, or `all` (default).
+
+use pspc_bench::experiments::{exp6_ablation, Ablation};
+use pspc_bench::ExpOptions;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let which = if !args.is_empty() && !args[0].starts_with("--") {
+        args.remove(0)
+    } else {
+        "all".to_string()
+    };
+    let opt = ExpOptions::parse(args);
+    match which.as_str() {
+        "ll" => exp6_ablation(&opt, Ablation::Landmarks),
+        "schedule" => exp6_ablation(&opt, Ablation::Schedule),
+        "order" => exp6_ablation(&opt, Ablation::Order),
+        "paradigm" => exp6_ablation(&opt, Ablation::Paradigm),
+        "bitfilter" => exp6_ablation(&opt, Ablation::BitFilter),
+        "all" => {
+            exp6_ablation(&opt, Ablation::Landmarks);
+            exp6_ablation(&opt, Ablation::Schedule);
+            exp6_ablation(&opt, Ablation::Order);
+            exp6_ablation(&opt, Ablation::Paradigm);
+            exp6_ablation(&opt, Ablation::BitFilter);
+        }
+        other => {
+            eprintln!("unknown panel {other}; use ll | schedule | order | paradigm | bitfilter | all");
+            std::process::exit(2);
+        }
+    }
+}

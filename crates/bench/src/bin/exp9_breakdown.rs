@@ -1,0 +1,9 @@
+//! Binary wrapper for `pspc_bench::experiments::exp9_breakdown`.
+use pspc_bench::experiments;
+use pspc_bench::ExpOptions;
+
+fn main() {
+    let opt = ExpOptions::from_args();
+    let _ = &opt;
+    experiments::exp9_breakdown(&opt);
+}

@@ -1,0 +1,9 @@
+//! Binary wrapper for `pspc_bench::experiments::table3_datasets`.
+use pspc_bench::experiments;
+use pspc_bench::ExpOptions;
+
+fn main() {
+    let opt = ExpOptions::from_args();
+    let _ = &opt;
+    experiments::table3_datasets(&opt);
+}

@@ -1,0 +1,16 @@
+//! # pspc-bench
+//!
+//! Experiment harness reproducing every table and figure of the PSPC
+//! paper's evaluation (§V) on synthetic stand-in datasets. Each `exp*`
+//! binary prints the rows/series of one figure; `run_all` runs the full
+//! evaluation. See EXPERIMENTS.md at the workspace root for the
+//! paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod harness;
+
+pub use datasets::{DatasetSpec, DATASETS};
+pub use harness::ExpOptions;

@@ -1,0 +1,127 @@
+//! Pull-based label propagation (paper Algorithm 2 / Definition 10) and the
+//! candidate filter shared with the push paradigm.
+//!
+//! In iteration `d`, vertex `u` *pulls* the level-`d-1` label entries of its
+//! neighbors, merges duplicates (Label Merging), drops hubs ranked below `u`
+//! (Lemma 3), drops hubs already present in `L(u)` (Label Elimination), and
+//! drops candidates refuted by the 2-hop pruning query over the frozen
+//! snapshot `L_{≤d-1}` (Lemma 4) — answered in O(1) when the hub is a
+//! landmark. Survivors become `L_d(u)`.
+//!
+//! Everything reads the frozen snapshot and writes a private output buffer,
+//! so iterations are data-race-free and the result is bit-identical for any
+//! thread count — the paper's determinism observation (Exp 2).
+
+use super::PropagationCtx;
+use crate::label::{Count, LabelEntry};
+use crate::scratch::Workspace;
+
+/// Processes vertex `u` for iteration `ctx.d`: fills `out` with the new
+/// level-`d` entries (sorted by hub) and returns the work units expended
+/// (candidate entries scanned plus query probes).
+pub(crate) fn process_vertex(
+    ctx: &PropagationCtx<'_>,
+    u: u32,
+    ws: &mut Workspace,
+    out: &mut Vec<LabelEntry>,
+) -> u64 {
+    out.clear();
+    ws.cand.clear();
+    let mut work = 0u64;
+    for &v in ctx.rg.neighbors(u) {
+        let start = ctx.prev_start[v as usize] as usize;
+        let lv = &ctx.labels[v as usize][start..];
+        work += lv.len() as u64;
+        if lv.is_empty() {
+            continue;
+        }
+        // Extending a trough path w..v by the edge (v, u) makes v internal,
+        // so v's multiplicity applies — except at d == 1 where the level-0
+        // entry is v's own self-label (v is the hub endpoint, not internal).
+        let f: Count = if ctx.d == 1 {
+            1
+        } else {
+            ctx.weights.map_or(1, |w| w[v as usize])
+        };
+        if f == 1 {
+            for e in lv {
+                if e.hub < u {
+                    ws.cand.add(e.hub, e.count);
+                }
+            }
+        } else {
+            for e in lv {
+                if e.hub < u {
+                    ws.cand.add(e.hub, e.count.saturating_mul(f));
+                }
+            }
+        }
+    }
+    if ws.cand.is_empty() {
+        return work;
+    }
+    // Sort candidates by hub so output order is canonical.
+    let mut hubs: Vec<u32> = ws.cand.touched().to_vec();
+    hubs.sort_unstable();
+    work += filter_candidates(ctx, u, ws, &hubs, out);
+    work
+}
+
+/// Applies Label Elimination and the pruning query to candidates
+/// `(h, ws.cand.count(h))` for `h` in `hubs` (ascending), appending
+/// survivors to `out`. Returns query work units.
+///
+/// `ws.dist` is (re)loaded with `u`'s current label here; `ws.cand` must
+/// already hold the merged candidate counts.
+pub(crate) fn filter_candidates(
+    ctx: &PropagationCtx<'_>,
+    u: u32,
+    ws: &mut Workspace,
+    hubs: &[u32],
+    out: &mut Vec<LabelEntry>,
+) -> u64 {
+    let mut work = 0u64;
+    ws.dist.clear();
+    for e in &ctx.labels[u as usize] {
+        ws.dist.set(e.hub, e.dist);
+    }
+    let d = ctx.d;
+    for &w in hubs {
+        // Label Elimination: an entry for w at a smaller distance already
+        // exists on u (levels < d), so the candidate is dominated.
+        if ws.dist.contains(w) {
+            continue;
+        }
+        let pruned = match (ctx.landmark_bits, ctx.landmarks) {
+            (Some(bits), _) if bits.covers(w) => {
+                work += 1;
+                bits.prunes(w, u)
+            }
+            (_, Some(lm)) if lm.covers(w) => {
+                work += 1;
+                lm.prunes(w, u, d)
+            }
+            (_, _) => {
+                // Query(w, u, L_{≤ d-1}): probe u's loaded label with every
+                // entry of the (short — w is high-ranked) label of w.
+                let lw = &ctx.labels[w as usize];
+                work += lw.len() as u64;
+                let mut q = u32::MAX;
+                for e in lw {
+                    if let Some(du) = ws.dist.get(e.hub) {
+                        q = q.min(e.dist as u32 + du as u32);
+                    }
+                }
+                q < d as u32
+            }
+        };
+        if !pruned {
+            out.push(LabelEntry {
+                hub: w,
+                dist: d,
+                count: ws.cand.count(w),
+            });
+        }
+    }
+    work
+}

@@ -1,0 +1,85 @@
+//! Shared helpers for the index builders: rank-space conversion and the
+//! Figure-2 example graph used by golden tests and the Table II binary.
+
+use crate::label::Count;
+use pspc_graph::{Graph, GraphBuilder};
+use pspc_order::VertexOrder;
+
+/// Relabels `g` into rank space: new vertex id = rank under `order`.
+/// Both builders work in rank space so hub comparisons are integer `<`
+/// and memory access follows rank locality.
+pub fn to_rank_space(g: &Graph, order: &VertexOrder) -> Graph {
+    g.relabel(order.order())
+}
+
+/// Translates original-id vertex weights into rank space.
+pub fn weights_to_rank_space(order: &VertexOrder, weights: &[Count]) -> Vec<Count> {
+    assert_eq!(weights.len(), order.len());
+    (0..order.len() as u32)
+        .map(|r| weights[order.vertex_at(r) as usize])
+        .collect()
+}
+
+/// The 10-vertex example graph of the paper's Figure 2 (0-based: paper's
+/// `v_k` is vertex `k-1`), reconstructed from the distance-1 entries of
+/// Table II.
+pub fn figure2_graph() -> Graph {
+    GraphBuilder::new()
+        .edges([
+            (0, 2), // v1-v3
+            (0, 3), // v1-v4
+            (0, 4), // v1-v5
+            (0, 9), // v1-v10
+            (6, 3), // v7-v4
+            (6, 4), // v7-v5
+            (6, 5), // v7-v6
+            (6, 7), // v7-v8
+            (2, 5), // v3-v6
+            (3, 1), // v4-v2
+            (9, 1), // v10-v2
+            (9, 8), // v10-v9
+            (7, 8), // v8-v9
+        ])
+        .build()
+}
+
+/// The total order of Figure 2: `v1 ≤ v7 ≤ v4 ≤ v10 ≤ v3 ≤ v5 ≤ v6 ≤ v2 ≤
+/// v8 ≤ v9` (0-based vertex ids).
+pub fn figure2_order() -> VertexOrder {
+    VertexOrder::from_order(vec![0, 6, 3, 9, 2, 4, 5, 1, 7, 8])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspc_order::OrderingStrategy;
+
+    #[test]
+    fn figure2_shape() {
+        let g = figure2_graph();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 13);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn rank_space_roundtrip() {
+        let g = figure2_graph();
+        let o = figure2_order();
+        let rg = to_rank_space(&g, &o);
+        // Edge v1-v10 becomes rank 0 - rank 3.
+        assert!(rg.has_edge(0, 3));
+        assert_eq!(rg.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn weights_translate() {
+        let g = figure2_graph();
+        let o = OrderingStrategy::Degree.compute(&g);
+        let w: Vec<Count> = (0..10).map(|v| v as Count + 1).collect();
+        let wr = weights_to_rank_space(&o, &w);
+        for r in 0..10u32 {
+            assert_eq!(wr[r as usize], o.vertex_at(r) as Count + 1);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! ESPC label storage and the [`SpcIndex`] type.
+//!
+//! A label entry `(w, d, c)` on vertex `u` states that hub `w` is ranked
+//! above `u`, `dist(w, u) = d`, and `c` counts the *trough* shortest paths
+//! between `u` and `w` — those on which `w` is the unique highest-ranked
+//! vertex (paper §III, Theorem 1). The multiset of such entries is the Exact
+//! Shortest Path Covering (ESPC): it is uniquely determined by the graph and
+//! the total order, which is why the sequential HP-SPC builder and the
+//! parallel PSPC builder must produce *identical* indexes (paper Exp 2) —
+//! an invariant the test suite checks directly.
+//!
+//! Everything is stored in **rank space**: vertex ids inside the index are
+//! ranks (0 = highest). Hub comparisons become integer `<` and label arrays
+//! are kept sorted by hub rank for merge-style queries.
+
+use pspc_graph::VertexId;
+use pspc_order::VertexOrder;
+use serde::{Deserialize, Serialize};
+
+/// Saturating shortest-path count.
+pub type Count = u64;
+
+/// One label entry: `(hub rank, distance, trough count)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LabelEntry {
+    /// Rank of the hub vertex (0 = highest rank).
+    pub hub: u32,
+    /// Exact shortest distance between the hub and the labeled vertex.
+    pub dist: u16,
+    /// Number of trough shortest paths (saturating).
+    pub count: Count,
+}
+
+/// The label set of a single vertex, sorted by hub rank (structure of
+/// arrays for cache-friendly merging).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelSet {
+    hubs: Vec<u32>,
+    dists: Vec<u16>,
+    counts: Vec<Count>,
+}
+
+impl LabelSet {
+    /// Builds from entries; sorts by hub rank.
+    ///
+    /// # Panics
+    /// Panics if two entries share a hub (the ESPC has one entry per hub).
+    pub fn from_entries(mut entries: Vec<LabelEntry>) -> Self {
+        entries.sort_unstable_by_key(|e| e.hub);
+        for w in entries.windows(2) {
+            assert!(w[0].hub != w[1].hub, "duplicate hub {} in label set", w[0].hub);
+        }
+        let mut s = LabelSet {
+            hubs: Vec::with_capacity(entries.len()),
+            dists: Vec::with_capacity(entries.len()),
+            counts: Vec::with_capacity(entries.len()),
+        };
+        for e in entries {
+            s.hubs.push(e.hub);
+            s.dists.push(e.dist);
+            s.counts.push(e.count);
+        }
+        s
+    }
+
+    /// Appends an entry; the caller must append in increasing hub order
+    /// (debug-asserted).
+    #[inline]
+    pub fn push(&mut self, e: LabelEntry) {
+        debug_assert!(
+            self.hubs.last().is_none_or(|&h| h < e.hub),
+            "labels must be appended in increasing hub order"
+        );
+        self.hubs.push(e.hub);
+        self.dists.push(e.dist);
+        self.counts.push(e.count);
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hubs.is_empty()
+    }
+
+    /// Hub ranks, ascending.
+    #[inline]
+    pub fn hubs(&self) -> &[u32] {
+        &self.hubs
+    }
+
+    /// Distances, parallel to [`LabelSet::hubs`].
+    #[inline]
+    pub fn dists(&self) -> &[u16] {
+        &self.dists
+    }
+
+    /// Counts, parallel to [`LabelSet::hubs`].
+    #[inline]
+    pub fn counts(&self) -> &[Count] {
+        &self.counts
+    }
+
+    /// Entry view at position `i`.
+    #[inline]
+    pub fn entry(&self, i: usize) -> LabelEntry {
+        LabelEntry {
+            hub: self.hubs[i],
+            dist: self.dists[i],
+            count: self.counts[i],
+        }
+    }
+
+    /// Iterator over entries in hub order.
+    pub fn iter(&self) -> impl Iterator<Item = LabelEntry> + '_ {
+        (0..self.len()).map(move |i| self.entry(i))
+    }
+
+    /// The distance recorded for `hub`, if present. `O(log len)`.
+    pub fn dist_to(&self, hub: u32) -> Option<u16> {
+        self.hubs.binary_search(&hub).ok().map(|i| self.dists[i])
+    }
+
+    /// Heap bytes of this label set.
+    pub fn size_bytes(&self) -> usize {
+        self.hubs.len() * 4 + self.dists.len() * 2 + self.counts.len() * 8
+    }
+}
+
+/// Summary statistics of a built index (feeds Exp 2 and Exp 8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// Total number of label entries across all vertices.
+    pub total_entries: usize,
+    /// Total label bytes (4 hub + 2 dist + 8 count per entry).
+    pub label_bytes: usize,
+    /// Average entries per vertex.
+    pub avg_label_size: f64,
+    /// Maximum entries on any single vertex.
+    pub max_label_size: usize,
+    /// Seconds spent computing the vertex order.
+    pub order_seconds: f64,
+    /// Seconds spent building landmark distance tables (LL phase).
+    pub landmark_seconds: f64,
+    /// Seconds spent in label construction proper (LC phase).
+    pub construction_seconds: f64,
+}
+
+impl IndexStats {
+    /// Total indexing seconds (Order + LL + LC), the quantity of Fig. 5.
+    pub fn total_seconds(&self) -> f64 {
+        self.order_seconds + self.landmark_seconds + self.construction_seconds
+    }
+
+    /// Index size in mebibytes, the quantity of Fig. 6.
+    pub fn size_mib(&self) -> f64 {
+        self.label_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// A complete ESPC shortest-path-counting index.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpcIndex {
+    order: VertexOrder,
+    /// Label sets indexed by rank.
+    labels: Vec<LabelSet>,
+    /// Vertex multiplicities by rank (`None` ⇒ all 1). Used by the
+    /// neighborhood-equivalence reduction (paper §IV.B).
+    weights: Option<Vec<Count>>,
+    stats: IndexStats,
+}
+
+impl SpcIndex {
+    /// Assembles an index from rank-space label sets.
+    pub fn new(
+        order: VertexOrder,
+        labels: Vec<LabelSet>,
+        weights: Option<Vec<Count>>,
+        mut stats: IndexStats,
+    ) -> Self {
+        assert_eq!(order.len(), labels.len(), "one label set per vertex");
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), labels.len(), "one weight per vertex");
+        }
+        stats.total_entries = labels.iter().map(LabelSet::len).sum();
+        stats.label_bytes = labels.iter().map(LabelSet::size_bytes).sum();
+        stats.max_label_size = labels.iter().map(LabelSet::len).max().unwrap_or(0);
+        stats.avg_label_size = if labels.is_empty() {
+            0.0
+        } else {
+            stats.total_entries as f64 / labels.len() as f64
+        };
+        SpcIndex {
+            order,
+            labels,
+            weights,
+            stats,
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The vertex order the index was built under.
+    pub fn order(&self) -> &VertexOrder {
+        &self.order
+    }
+
+    /// Label set of the vertex holding `rank`.
+    #[inline]
+    pub fn labels_of_rank(&self, rank: u32) -> &LabelSet {
+        &self.labels[rank as usize]
+    }
+
+    /// Label set of original vertex `v`.
+    pub fn labels_of_vertex(&self, v: VertexId) -> &LabelSet {
+        &self.labels[self.order.rank_of(v) as usize]
+    }
+
+    /// Vertex multiplicities by rank, if the index is weighted.
+    pub fn weights(&self) -> Option<&[Count]> {
+        self.weights.as_deref()
+    }
+
+    /// Index statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Mutable access for builders recording phase timings.
+    pub fn stats_mut(&mut self) -> &mut IndexStats {
+        &mut self.stats
+    }
+
+    /// All label sets, rank-indexed.
+    pub fn label_sets(&self) -> &[LabelSet] {
+        &self.labels
+    }
+
+    /// Structural sanity check: hub order sorted, hubs ranked above owner,
+    /// self-label present with `(rank, 0, 1)`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (r, ls) in self.labels.iter().enumerate() {
+            let r = r as u32;
+            if ls.hubs().windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("rank {r}: hubs not strictly sorted"));
+            }
+            match ls.hubs().last() {
+                Some(&h) if h == r => {}
+                _ => return Err(format!("rank {r}: missing self label")),
+            }
+            let i = ls.len() - 1;
+            if ls.dists()[i] != 0 || ls.counts()[i] != 1 {
+                return Err(format!("rank {r}: self label must be (r, 0, 1)"));
+            }
+            if ls.hubs().iter().any(|&h| h > r) {
+                return Err(format!("rank {r}: hub ranked below owner"));
+            }
+            if ls.counts().contains(&0) {
+                return Err(format!("rank {r}: zero-count entry"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(hub: u32, dist: u16, count: Count) -> LabelEntry {
+        LabelEntry { hub, dist, count }
+    }
+
+    #[test]
+    fn from_entries_sorts() {
+        let ls = LabelSet::from_entries(vec![entry(5, 2, 1), entry(1, 1, 3)]);
+        assert_eq!(ls.hubs(), &[1, 5]);
+        assert_eq!(ls.dists(), &[1, 2]);
+        assert_eq!(ls.counts(), &[3, 1]);
+        assert_eq!(ls.dist_to(5), Some(2));
+        assert_eq!(ls.dist_to(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate hub")]
+    fn duplicate_hub_rejected() {
+        LabelSet::from_entries(vec![entry(1, 1, 1), entry(1, 2, 1)]);
+    }
+
+    #[test]
+    fn index_stats_computed() {
+        let order = VertexOrder::identity(2);
+        let l0 = LabelSet::from_entries(vec![entry(0, 0, 1)]);
+        let l1 = LabelSet::from_entries(vec![entry(0, 1, 1), entry(1, 0, 1)]);
+        let idx = SpcIndex::new(order, vec![l0, l1], None, IndexStats::default());
+        assert_eq!(idx.stats().total_entries, 3);
+        assert_eq!(idx.stats().max_label_size, 2);
+        assert!((idx.stats().avg_label_size - 1.5).abs() < 1e-12);
+        assert_eq!(idx.stats().label_bytes, 3 * 14);
+        assert!(idx.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_missing_self_label() {
+        let order = VertexOrder::identity(1);
+        let idx = SpcIndex::new(
+            order,
+            vec![LabelSet::default()],
+            None,
+            IndexStats::default(),
+        );
+        assert!(idx.validate().is_err());
+    }
+
+    #[test]
+    fn entry_iteration() {
+        let ls = LabelSet::from_entries(vec![entry(0, 1, 2), entry(3, 0, 1)]);
+        let v: Vec<_> = ls.iter().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], entry(0, 1, 2));
+    }
+}

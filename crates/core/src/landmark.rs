@@ -1,0 +1,321 @@
+//! Landmark-based filtering (paper §III.H).
+//!
+//! During distance-iteration construction, the bulk of the pruning queries
+//! `Query(w, u, L_{≤d})` have a *high-ranked* hub `w` — those hubs appear in
+//! the most labels. Precomputing exact BFS distances from the `k`
+//! top-ranked vertices answers such queries in O(1): prune iff
+//! `dist(w, u) < d`.
+//!
+//! The paper selects landmarks by degree (Definition 13, `deg(v) ≥ θ`) and
+//! fixes their number to 100 in the experiments. We select the `k`
+//! *top-ranked* vertices, which coincides with degree selection under the
+//! degree and hybrid orders (their cores are degree-sorted) and is what the
+//! filter actually needs — the hot hubs are the top ranks. A
+//! degree-threshold helper is provided for completeness.
+//!
+//! The paper also observes one bit per (landmark, vertex) suffices because
+//! iteration distances only grow; [`Landmarks::reached_bitset`] exposes that
+//! progressive view for the bit-parallel fast path.
+
+use pspc_graph::traversal::bfs_distances_into;
+use pspc_graph::{Graph, VertexId};
+use rayon::prelude::*;
+
+/// Exact distance tables from the `k` top-ranked vertices of a rank-space
+/// graph (row `w` is the BFS distance vector of rank `w`).
+#[derive(Clone, Debug)]
+pub struct Landmarks {
+    k: usize,
+    n: usize,
+    /// Row-major `k × n` distances; `u16::MAX` = unreachable.
+    dist: Vec<u16>,
+}
+
+impl Landmarks {
+    /// Builds tables for the top `k` ranks of the rank-space graph `rg`
+    /// (one parallel BFS per landmark). `k` is clamped to `n`.
+    pub fn build(rg: &Graph, k: usize) -> Landmarks {
+        let n = rg.num_vertices();
+        let k = k.min(n);
+        let mut dist = vec![u16::MAX; k * n];
+        dist.par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(w, row)| {
+                bfs_distances_into(rg, w as VertexId, row);
+            });
+        Landmarks { k, n, dist }
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    /// Whether the filter is disabled (no landmarks).
+    pub fn is_empty(&self) -> bool {
+        self.k == 0
+    }
+
+    /// Whether rank `w` is a landmark.
+    #[inline]
+    pub fn covers(&self, w: u32) -> bool {
+        (w as usize) < self.k
+    }
+
+    /// Exact distance from landmark rank `w` to rank `u`.
+    #[inline]
+    pub fn dist(&self, w: u32, u: u32) -> u16 {
+        debug_assert!(self.covers(w));
+        self.dist[w as usize * self.n + u as usize]
+    }
+
+    /// O(1) prune decision: `true` iff the candidate `(w, d)` on `u` must
+    /// be dropped because `dist(w, u) < d`.
+    #[inline]
+    pub fn prunes(&self, w: u32, u: u32, d: u16) -> bool {
+        self.dist(w, u) < d
+    }
+
+    /// The paper's one-bit progressive view: bit `u` of the returned bitset
+    /// says whether landmark `w` reaches `u` within distance `< d` — i.e.
+    /// whether a candidate `(w, d)` on `u` is prunable. 64 vertices per
+    /// word.
+    pub fn reached_bitset(&self, w: u32, d: u16) -> Vec<u64> {
+        let mut bits = vec![0u64; self.n.div_ceil(64)];
+        let row = &self.dist[w as usize * self.n..(w as usize + 1) * self.n];
+        for (u, &du) in row.iter().enumerate() {
+            if du < d {
+                bits[u / 64] |= 1 << (u % 64);
+            }
+        }
+        bits
+    }
+
+    /// Table bytes (Exp 2 accounting: landmark tables are construction-time
+    /// scratch, not part of the queryable index).
+    pub fn size_bytes(&self) -> usize {
+        self.dist.len() * 2
+    }
+}
+
+/// Number of vertices with degree ≥ `theta` — the paper's Definition 13
+/// selection rule, exposed so callers can translate a degree threshold into
+/// a landmark count.
+pub fn count_by_degree_threshold(g: &Graph, theta: usize) -> usize {
+    g.vertices().filter(|&v| g.degree(v) >= theta).count()
+}
+
+/// The paper's one-bit progressive landmark filter (§III.H): "since all
+/// the distances are in increasing order, one bit is needed".
+///
+/// During construction the pruning question at iteration `d` is always
+/// `dist(w, u) < d`; as `d` only grows, a single bit per `(landmark,
+/// vertex)` — "already within distance" — suffices, flipped on exactly
+/// once. [`ProgressiveLandmarkBits::advance`] must be called at the start
+/// of each iteration; the total flipping work over the whole build is
+/// `O(k·n)` and probes touch 1/16th the memory of the `u16` tables.
+#[derive(Clone, Debug)]
+pub struct ProgressiveLandmarkBits {
+    k: usize,
+    words_per_landmark: usize,
+    bits: Vec<u64>,
+    /// Per landmark: vertices bucketed by distance (flattened), plus the
+    /// per-distance offsets, so `advance` touches each vertex once.
+    by_dist_verts: Vec<Vec<u32>>,
+    by_dist_offsets: Vec<Vec<u32>>,
+    current_d: u16,
+}
+
+impl ProgressiveLandmarkBits {
+    /// Prepares the progressive filter from exact landmark tables.
+    pub fn new(lm: &Landmarks) -> Self {
+        let (k, n) = (lm.k, lm.n);
+        let words = n.div_ceil(64).max(1);
+        let mut by_dist_verts = Vec::with_capacity(k);
+        let mut by_dist_offsets = Vec::with_capacity(k);
+        for w in 0..k {
+            let row = &lm.dist[w * n..(w + 1) * n];
+            let max_d = row
+                .iter()
+                .copied()
+                .filter(|&d| d != u16::MAX)
+                .max()
+                .unwrap_or(0) as usize;
+            let mut counts = vec![0u32; max_d + 2];
+            for &d in row {
+                if d != u16::MAX {
+                    counts[d as usize + 1] += 1;
+                }
+            }
+            for i in 0..=max_d {
+                counts[i + 1] += counts[i];
+            }
+            let offsets = counts.clone();
+            let mut verts = vec![0u32; offsets[max_d + 1] as usize];
+            let mut cursor = offsets.clone();
+            for (u, &d) in row.iter().enumerate() {
+                if d != u16::MAX {
+                    verts[cursor[d as usize] as usize] = u as u32;
+                    cursor[d as usize] += 1;
+                }
+            }
+            by_dist_verts.push(verts);
+            by_dist_offsets.push(offsets);
+        }
+        ProgressiveLandmarkBits {
+            k,
+            words_per_landmark: words,
+            bits: vec![0u64; k * words],
+            by_dist_verts,
+            by_dist_offsets,
+            current_d: 0,
+        }
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    /// Whether the filter has no landmarks.
+    pub fn is_empty(&self) -> bool {
+        self.k == 0
+    }
+
+    /// Whether rank `w` is covered.
+    #[inline]
+    pub fn covers(&self, w: u32) -> bool {
+        (w as usize) < self.k
+    }
+
+    /// Advances the filter to iteration `d` (must be called with strictly
+    /// increasing `d`, once per iteration): flips on the bits of all
+    /// vertices at distance `d - 1` from each landmark.
+    pub fn advance(&mut self, d: u16) {
+        assert!(d > self.current_d, "advance must move forward");
+        while self.current_d < d {
+            let level = self.current_d as usize; // vertices at dist == level
+            for w in 0..self.k {
+                let offsets = &self.by_dist_offsets[w];
+                if level + 1 >= offsets.len() {
+                    continue;
+                }
+                let verts =
+                    &self.by_dist_verts[w][offsets[level] as usize..offsets[level + 1] as usize];
+                let base = w * self.words_per_landmark;
+                for &u in verts {
+                    self.bits[base + u as usize / 64] |= 1 << (u % 64);
+                }
+            }
+            self.current_d += 1;
+        }
+    }
+
+    /// O(1) prune decision at the current iteration: `true` iff
+    /// `dist(w, u) < d`.
+    #[inline]
+    pub fn prunes(&self, w: u32, u: u32) -> bool {
+        let base = w as usize * self.words_per_landmark;
+        (self.bits[base + u as usize / 64] >> (u % 64)) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspc_graph::GraphBuilder;
+
+    fn path5() -> Graph {
+        GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build()
+    }
+
+    #[test]
+    fn exact_distances() {
+        let lm = Landmarks::build(&path5(), 2);
+        assert_eq!(lm.len(), 2);
+        assert_eq!(lm.dist(0, 4), 4);
+        assert_eq!(lm.dist(1, 4), 3);
+        assert!(lm.covers(1));
+        assert!(!lm.covers(2));
+    }
+
+    #[test]
+    fn prune_decision() {
+        let lm = Landmarks::build(&path5(), 1);
+        assert!(lm.prunes(0, 2, 3)); // dist(0,2)=2 < 3
+        assert!(!lm.prunes(0, 2, 2)); // equal: keep (non-canonical case)
+        assert!(!lm.prunes(0, 2, 1)); // shorter d never reached
+    }
+
+    #[test]
+    fn bitset_matches_table() {
+        let lm = Landmarks::build(&path5(), 1);
+        let bits = lm.reached_bitset(0, 3);
+        for u in 0..5u32 {
+            let bit = (bits[u as usize / 64] >> (u % 64)) & 1 == 1;
+            assert_eq!(bit, lm.dist(0, u) < 3, "mismatch at {u}");
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let lm = Landmarks::build(&path5(), 50);
+        assert_eq!(lm.len(), 5);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = GraphBuilder::new().num_vertices(3).edge(0, 1).build();
+        let lm = Landmarks::build(&g, 1);
+        assert_eq!(lm.dist(0, 2), u16::MAX);
+        assert!(!lm.prunes(0, 2, 5)); // unreachable never prunes
+    }
+
+    #[test]
+    fn progressive_bits_match_table() {
+        let g = crate::common::figure2_graph();
+        let lm = Landmarks::build(&g, 4);
+        let mut bits = ProgressiveLandmarkBits::new(&lm);
+        for d in 1..=6u16 {
+            bits.advance(d);
+            for w in 0..4u32 {
+                for u in 0..10u32 {
+                    assert_eq!(
+                        bits.prunes(w, u),
+                        lm.prunes(w, u, d),
+                        "d={d} w={w} u={u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn progressive_bits_handle_unreachable() {
+        let g = GraphBuilder::new().num_vertices(3).edge(0, 1).build();
+        let lm = Landmarks::build(&g, 2);
+        let mut bits = ProgressiveLandmarkBits::new(&lm);
+        bits.advance(5);
+        assert!(!bits.prunes(0, 2), "unreachable never prunes");
+        assert!(bits.prunes(0, 1), "dist 1 < 5");
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn progressive_bits_reject_backwards() {
+        let g = path5();
+        let lm = Landmarks::build(&g, 1);
+        let mut bits = ProgressiveLandmarkBits::new(&lm);
+        bits.advance(3);
+        bits.advance(2);
+    }
+
+    #[test]
+    fn degree_threshold_count() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+            .build();
+        assert_eq!(count_by_degree_threshold(&g, 2), 3);
+        assert_eq!(count_by_degree_threshold(&g, 3), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # pspc-core
+//!
+//! The primary contribution of *PSPC: Efficient Parallel Shortest Path
+//! Counting on Large-Scale Graphs* (Peng, Yu & Wang, ICDE 2023): an Exact
+//! Shortest Path Covering (ESPC) 2-hop labeling index for shortest-path
+//! counting, with
+//!
+//! * [`hpspc`] — the sequential rank-order pruned-BFS baseline (SIGMOD'20);
+//! * [`builder`] — the parallel distance-iteration PSPC construction with
+//!   pull/push paradigms, static/dynamic schedules and landmark filtering;
+//! * [`query`] — microsecond point-to-point queries and parallel batches;
+//! * [`reduce`] — 1-shell and neighborhood-equivalence index reductions;
+//! * [`directed`] — the §II.A directed (`Lin`/`Lout`) extension;
+//! * [`dynamic`] — insertion-only dynamic distance labeling (§VI);
+//! * [`serialize`] — binary index snapshots.
+//!
+//! ```
+//! use pspc_core::{build_pspc, PspcConfig};
+//! use pspc_graph::generators::barabasi_albert;
+//!
+//! let g = barabasi_albert(500, 3, 42);
+//! let (index, _) = build_pspc(&g, &PspcConfig::default());
+//! let ans = index.query(0, 499);
+//! assert!(ans.is_reachable());
+//! assert!(ans.count >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod common;
+pub mod directed;
+pub mod dynamic;
+pub mod hpspc;
+pub mod label;
+pub mod landmark;
+pub mod query;
+pub mod reduce;
+pub mod scratch;
+pub mod serialize;
+
+pub use builder::{build_pspc, Paradigm, PspcBuildStats, PspcConfig, SchedulePlan};
+pub use hpspc::build_hpspc;
+pub use label::{Count, IndexStats, LabelEntry, LabelSet, SpcIndex};
+pub use reduce::ReducedIndex;
+pub use serialize::{index_from_binary, index_to_binary};

@@ -1,0 +1,207 @@
+//! Point-to-point SPC query evaluation over an [`SpcIndex`] (paper Eq. 1–2)
+//! and the embarrassingly parallel batch executor (Exp 3 / Fig. 9).
+//!
+//! `SPC(s, t)` scans the two sorted label sets for common hubs, keeps the
+//! hubs minimizing `d(s,h) + d(h,t)` and sums `c(s,h)·c(h,t)` over them.
+//! For weighted (equivalence-reduced) indexes a common hub `h ∉ {s, t}`
+//! additionally contributes its multiplicity factor `w(h)`, because `h` is
+//! an internal vertex of the recombined path.
+
+use crate::label::{Count, LabelSet, SpcIndex};
+use pspc_graph::{SpcAnswer, VertexId};
+use rayon::prelude::*;
+
+/// Merge-based query over two rank-space label sets.
+///
+/// `sa`/`sb` are the ranks of the two endpoints (needed to suppress the
+/// weight factor when the common hub *is* an endpoint); `weights` are the
+/// rank-indexed vertex multiplicities, if any.
+pub fn query_label_sets(
+    a: &LabelSet,
+    b: &LabelSet,
+    sa: u32,
+    sb: u32,
+    weights: Option<&[Count]>,
+) -> SpcAnswer {
+    let (ha, hb) = (a.hubs(), b.hubs());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut best: u32 = u32::MAX;
+    let mut acc: Count = 0;
+    while i < ha.len() && j < hb.len() {
+        match ha[i].cmp(&hb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let h = ha[i];
+                let d = a.dists()[i] as u32 + b.dists()[j] as u32;
+                if d < best {
+                    best = d;
+                    acc = 0;
+                }
+                if d == best {
+                    let mut c = mul_sat(a.counts()[i], b.counts()[j]);
+                    if let Some(w) = weights {
+                        if h != sa && h != sb {
+                            c = mul_sat(c, w[h as usize]);
+                        }
+                    }
+                    acc = acc.saturating_add(c);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if best == u32::MAX {
+        SpcAnswer::UNREACHABLE
+    } else {
+        SpcAnswer {
+            dist: best.min(u16::MAX as u32) as u16,
+            count: acc,
+        }
+    }
+}
+
+#[inline]
+fn mul_sat(a: Count, b: Count) -> Count {
+    // u128 intermediate so legitimate large products saturate cleanly.
+    let p = a as u128 * b as u128;
+    if p > Count::MAX as u128 {
+        Count::MAX
+    } else {
+        p as Count
+    }
+}
+
+impl SpcIndex {
+    /// `SPC(s, t)` for original vertex ids.
+    pub fn query(&self, s: VertexId, t: VertexId) -> SpcAnswer {
+        let rs = self.order().rank_of(s);
+        let rt = self.order().rank_of(t);
+        self.query_ranks(rs, rt)
+    }
+
+    /// `SPC` between two ranks.
+    pub fn query_ranks(&self, rs: u32, rt: u32) -> SpcAnswer {
+        if rs == rt {
+            return SpcAnswer { dist: 0, count: 1 };
+        }
+        query_label_sets(
+            self.labels_of_rank(rs),
+            self.labels_of_rank(rt),
+            rs,
+            rt,
+            self.weights(),
+        )
+    }
+
+    /// Shortest distance only (convenience).
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Option<u16> {
+        let a = self.query(s, t);
+        a.is_reachable().then_some(a.dist)
+    }
+
+    /// Answers a batch of queries in parallel on the current rayon pool
+    /// (the paper's parallel query evaluation: queries are independent, so
+    /// they are dynamically distributed over threads).
+    pub fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<SpcAnswer> {
+        pairs.par_iter().map(|&(s, t)| self.query(s, t)).collect()
+    }
+
+    /// Sequential batch evaluation (baseline for the Fig. 9 speedup).
+    pub fn query_batch_sequential(&self, pairs: &[(VertexId, VertexId)]) -> Vec<SpcAnswer> {
+        pairs.iter().map(|&(s, t)| self.query(s, t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{IndexStats, LabelEntry};
+    use pspc_order::VertexOrder;
+
+    fn ls(entries: &[(u32, u16, Count)]) -> LabelSet {
+        LabelSet::from_entries(
+            entries
+                .iter()
+                .map(|&(hub, dist, count)| LabelEntry { hub, dist, count })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn merge_picks_min_distance_hubs() {
+        // Hub 0 gives dist 4 count 2, hub 1 gives dist 3 count 6.
+        let a = ls(&[(0, 2, 2), (1, 1, 2)]);
+        let b = ls(&[(0, 2, 1), (1, 2, 3)]);
+        let ans = query_label_sets(&a, &b, 8, 9, None);
+        assert_eq!(ans, SpcAnswer { dist: 3, count: 6 });
+    }
+
+    #[test]
+    fn ties_sum_counts() {
+        let a = ls(&[(0, 1, 2), (1, 2, 5)]);
+        let b = ls(&[(0, 2, 3), (1, 1, 1)]);
+        // both hubs give dist 3: 2*3 + 5*1 = 11
+        let ans = query_label_sets(&a, &b, 8, 9, None);
+        assert_eq!(ans, SpcAnswer { dist: 3, count: 11 });
+    }
+
+    #[test]
+    fn disjoint_hub_sets_unreachable() {
+        let a = ls(&[(0, 1, 1)]);
+        let b = ls(&[(1, 1, 1)]);
+        assert_eq!(query_label_sets(&a, &b, 2, 3, None), SpcAnswer::UNREACHABLE);
+    }
+
+    #[test]
+    fn weight_applied_to_internal_hub_only() {
+        let w = vec![7u64, 1, 1, 1];
+        let a = ls(&[(0, 1, 1)]);
+        let b = ls(&[(0, 1, 1)]);
+        // hub 0 internal: factor 7
+        assert_eq!(
+            query_label_sets(&a, &b, 2, 3, Some(&w)),
+            SpcAnswer { dist: 2, count: 7 }
+        );
+        // hub 0 == endpoint sa: no factor
+        assert_eq!(
+            query_label_sets(&a, &b, 0, 3, Some(&w)),
+            SpcAnswer { dist: 2, count: 1 }
+        );
+    }
+
+    #[test]
+    fn saturating_multiplication() {
+        let a = ls(&[(0, 1, Count::MAX / 2)]);
+        let b = ls(&[(0, 1, 4)]);
+        let ans = query_label_sets(&a, &b, 1, 2, None);
+        assert_eq!(ans.count, Count::MAX);
+    }
+
+    #[test]
+    fn self_query_is_identity() {
+        let order = VertexOrder::identity(2);
+        let idx = SpcIndex::new(
+            order,
+            vec![ls(&[(0, 0, 1)]), ls(&[(0, 1, 1), (1, 0, 1)])],
+            None,
+            IndexStats::default(),
+        );
+        assert_eq!(idx.query(0, 0), SpcAnswer { dist: 0, count: 1 });
+        assert_eq!(idx.query(0, 1), SpcAnswer { dist: 1, count: 1 });
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let order = VertexOrder::identity(2);
+        let idx = SpcIndex::new(
+            order,
+            vec![ls(&[(0, 0, 1)]), ls(&[(0, 1, 1), (1, 0, 1)])],
+            None,
+            IndexStats::default(),
+        );
+        let pairs = vec![(0, 1), (1, 0), (0, 0), (1, 1)];
+        assert_eq!(idx.query_batch(&pairs), idx.query_batch_sequential(&pairs));
+    }
+}

@@ -1,0 +1,10 @@
+//! Index size reduction techniques (paper §IV): 1-shell peeling,
+//! neighborhood-equivalence collapsing, and their composition.
+
+pub mod equivalence;
+pub mod one_shell;
+pub mod reduced_index;
+
+pub use equivalence::{ClassKind, EquivalenceReduction};
+pub use one_shell::OneShellReduction;
+pub use reduced_index::ReducedIndex;

@@ -1,0 +1,225 @@
+//! Reduction by 1-shell (paper §IV.A).
+//!
+//! Iteratively peeling degree-1 vertices strips `G` down to a core plus a
+//! forest fringe; each fringe tree attaches to the core through exactly one
+//! anchor vertex. Shortest paths inside the core never detour through a
+//! tree (they would revisit the anchor), so the index only needs the core;
+//! fringe queries compose unique tree legs with a core query.
+//!
+//! Query evaluation: for `shr(s) = shr(t)` (same tree/anchor) the paths are
+//! unique — count 1, distance from an in-tree LCA walk; otherwise
+//! `dist = depth(s) + d_core + depth(t)` and the count is the core count
+//! (tree legs are unique).
+
+use crate::label::Count;
+use pspc_graph::kcore::{peel_one_shell, OneShell};
+use pspc_graph::{Graph, SpcAnswer, VertexId};
+
+/// 1-shell reduction of a graph: the peeled structure, the core subgraph
+/// and the id mappings needed to answer original-vertex queries.
+#[derive(Clone, Debug)]
+pub struct OneShellReduction {
+    shell: OneShell,
+    core_graph: Graph,
+    /// core id -> original id
+    core_ids: Vec<VertexId>,
+    /// original id -> core id (`u32::MAX` for fringe vertices)
+    to_core: Vec<u32>,
+}
+
+impl OneShellReduction {
+    /// Peels `g` and extracts the core subgraph.
+    pub fn reduce(g: &Graph) -> Self {
+        let shell = peel_one_shell(g);
+        let keep: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+            .filter(|&v| shell.in_core[v as usize])
+            .collect();
+        let (core_graph, core_ids) = g.induced_subgraph(&keep);
+        let mut to_core = vec![u32::MAX; g.num_vertices()];
+        for (c, &orig) in core_ids.iter().enumerate() {
+            to_core[orig as usize] = c as u32;
+        }
+        OneShellReduction {
+            shell,
+            core_graph,
+            core_ids,
+            to_core,
+        }
+    }
+
+    /// The core subgraph the index should be built on.
+    pub fn core_graph(&self) -> &Graph {
+        &self.core_graph
+    }
+
+    /// Core-id → original-id mapping.
+    pub fn core_ids(&self) -> &[VertexId] {
+        &self.core_ids
+    }
+
+    /// Number of peeled (fringe) vertices.
+    pub fn num_fringe(&self) -> usize {
+        self.shell.num_fringe()
+    }
+
+    /// The anchor `shr(v)` (original ids).
+    pub fn anchor(&self, v: VertexId) -> VertexId {
+        self.shell.anchor[v as usize]
+    }
+
+    /// Answers `SPC(s, t)` on the *original* graph, delegating core-pair
+    /// subqueries to `core_query` (which receives **core ids**).
+    pub fn query(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        core_query: impl Fn(u32, u32) -> SpcAnswer,
+    ) -> SpcAnswer {
+        if s == t {
+            return SpcAnswer { dist: 0, count: 1 };
+        }
+        let (a_s, a_t) = (self.anchor(s), self.anchor(t));
+        if a_s == a_t {
+            // Same tree (or one endpoint is the anchor itself): the path is
+            // unique — "1 is directly returned" in the paper; we also
+            // recover the distance by walking to the in-tree LCA.
+            return SpcAnswer {
+                dist: self.tree_distance(s, t),
+                count: 1,
+            };
+        }
+        let (cs, ct) = (
+            self.to_core[a_s as usize],
+            self.to_core[a_t as usize],
+        );
+        debug_assert!(cs != u32::MAX && ct != u32::MAX, "anchors live in the core");
+        let core = core_query(cs, ct);
+        if !core.is_reachable() {
+            return SpcAnswer::UNREACHABLE;
+        }
+        let depth_s = self.shell.depth[s as usize] as u32;
+        let depth_t = self.shell.depth[t as usize] as u32;
+        SpcAnswer {
+            dist: (core.dist as u32 + depth_s + depth_t).min(u16::MAX as u32) as u16,
+            count: core.count as Count,
+        }
+    }
+
+    /// Distance between two vertices of the same fringe tree (including its
+    /// anchor), via the classic lift-to-equal-depth LCA walk.
+    fn tree_distance(&self, s: VertexId, t: VertexId) -> u16 {
+        let depth = |v: VertexId| self.shell.depth[v as usize];
+        let parent = |v: VertexId| self.shell.parent[v as usize];
+        let (mut a, mut b) = (s, t);
+        let mut dist = 0u16;
+        while depth(a) > depth(b) {
+            a = parent(a);
+            dist += 1;
+        }
+        while depth(b) > depth(a) {
+            b = parent(b);
+            dist += 1;
+        }
+        while a != b {
+            a = parent(a);
+            b = parent(b);
+            dist += 2;
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_pspc, PspcConfig};
+    use pspc_graph::spc_bfs::spc_pair;
+    use pspc_graph::GraphBuilder;
+
+    /// Triangle core (0,1,2) with a path tail 2-3-4 and a branch 3-5.
+    fn lollipop() -> Graph {
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (3, 5)])
+            .build()
+    }
+
+    fn check_all_pairs(g: &Graph) {
+        let red = OneShellReduction::reduce(g);
+        let (core_idx, _) = build_pspc(red.core_graph(), &PspcConfig::default());
+        let n = g.num_vertices() as u32;
+        for s in 0..n {
+            for t in 0..n {
+                let got = red.query(s, t, |cs, ct| core_idx.query(cs, ct));
+                let want = spc_pair(g, s, t);
+                assert_eq!(got, want, "mismatch at ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn lollipop_all_pairs() {
+        check_all_pairs(&lollipop());
+    }
+
+    #[test]
+    fn core_is_smaller() {
+        let red = OneShellReduction::reduce(&lollipop());
+        assert_eq!(red.core_graph().num_vertices(), 3);
+        assert_eq!(red.num_fringe(), 3);
+    }
+
+    #[test]
+    fn same_tree_count_is_one() {
+        let red = OneShellReduction::reduce(&lollipop());
+        let ans = red.query(4, 5, |_, _| panic!("must not hit the core"));
+        assert_eq!(ans, SpcAnswer { dist: 2, count: 1 });
+    }
+
+    #[test]
+    fn deep_trees_all_pairs() {
+        // Two trees off a 4-cycle, one of them branchy.
+        let g = GraphBuilder::new()
+            .edges([
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                // tree at 0
+                (0, 4),
+                (4, 5),
+                (4, 6),
+                (6, 7),
+                // tree at 2
+                (2, 8),
+                (8, 9),
+            ])
+            .build();
+        check_all_pairs(&g);
+    }
+
+    #[test]
+    fn diamond_core_preserves_counts() {
+        // Diamond (2 shortest paths) with tails on both sides.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (5, 0)])
+            .build();
+        check_all_pairs(&g);
+    }
+
+    #[test]
+    fn pure_tree_graph() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (1, 3), (3, 4)])
+            .build();
+        check_all_pairs(&g);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let g = GraphBuilder::new()
+            .num_vertices(8)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (5, 6), (6, 7)])
+            .build();
+        check_all_pairs(&g);
+    }
+}

@@ -1,0 +1,233 @@
+//! Versioned per-thread scratch arrays.
+//!
+//! The hot loops of both builders repeatedly need "hash map keyed by hub
+//! rank" semantics (load a vertex's label, probe candidates, accumulate
+//! counts). A dense array indexed by rank with a version stamp gives O(1)
+//! probes and O(1) reset without clearing `n` slots per use — the classic
+//! labeling-implementation trick.
+
+use crate::label::Count;
+use parking_lot::Mutex;
+
+/// Dense `rank -> u16` map with O(1) reset, used for 2-hop distance probes.
+#[derive(Debug)]
+pub struct DistScratch {
+    version: u32,
+    stamp: Vec<u32>,
+    dist: Vec<u16>,
+}
+
+impl DistScratch {
+    /// Creates a scratch for ranks `0..n`.
+    pub fn new(n: usize) -> Self {
+        DistScratch {
+            version: 0,
+            stamp: vec![0; n],
+            dist: vec![0; n],
+        }
+    }
+
+    /// Invalidates all entries in O(1).
+    pub fn clear(&mut self) {
+        self.version = self.version.wrapping_add(1);
+        if self.version == 0 {
+            // One full wipe every 2^32 clears keeps stamps unambiguous.
+            self.stamp.fill(0);
+            self.version = 1;
+        }
+    }
+
+    /// Sets `dist(h) = d`.
+    #[inline]
+    pub fn set(&mut self, h: u32, d: u16) {
+        self.stamp[h as usize] = self.version;
+        self.dist[h as usize] = d;
+    }
+
+    /// Distance for `h`, if set since the last [`DistScratch::clear`].
+    #[inline]
+    pub fn get(&self, h: u32) -> Option<u16> {
+        (self.stamp[h as usize] == self.version).then(|| self.dist[h as usize])
+    }
+
+    /// Whether `h` is present.
+    #[inline]
+    pub fn contains(&self, h: u32) -> bool {
+        self.stamp[h as usize] == self.version
+    }
+}
+
+/// Dense `rank -> Count` accumulator with a touch list — implements the
+/// paper's *Label Merging* (duplicate candidates for the same hub are summed
+/// in place) while the touch list preserves discovery order for
+/// deterministic iteration.
+#[derive(Debug)]
+pub struct CandScratch {
+    version: u32,
+    stamp: Vec<u32>,
+    count: Vec<Count>,
+    touched: Vec<u32>,
+}
+
+impl CandScratch {
+    /// Creates an accumulator for ranks `0..n`.
+    pub fn new(n: usize) -> Self {
+        CandScratch {
+            version: 0,
+            stamp: vec![0; n],
+            count: vec![0; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Drops all candidates in O(touched).
+    pub fn clear(&mut self) {
+        self.touched.clear();
+        self.version = self.version.wrapping_add(1);
+        if self.version == 0 {
+            self.stamp.fill(0);
+            self.version = 1;
+        }
+    }
+
+    /// Adds `c` paths for hub `h` (Label Merging).
+    #[inline]
+    pub fn add(&mut self, h: u32, c: Count) {
+        if self.stamp[h as usize] == self.version {
+            self.count[h as usize] = self.count[h as usize].saturating_add(c);
+        } else {
+            self.stamp[h as usize] = self.version;
+            self.count[h as usize] = c;
+            self.touched.push(h);
+        }
+    }
+
+    /// Number of distinct hubs accumulated.
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether no candidates are present.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Distinct hubs in first-touch order.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Accumulated count for hub `h` (0 if untouched).
+    #[inline]
+    pub fn count(&self, h: u32) -> Count {
+        if self.stamp[h as usize] == self.version {
+            self.count[h as usize]
+        } else {
+            0
+        }
+    }
+}
+
+/// Combined per-thread workspace for one propagation task.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Distance probes for the vertex currently being processed.
+    pub dist: DistScratch,
+    /// Candidate accumulator.
+    pub cand: CandScratch,
+}
+
+impl Workspace {
+    /// Creates a workspace for ranks `0..n`.
+    pub fn new(n: usize) -> Self {
+        Workspace {
+            dist: DistScratch::new(n),
+            cand: CandScratch::new(n),
+        }
+    }
+}
+
+/// Checkout/return pool of workspaces shared across a rayon pool.
+pub struct WorkspacePool {
+    n: usize,
+    free: Mutex<Vec<Workspace>>,
+}
+
+impl WorkspacePool {
+    /// Creates an empty pool for ranks `0..n`.
+    pub fn new(n: usize) -> Self {
+        WorkspacePool {
+            n,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Runs `f` with a checked-out workspace (allocating one if the pool is
+    /// dry), returning it afterwards.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Workspace) -> R) -> R {
+        let mut ws = self
+            .free
+            .lock()
+            .pop()
+            .unwrap_or_else(|| Workspace::new(self.n));
+        let r = f(&mut ws);
+        self.free.lock().push(ws);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_scratch_versioning() {
+        let mut s = DistScratch::new(4);
+        s.clear();
+        s.set(2, 7);
+        assert_eq!(s.get(2), Some(7));
+        assert_eq!(s.get(1), None);
+        s.clear();
+        assert_eq!(s.get(2), None);
+    }
+
+    #[test]
+    fn cand_scratch_merges() {
+        let mut c = CandScratch::new(4);
+        c.clear();
+        c.add(1, 3);
+        c.add(1, 4);
+        c.add(2, 1);
+        assert_eq!(c.count(1), 7);
+        assert_eq!(c.count(2), 1);
+        assert_eq!(c.touched(), &[1, 2]);
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.count(1), 0);
+    }
+
+    #[test]
+    fn cand_scratch_saturates() {
+        let mut c = CandScratch::new(2);
+        c.clear();
+        c.add(0, Count::MAX - 1);
+        c.add(0, 5);
+        assert_eq!(c.count(0), Count::MAX);
+    }
+
+    #[test]
+    fn pool_reuses_workspaces() {
+        let pool = WorkspacePool::new(8);
+        pool.with(|w| {
+            w.cand.clear();
+            w.cand.add(3, 1);
+        });
+        pool.with(|w| {
+            // Stale state must be cleared by the user before use; the pool
+            // only guarantees capacity.
+            w.cand.clear();
+            assert!(w.cand.is_empty());
+        });
+    }
+}

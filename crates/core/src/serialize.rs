@@ -1,0 +1,166 @@
+//! Binary snapshot format for [`SpcIndex`].
+//!
+//! Building the index is the expensive step (minutes for large graphs);
+//! persisting it makes query services restartable. The format is a simple
+//! little-endian layout: magic, vertex order, optional weights, then one
+//! length-prefixed label set per rank.
+
+use crate::label::{IndexStats, LabelEntry, LabelSet, SpcIndex};
+use bytes::{Buf, BufMut, BytesMut};
+// Re-exported so downstream users of the snapshot API don't need a direct
+// `bytes` dependency.
+pub use bytes::Bytes;
+use pspc_order::VertexOrder;
+use std::io;
+
+const MAGIC: &[u8; 8] = b"PSPCIDX1";
+
+/// Serializes the index into a binary snapshot.
+pub fn index_to_binary(idx: &SpcIndex) -> Bytes {
+    let n = idx.num_vertices();
+    let mut buf = BytesMut::with_capacity(32 + n * 8 + idx.stats().label_bytes * 2);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(n as u64);
+    for r in 0..n as u32 {
+        buf.put_u32_le(idx.order().vertex_at(r));
+    }
+    match idx.weights() {
+        Some(w) => {
+            buf.put_u8(1);
+            for &x in w {
+                buf.put_u64_le(x);
+            }
+        }
+        None => buf.put_u8(0),
+    }
+    for ls in idx.label_sets() {
+        buf.put_u32_le(ls.len() as u32);
+        for e in ls.iter() {
+            buf.put_u32_le(e.hub);
+            buf.put_u16_le(e.dist);
+            buf.put_u64_le(e.count);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a snapshot produced by [`index_to_binary`].
+pub fn index_from_binary(mut data: Bytes) -> io::Result<SpcIndex> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.len() < 17 || &data[..8] != MAGIC {
+        return Err(bad("not a PSPC index snapshot"));
+    }
+    data.advance(8);
+    let n = data.get_u64_le() as usize;
+    if data.remaining() < n * 4 + 1 {
+        return Err(bad("truncated order section"));
+    }
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = data.get_u32_le();
+        if v as usize >= n {
+            return Err(bad("order entry out of range"));
+        }
+        order.push(v);
+    }
+    let order = {
+        let mut seen = vec![false; n];
+        for &v in &order {
+            if std::mem::replace(&mut seen[v as usize], true) {
+                return Err(bad("order is not a permutation"));
+            }
+        }
+        VertexOrder::from_order(order)
+    };
+    let weights = match data.get_u8() {
+        0 => None,
+        1 => {
+            if data.remaining() < n * 8 {
+                return Err(bad("truncated weights section"));
+            }
+            Some((0..n).map(|_| data.get_u64_le()).collect::<Vec<_>>())
+        }
+        _ => return Err(bad("bad weights flag")),
+    };
+    let mut labels = Vec::with_capacity(n);
+    for r in 0..n as u32 {
+        if data.remaining() < 4 {
+            return Err(bad("truncated label header"));
+        }
+        let k = data.get_u32_le() as usize;
+        if data.remaining() < k * 14 {
+            return Err(bad("truncated label entries"));
+        }
+        let mut entries = Vec::with_capacity(k);
+        for _ in 0..k {
+            let hub = data.get_u32_le();
+            let dist = data.get_u16_le();
+            let count = data.get_u64_le();
+            if hub > r {
+                return Err(bad("hub ranked below owner"));
+            }
+            entries.push(LabelEntry { hub, dist, count });
+        }
+        labels.push(LabelSet::from_entries(entries));
+    }
+    let idx = SpcIndex::new(order, labels, weights, IndexStats::default());
+    idx.validate()
+        .map_err(|e| bad(&format!("snapshot fails validation: {e}")))?;
+    Ok(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_pspc, PspcConfig};
+    use pspc_graph::generators::barabasi_albert;
+
+    #[test]
+    fn round_trip_preserves_queries() {
+        let g = barabasi_albert(120, 2, 13);
+        let (idx, _) = build_pspc(&g, &PspcConfig::default());
+        let restored = index_from_binary(index_to_binary(&idx)).unwrap();
+        assert_eq!(idx.order(), restored.order());
+        assert_eq!(idx.label_sets(), restored.label_sets());
+        for (s, t) in [(0u32, 119u32), (3, 99), (50, 51)] {
+            assert_eq!(idx.query(s, t), restored.query(s, t));
+        }
+    }
+
+    #[test]
+    fn round_trip_weighted() {
+        use crate::builder::build_pspc_with_order;
+        use pspc_order::OrderingStrategy;
+        let g = barabasi_albert(40, 2, 1);
+        let w: Vec<u64> = (0..40).map(|i| 1 + i % 4).collect();
+        let o = OrderingStrategy::Degree.compute(&g);
+        let (idx, _) = build_pspc_with_order(&g, o, Some(&w), &PspcConfig::default());
+        let restored = index_from_binary(index_to_binary(&idx)).unwrap();
+        assert_eq!(idx.weights(), restored.weights());
+        assert_eq!(idx.query(7, 31), restored.query(7, 31));
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let g = barabasi_albert(30, 2, 2);
+        let (idx, _) = build_pspc(&g, &PspcConfig::default());
+        let bin = index_to_binary(&idx);
+        assert!(index_from_binary(bin.slice(..16)).is_err());
+        let mut tampered = bin.to_vec();
+        tampered[3] = b'!';
+        assert!(index_from_binary(Bytes::from(tampered)).is_err());
+        // Truncate mid-labels.
+        assert!(index_from_binary(bin.slice(..bin.len() - 5)).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_permutation() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(2);
+        buf.put_u32_le(0);
+        buf.put_u32_le(0); // duplicate
+        buf.put_u8(0);
+        assert!(index_from_binary(buf.freeze()).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Mutable edge-list accumulator that normalizes raw input into a valid
+//! [`Graph`].
+//!
+//! All paper datasets are treated as undirected and unweighted (§V.A:
+//! "Directed graphs were converted to undirected ones"); the builder mirrors
+//! that pipeline: symmetrize, drop self-loops, deduplicate parallel edges.
+
+use crate::csr::{Graph, VertexId};
+
+/// Accumulates edges and produces a normalized CSR [`Graph`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    min_vertices: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the built graph has at least `n` vertices (isolated vertices
+    /// are allowed; ids not covered by any edge stay isolated).
+    pub fn num_vertices(mut self, n: usize) -> Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Adds one undirected edge. Self-loops are silently dropped,
+    /// duplicates are removed at build time.
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.push_edge(u, v);
+        self
+    }
+
+    /// Adds many edges.
+    pub fn edges(mut self, iter: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        for (u, v) in iter {
+            self.push_edge(u, v);
+        }
+        self
+    }
+
+    /// In-place variant of [`GraphBuilder::edge`] for loop-heavy generators.
+    pub fn push_edge(&mut self, u: VertexId, v: VertexId) {
+        if u != v {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            self.edges.push((a, b));
+        }
+    }
+
+    /// Number of (not yet deduplicated) edges currently buffered.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Builds the normalized CSR graph.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self
+            .edges
+            .iter()
+            .map(|&(_, v)| v as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.min_vertices);
+
+        // Counting sort into CSR: each undirected edge contributes two arcs.
+        let mut deg = vec![0u64; n + 1];
+        for &(u, v) in &self.edges {
+            deg[u as usize + 1] += 1;
+            deg[v as usize + 1] += 1;
+        }
+        let mut offsets = deg;
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; *offsets.last().unwrap() as usize];
+        for &(u, v) in &self.edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Arc lists are filled in increasing (u, v) order, so each row is
+        // already sorted for the lower endpoint but interleaved for the
+        // higher one; sort each row to restore the invariant.
+        for v in 0..n {
+            targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        Graph::from_csr_parts(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_symmetrizes() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 0), (0, 1), (2, 1)])
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let g = GraphBuilder::new().edges([(0, 0), (0, 1)]).build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn isolated_vertices_via_num_vertices() {
+        let g = GraphBuilder::new().num_vertices(5).edge(0, 1).build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn vertex_count_from_max_edge_endpoint() {
+        let g = GraphBuilder::new().edge(3, 7).build();
+        assert_eq!(g.num_vertices(), 8);
+    }
+
+    #[test]
+    fn build_large_star_is_sorted() {
+        let mut b = GraphBuilder::new();
+        for i in 1..100 {
+            b.push_edge(0, i);
+        }
+        let g = b.build();
+        assert_eq!(g.degree(0), 99);
+        let nb = g.neighbors(0);
+        assert!(nb.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,145 @@
+//! Connected components and largest-component extraction.
+//!
+//! The paper's datasets are used as single connected components; the
+//! generators in this crate therefore extract the largest component before
+//! indexing, as `extract_largest_component` does.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+
+/// Connected-component labeling. Returns `(component_id per vertex,
+/// number of components)`; ids are dense in `0..num_components`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut next_id = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..n as VertexId {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = next_id;
+        stack.push(s);
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next_id;
+                    stack.push(v);
+                }
+            }
+        }
+        next_id += 1;
+    }
+    (comp, next_id as usize)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    let (_, k) = connected_components(g);
+    k <= 1
+}
+
+/// Extracts the largest connected component as a new graph, together with
+/// the mapping `new_id -> old_id`.
+pub fn extract_largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
+    let (comp, k) = connected_components(g);
+    if k <= 1 {
+        return (g.clone(), (0..g.num_vertices() as VertexId).collect());
+    }
+    let mut sizes = vec![0usize; k];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+    let keep: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| comp[v as usize] == best)
+        .collect();
+    g.induced_subgraph(&keep)
+}
+
+/// Connects a (possibly disconnected) graph by linking each extra component
+/// to component 0 with a single edge between their lowest-id vertices.
+/// Useful for generators that must emit connected graphs.
+pub fn connect_components(g: &Graph) -> Graph {
+    let (comp, k) = connected_components(g);
+    if k <= 1 {
+        return g.clone();
+    }
+    let mut first = vec![VertexId::MAX; k];
+    for v in 0..g.num_vertices() as VertexId {
+        let c = comp[v as usize] as usize;
+        if first[c] == VertexId::MAX {
+            first[c] = v;
+        }
+    }
+    let mut b = GraphBuilder::new().num_vertices(g.num_vertices());
+    for (u, v) in g.edges() {
+        b.push_edge(u, v);
+    }
+    for c in 1..k {
+        b.push_edge(first[0], first[c]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn two_components_detected() {
+        let g = GraphBuilder::new().edges([(0, 1), (2, 3)]).build();
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let g = GraphBuilder::new().num_vertices(4).edge(0, 1).build();
+        let (_, k) = connected_components(&g);
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn largest_component_extracted() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (3, 4)])
+            .build();
+        let (lcc, ids) = extract_largest_component(&g);
+        assert_eq!(lcc.num_vertices(), 3);
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(is_connected(&lcc));
+    }
+
+    #[test]
+    fn connect_components_produces_connected() {
+        let g = GraphBuilder::new()
+            .num_vertices(6)
+            .edges([(0, 1), (2, 3)])
+            .build();
+        let c = connect_components(&g);
+        assert!(is_connected(&c));
+        assert_eq!(c.num_vertices(), 6);
+        // Original edges preserved.
+        assert!(c.has_edge(0, 1));
+        assert!(c.has_edge(2, 3));
+    }
+
+    #[test]
+    fn connected_graph_passthrough() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2)]).build();
+        let (lcc, ids) = extract_largest_component(&g);
+        assert_eq!(lcc, g);
+        assert_eq!(ids.len(), 3);
+    }
+}

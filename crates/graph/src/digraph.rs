@@ -1,0 +1,447 @@
+//! Directed graphs (dual CSR: out- and in-adjacency) and directed
+//! shortest-path counting by BFS.
+//!
+//! The paper evaluates on undirected graphs (directed inputs are
+//! symmetrized, §V.A), but the underlying HP-SPC formulation (§II.A) is
+//! directed: each vertex carries an in-label and an out-label. This module
+//! provides the substrate for that general form; the directed index lives
+//! in `pspc-core::directed`.
+
+use crate::csr::VertexId;
+use crate::spc_bfs::SpcAnswer;
+use crate::traversal::UNREACHABLE;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An immutable directed, unweighted graph stored as two CSRs (forward and
+/// reverse adjacency). No self-loops, no parallel arcs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiGraph {
+    out_offsets: Vec<u64>,
+    out_targets: Vec<VertexId>,
+    in_offsets: Vec<u64>,
+    in_targets: Vec<VertexId>,
+}
+
+/// Accumulates arcs and produces a normalized [`DiGraph`].
+#[derive(Clone, Debug, Default)]
+pub struct DiGraphBuilder {
+    arcs: Vec<(VertexId, VertexId)>,
+    min_vertices: usize,
+}
+
+impl DiGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures at least `n` vertices.
+    pub fn num_vertices(mut self, n: usize) -> Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Adds the arc `u -> v` (self-loops silently dropped, duplicates
+    /// removed at build time).
+    pub fn arc(mut self, u: VertexId, v: VertexId) -> Self {
+        self.push_arc(u, v);
+        self
+    }
+
+    /// Adds many arcs.
+    pub fn arcs(mut self, iter: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        for (u, v) in iter {
+            self.push_arc(u, v);
+        }
+        self
+    }
+
+    /// In-place arc insertion for generators.
+    pub fn push_arc(&mut self, u: VertexId, v: VertexId) {
+        if u != v {
+            self.arcs.push((u, v));
+        }
+    }
+
+    /// Builds the dual-CSR digraph.
+    pub fn build(mut self) -> DiGraph {
+        self.arcs.sort_unstable();
+        self.arcs.dedup();
+        let n = self
+            .arcs
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.min_vertices);
+        let csr = |pairs: &[(VertexId, VertexId)]| {
+            let mut off = vec![0u64; n + 1];
+            for &(u, _) in pairs {
+                off[u as usize + 1] += 1;
+            }
+            for i in 0..n {
+                off[i + 1] += off[i];
+            }
+            let mut cursor = off.clone();
+            let mut tgt = vec![0 as VertexId; pairs.len()];
+            for &(u, v) in pairs {
+                tgt[cursor[u as usize] as usize] = v;
+                cursor[u as usize] += 1;
+            }
+            for u in 0..n {
+                tgt[off[u] as usize..off[u + 1] as usize].sort_unstable();
+            }
+            (off, tgt)
+        };
+        let (out_offsets, out_targets) = csr(&self.arcs);
+        let rev: Vec<(VertexId, VertexId)> = self.arcs.iter().map(|&(u, v)| (v, u)).collect();
+        let (in_offsets, in_targets) = csr(&rev);
+        DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+}
+
+impl DiGraph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbors of `v` (sorted).
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v] as usize..self.out_offsets[v + 1] as usize]
+    }
+
+    /// In-neighbors of `v` (sorted).
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.in_targets[self.in_offsets[v] as usize..self.in_offsets[v + 1] as usize]
+    }
+
+    /// Out-degree.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Total degree (in + out) — the ordering signal for directed indexes.
+    #[inline]
+    pub fn total_degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Whether the arc `u -> v` exists.
+    pub fn has_arc(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all arcs `(u, v)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Relabels vertices: old vertex `perm[i]` becomes new vertex `i`.
+    pub fn relabel(&self, perm: &[VertexId]) -> DiGraph {
+        let n = self.num_vertices();
+        assert_eq!(perm.len(), n);
+        let mut inv = vec![VertexId::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            assert!(inv[old as usize] == VertexId::MAX, "duplicate in perm");
+            inv[old as usize] = new as VertexId;
+        }
+        let mut b = DiGraphBuilder::new().num_vertices(n);
+        for (u, v) in self.arcs() {
+            b.push_arc(inv[u as usize], inv[v as usize]);
+        }
+        b.build()
+    }
+
+    /// Structural validation: sorted duplicate-free rows, reverse CSR
+    /// consistent with the forward one.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        if self.in_offsets.len() != n + 1 {
+            return Err("in/out vertex counts differ".into());
+        }
+        if self.in_targets.len() != self.out_targets.len() {
+            return Err("arc counts differ between directions".into());
+        }
+        for u in 0..n as VertexId {
+            for w in self.out_neighbors(u).windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("out-row of {u} not strictly sorted"));
+                }
+            }
+            for &v in self.out_neighbors(u) {
+                if v as usize >= n {
+                    return Err(format!("arc target {v} out of range"));
+                }
+                if v == u {
+                    return Err(format!("self loop at {u}"));
+                }
+                if self.in_neighbors(v).binary_search(&u).is_err() {
+                    return Err(format!("arc ({u},{v}) missing from reverse CSR"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The underlying undirected graph (each arc becomes an edge).
+    pub fn to_undirected(&self) -> crate::csr::Graph {
+        let mut b = crate::builder::GraphBuilder::new().num_vertices(self.num_vertices());
+        for (u, v) in self.arcs() {
+            b.push_edge(u, v);
+        }
+        b.build()
+    }
+}
+
+/// Directed view of an undirected graph: both arc directions per edge.
+pub fn from_undirected(g: &crate::csr::Graph) -> DiGraph {
+    let mut b = DiGraphBuilder::new().num_vertices(g.num_vertices());
+    for (u, v) in g.edges() {
+        b.push_arc(u, v);
+        b.push_arc(v, u);
+    }
+    b.build()
+}
+
+/// Random orientation of an undirected graph: each edge keeps one
+/// direction with probability `1 - both_p`, or both with `both_p`.
+pub fn random_orientation(g: &crate::csr::Graph, both_p: f64, seed: u64) -> DiGraph {
+    assert!((0.0..=1.0).contains(&both_p));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = DiGraphBuilder::new().num_vertices(g.num_vertices());
+    for (u, v) in g.edges() {
+        if rng.gen_bool(both_p) {
+            b.push_arc(u, v);
+            b.push_arc(v, u);
+        } else if rng.gen_bool(0.5) {
+            b.push_arc(u, v);
+        } else {
+            b.push_arc(v, u);
+        }
+    }
+    b.build()
+}
+
+/// Uniform random digraph with exactly `m` distinct arcs.
+pub fn erdos_renyi_digraph(n: usize, m: usize, seed: u64) -> DiGraph {
+    let max_m = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= max_m, "too many arcs requested");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = DiGraphBuilder::new().num_vertices(n);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v && seen.insert((u, v)) {
+            b.push_arc(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Forward counting BFS: distances and shortest-path counts from `src` to
+/// every vertex along out-arcs. Counts saturate.
+pub fn di_spc_from_source(g: &DiGraph, src: VertexId) -> (Vec<u16>, Vec<u64>) {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut count = vec![0u64; n];
+    let mut frontier = vec![src];
+    dist[src as usize] = 0;
+    count[src as usize] = 1;
+    let mut next = Vec::new();
+    let mut d = 0u16;
+    while !frontier.is_empty() {
+        d += 1;
+        for &u in &frontier {
+            let cu = count[u as usize];
+            for &v in g.out_neighbors(u) {
+                if dist[v as usize] == UNREACHABLE {
+                    dist[v as usize] = d;
+                    count[v as usize] = cu;
+                    next.push(v);
+                } else if dist[v as usize] == d {
+                    count[v as usize] = count[v as usize].saturating_add(cu);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    (dist, count)
+}
+
+/// Point-to-point directed SPC (brute force oracle).
+pub fn di_spc_pair(g: &DiGraph, s: VertexId, t: VertexId) -> SpcAnswer {
+    if s == t {
+        return SpcAnswer { dist: 0, count: 1 };
+    }
+    let (dist, count) = di_spc_from_source(g, s);
+    if dist[t as usize] == UNREACHABLE {
+        SpcAnswer::UNREACHABLE
+    } else {
+        SpcAnswer {
+            dist: dist[t as usize],
+            count: count[t as usize],
+        }
+    }
+}
+
+/// BFS distances from `src` along out-arcs, into a reusable buffer.
+pub fn di_bfs_forward_into(g: &DiGraph, src: VertexId, dist: &mut [u16]) {
+    bfs_generic(dist, src, |u, f| {
+        for &v in g.out_neighbors(u) {
+            f(v)
+        }
+    });
+}
+
+/// BFS distances from `src` along in-arcs (i.e. distance *to* `src`).
+pub fn di_bfs_backward_into(g: &DiGraph, src: VertexId, dist: &mut [u16]) {
+    bfs_generic(dist, src, |u, f| {
+        for &v in g.in_neighbors(u) {
+            f(v)
+        }
+    });
+}
+
+fn bfs_generic(dist: &mut [u16], src: VertexId, neighbors: impl Fn(VertexId, &mut dyn FnMut(VertexId))) {
+    dist.fill(UNREACHABLE);
+    let mut frontier = vec![src];
+    dist[src as usize] = 0;
+    let mut next = Vec::new();
+    let mut d = 0u16;
+    while !frontier.is_empty() {
+        d = d.saturating_add(1);
+        for &u in &frontier {
+            neighbors(u, &mut |v| {
+                if dist[v as usize] == UNREACHABLE {
+                    dist[v as usize] = d;
+                    next.push(v);
+                }
+            });
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn dicycle(n: u32) -> DiGraph {
+        DiGraphBuilder::new()
+            .arcs((0..n).map(|i| (i, (i + 1) % n)))
+            .build()
+    }
+
+    #[test]
+    fn builder_dedups_and_separates_directions() {
+        let g = DiGraphBuilder::new().arcs([(0, 1), (0, 1), (1, 0), (1, 2)]).build();
+        assert_eq!(g.num_arcs(), 3);
+        assert!(g.has_arc(0, 1));
+        assert!(g.has_arc(1, 0));
+        assert!(!g.has_arc(2, 1));
+        assert_eq!(g.in_neighbors(2), &[1]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn cycle_distances_are_one_way() {
+        let g = dicycle(5);
+        assert_eq!(di_spc_pair(&g, 0, 1), SpcAnswer { dist: 1, count: 1 });
+        assert_eq!(di_spc_pair(&g, 1, 0), SpcAnswer { dist: 4, count: 1 });
+    }
+
+    #[test]
+    fn directed_diamond_counts() {
+        // 0 -> {1,2} -> 3, plus a back arc that must NOT count.
+        let g = DiGraphBuilder::new()
+            .arcs([(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+            .build();
+        assert_eq!(di_spc_pair(&g, 0, 3), SpcAnswer { dist: 2, count: 2 });
+        assert_eq!(di_spc_pair(&g, 3, 1), SpcAnswer { dist: 2, count: 1 });
+    }
+
+    #[test]
+    fn forward_backward_bfs_agree_with_reversal() {
+        let g = erdos_renyi_digraph(60, 240, 9);
+        let mut fwd = vec![0u16; 60];
+        let mut bwd = vec![0u16; 60];
+        di_bfs_forward_into(&g, 7, &mut fwd);
+        di_bfs_backward_into(&g, 7, &mut bwd);
+        for v in 0..60u32 {
+            // bwd[v] = dist(v -> 7) = forward distance in the transpose.
+            let (dist_from_v, _) = di_spc_from_source(&g, v);
+            assert_eq!(bwd[v as usize], dist_from_v[7]);
+        }
+        let (d7, _) = di_spc_from_source(&g, 7);
+        assert_eq!(fwd, d7);
+    }
+
+    #[test]
+    fn from_undirected_doubles_arcs() {
+        let ug = GraphBuilder::new().edges([(0, 1), (1, 2)]).build();
+        let dg = from_undirected(&ug);
+        assert_eq!(dg.num_arcs(), 4);
+        assert_eq!(dg.to_undirected(), ug);
+    }
+
+    #[test]
+    fn random_orientation_preserves_support() {
+        let ug = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build();
+        let dg = random_orientation(&ug, 0.0, 4);
+        assert_eq!(dg.num_arcs(), 3);
+        for (u, v) in dg.arcs() {
+            assert!(ug.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn relabel_roundtrip() {
+        let g = erdos_renyi_digraph(20, 60, 1);
+        let perm: Vec<u32> = (0..20u32).rev().collect();
+        let r = g.relabel(&perm);
+        assert!(r.validate().is_ok());
+        assert_eq!(r.num_arcs(), g.num_arcs());
+        // arc (u,v) in g <=> (inv(u), inv(v)) in r, inv(x) = 19 - x
+        for (u, v) in g.arcs() {
+            assert!(r.has_arc(19 - u, 19 - v));
+        }
+    }
+
+    #[test]
+    fn total_degree() {
+        let g = DiGraphBuilder::new().arcs([(0, 1), (2, 1)]).build();
+        assert_eq!(g.total_degree(1), 2);
+        assert_eq!(g.total_degree(0), 1);
+    }
+}

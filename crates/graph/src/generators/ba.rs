@@ -1,0 +1,77 @@
+//! Barabási–Albert preferential attachment — scale-free graphs that mimic
+//! the social networks in the paper's dataset table (Facebook, Youtube,
+//! Petster, Flickr).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Preferential-attachment graph: starts from an `m_attach + 1`-clique and
+/// attaches each new vertex to `m_attach` distinct existing vertices chosen
+/// proportionally to degree (via the repeated-endpoint trick). Connected by
+/// construction.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
+    assert!(m_attach >= 1, "attachment degree must be positive");
+    assert!(
+        n > m_attach,
+        "need more vertices ({n}) than the attachment degree ({m_attach})"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new().num_vertices(n);
+    // `endpoints` holds every edge endpoint seen so far; uniform sampling
+    // from it is exactly degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+    let seed_clique = m_attach + 1;
+    for u in 0..seed_clique as u32 {
+        for v in (u + 1)..seed_clique as u32 {
+            b.push_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut picked = Vec::with_capacity(m_attach);
+    for u in seed_clique as u32..n as u32 {
+        picked.clear();
+        while picked.len() < m_attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            b.push_edge(u, t);
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn edge_count_formula() {
+        let (n, m) = (100, 3);
+        let g = barabasi_albert(n, m, 1);
+        let clique_edges = m * (m + 1) / 2;
+        assert_eq!(g.num_edges(), clique_edges + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn connected_and_skewed() {
+        let g = barabasi_albert(500, 2, 7);
+        assert!(is_connected(&g));
+        // Scale-free graphs have a hub far above the average degree.
+        assert!(g.max_degree() as f64 > 3.0 * g.avg_degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn rejects_tiny_n() {
+        barabasi_albert(2, 2, 0);
+    }
+}

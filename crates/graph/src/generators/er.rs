@@ -1,0 +1,62 @@
+//! Erdős–Rényi G(n, m) generator.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random graph with `n` vertices and (up to) `m` distinct edges,
+/// sampled by rejection; deterministic for a fixed `seed`.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n·(n−1)/2`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2 || m == 0, "need at least two vertices for edges");
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_m, "requested {m} edges but only {max_m} possible");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::new().num_vertices(n);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.push_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(50, 200, 3);
+        assert_eq!(g.num_edges(), 200);
+        assert_eq!(g.num_vertices(), 50);
+    }
+
+    #[test]
+    fn zero_edges() {
+        let g = erdos_renyi(10, 0, 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn too_many_edges_rejected() {
+        erdos_renyi(4, 10, 0);
+    }
+
+    #[test]
+    fn complete_graph_reachable() {
+        let g = erdos_renyi(5, 10, 0);
+        assert_eq!(g.num_edges(), 10);
+    }
+}

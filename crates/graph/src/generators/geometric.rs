@@ -1,0 +1,93 @@
+//! Random geometric graph — spatial structure standing in for the
+//! location-based social network (Gowalla) in the paper's table.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` points uniform in the unit square, an edge whenever two points lie
+/// within Euclidean distance `radius`. Uses a uniform grid of cell size
+/// `radius` so construction is `O(n + m)` in expectation.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let cells = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        grid[cell_of(y) * cells + cell_of(x)].push(i as u32);
+    }
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new().num_vertices(n);
+    for cy in 0..cells {
+        for cx in 0..cells {
+            let here = &grid[cy * cells + cx];
+            for (i, &u) in here.iter().enumerate() {
+                // same cell
+                for &v in &here[i + 1..] {
+                    if dist2(pts[u as usize], pts[v as usize]) <= r2 {
+                        b.push_edge(u, v);
+                    }
+                }
+                // forward neighbor cells (E, SW, S, SE) to see each pair once
+                for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
+                    let (nx, ny) = (cx as isize + dx, cy as isize + dy);
+                    if nx < 0 || ny < 0 || nx as usize >= cells || ny as usize >= cells {
+                        continue;
+                    }
+                    for &v in &grid[ny as usize * cells + nx as usize] {
+                        if dist2(pts[u as usize], pts[v as usize]) <= r2 {
+                            b.push_edge(u, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[inline]
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (dx, dy) = (a.0 - b.0, a.1 - b.1);
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_density_scales_with_radius() {
+        let small = random_geometric(500, 0.05, 1);
+        let large = random_geometric(500, 0.15, 1);
+        assert!(large.num_edges() > small.num_edges());
+    }
+
+    #[test]
+    fn matches_naive_pair_check() {
+        // Cross-check the grid against the O(n^2) definition.
+        let n = 120;
+        let radius = 0.2;
+        let g = random_geometric(n, radius, 9);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let mut naive = 0usize;
+        for i in 0..n {
+            for j in i + 1..n {
+                if dist2(pts[i], pts[j]) <= radius * radius {
+                    naive += 1;
+                }
+            }
+        }
+        assert_eq!(g.num_edges(), naive);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn rejects_bad_radius() {
+        random_geometric(10, 0.0, 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Grid / road-network-like generators.
+//!
+//! Road networks motivate the tree-decomposition and hybrid orderings
+//! (paper §III.G): near-planar, low-degree, high-diameter. A perturbed grid
+//! (random deletions plus a few diagonal shortcuts) reproduces exactly those
+//! properties.
+
+use crate::builder::GraphBuilder;
+use crate::components::extract_largest_component;
+use crate::csr::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Plain `rows × cols` 4-neighbor lattice.
+pub fn grid2d(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "grid must be non-empty");
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new().num_vertices(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.push_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.push_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Road-like grid: each lattice edge is deleted with probability
+/// `delete_p`, each cell gains a diagonal with probability `diag_p`, and
+/// the largest connected component is returned (so the result is always
+/// connected).
+pub fn perturbed_grid(rows: usize, cols: usize, delete_p: f64, diag_p: f64, seed: u64) -> Graph {
+    assert!((0.0..1.0).contains(&delete_p), "delete_p in [0,1)");
+    assert!((0.0..=1.0).contains(&diag_p), "diag_p in [0,1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new().num_vertices(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && !rng.gen_bool(delete_p) {
+                b.push_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows && !rng.gen_bool(delete_p) {
+                b.push_edge(id(r, c), id(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols && rng.gen_bool(diag_p) {
+                b.push_edge(id(r, c), id(r + 1, c + 1));
+            }
+        }
+    }
+    extract_largest_component(&b.build()).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::traversal::exact_diameter;
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan() {
+        let g = grid2d(4, 6);
+        assert_eq!(exact_diameter(&g), 3 + 5);
+    }
+
+    #[test]
+    fn perturbed_is_connected_low_degree() {
+        let g = perturbed_grid(20, 20, 0.08, 0.05, 3);
+        assert!(is_connected(&g));
+        assert!(g.max_degree() <= 8);
+        assert!(g.avg_degree() < 5.0);
+    }
+
+    #[test]
+    fn single_row_is_path() {
+        let g = grid2d(1, 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(exact_diameter(&g), 4);
+    }
+}

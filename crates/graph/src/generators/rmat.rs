@@ -1,0 +1,117 @@
+//! R-MAT recursive-matrix generator — heavy-tailed graphs with the
+//! community-of-communities structure typical of web crawls (the paper's
+//! Google, Berkstan and Indochina datasets).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Quadrant probabilities of the recursive matrix. Must sum to ~1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// top-left (both endpoints in the "dense" half)
+    pub a: f64,
+    /// top-right
+    pub b: f64,
+    /// bottom-left
+    pub c: f64,
+    /// bottom-right
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    /// The classic Graph500-style skew (0.57, 0.19, 0.19, 0.05).
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+/// Samples `m` distinct edges from an R-MAT matrix over `n` vertices
+/// (`n` is rounded up to the next power of two internally; out-of-range
+/// samples are rejected). Duplicate samples are rejected so the edge count
+/// is exact unless the matrix saturates, in which case slightly fewer edges
+/// are returned after a bounded number of attempts.
+pub fn rmat(n: usize, m: usize, p: RmatParams, seed: u64) -> Graph {
+    let sum = p.a + p.b + p.c + p.d;
+    assert!((sum - 1.0).abs() < 1e-6, "R-MAT quadrants must sum to 1");
+    assert!(n >= 2, "need at least 2 vertices");
+    let levels = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::new().num_vertices(n);
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(50).max(10_000);
+    while seen.len() < m && attempts < max_attempts {
+        attempts += 1;
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..levels {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < p.a {
+                (0, 0)
+            } else if r < p.a + p.b {
+                (0, 1)
+            } else if r < p.a + p.b + p.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u >= n || v >= n || u == v {
+            continue;
+        }
+        let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        if seen.insert(key) {
+            b.push_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_edges() {
+        let g = rmat(512, 2000, RmatParams::default(), 11);
+        assert_eq!(g.num_edges(), 2000);
+        assert!(g.num_vertices() <= 512);
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        let g = rmat(1024, 4000, RmatParams::default(), 5);
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn non_power_of_two_vertices() {
+        let g = rmat(300, 500, RmatParams::default(), 2);
+        assert!(g.num_vertices() <= 300);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_params() {
+        rmat(
+            64,
+            10,
+            RmatParams {
+                a: 0.5,
+                b: 0.5,
+                c: 0.5,
+                d: 0.5,
+            },
+            0,
+        );
+    }
+}

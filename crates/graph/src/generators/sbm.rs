@@ -1,0 +1,96 @@
+//! Planted-partition stochastic block model — community-structured graphs
+//! standing in for the coauthorship network (DBLP) in the paper's table.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `blocks` equal-sized communities over `n` vertices. Each vertex draws
+/// `intra_degree` expected within-community edges and `inter_degree`
+/// expected cross-community edges (both sampled with rejection so the graph
+/// stays simple).
+pub fn planted_partition(
+    n: usize,
+    blocks: usize,
+    intra_degree: f64,
+    inter_degree: f64,
+    seed: u64,
+) -> Graph {
+    assert!(blocks >= 1 && n >= 2 * blocks, "blocks must fit in n");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let block_size = n / blocks;
+    let block_of = |v: usize| (v / block_size).min(blocks - 1);
+    let m_intra = ((n as f64 * intra_degree) / 2.0).round() as usize;
+    let m_inter = ((n as f64 * inter_degree) / 2.0).round() as usize;
+    let mut seen = std::collections::HashSet::with_capacity((m_intra + m_inter) * 2);
+    let mut b = GraphBuilder::new().num_vertices(n);
+
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let budget = m_intra.saturating_mul(60).max(10_000);
+    while placed < m_intra && attempts < budget {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let lo = block_of(u) * block_size;
+        let hi = if block_of(u) == blocks - 1 { n } else { lo + block_size };
+        let v = rng.gen_range(lo..hi);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v) as u32, u.max(v) as u32);
+        if seen.insert(key) {
+            b.push_edge(key.0, key.1);
+            placed += 1;
+        }
+    }
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let budget = m_inter.saturating_mul(60).max(10_000);
+    while placed < m_inter && attempts < budget {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || block_of(u) == block_of(v) {
+            continue;
+        }
+        let key = (u.min(v) as u32, u.max(v) as u32);
+        if seen.insert(key) {
+            b.push_edge(key.0, key.1);
+            placed += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn community_bias_present() {
+        let g = planted_partition(400, 4, 10.0, 1.0, 1);
+        let block = |v: u32| v / 100;
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v) in g.edges() {
+            if block(u) == block(v) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 4 * inter, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn approximate_average_degree() {
+        let g = planted_partition(1000, 5, 6.0, 2.0, 2);
+        assert!((g.avg_degree() - 8.0).abs() < 1.0, "avg {}", g.avg_degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "fit")]
+    fn rejects_too_many_blocks() {
+        planted_partition(10, 8, 1.0, 1.0, 0);
+    }
+}

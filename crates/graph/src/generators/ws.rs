@@ -1,0 +1,76 @@
+//! Watts–Strogatz small-world generator.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Small-world ring lattice: each vertex connects to its `k` nearest ring
+/// neighbors on each side... (total degree `2k` before rewiring); each edge
+/// is rewired to a random endpoint with probability `beta`. The ring is kept
+/// intact for `beta < 1` rewiring of the *far* endpoint only, so the result
+/// stays connected with overwhelming probability; we keep the lattice edge
+/// when rewiring would create a duplicate or self-loop.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new().num_vertices(n);
+    let mut seen = std::collections::HashSet::new();
+    for u in 0..n as u32 {
+        for j in 1..=k as u32 {
+            let v = (u + j) % n as u32;
+            let target = if rng.gen_bool(beta) {
+                let w = rng.gen_range(0..n as u32);
+                if w != u {
+                    w
+                } else {
+                    v
+                }
+            } else {
+                v
+            };
+            let key = if u < target { (u, target) } else { (target, u) };
+            if key.0 != key.1 && seen.insert(key) {
+                b.push_edge(key.0, key.1);
+            } else if seen.insert(if u < v { (u, v) } else { (v, u) }) {
+                // fall back to the lattice edge so the ring stays intact
+                b.push_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::traversal::double_sweep_diameter;
+
+    #[test]
+    fn no_rewiring_is_ring_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 0);
+        assert_eq!(g.num_edges(), 40);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 19));
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let lattice = watts_strogatz(400, 2, 0.0, 1);
+        let small = watts_strogatz(400, 2, 0.3, 1);
+        assert!(is_connected(&small));
+        assert!(
+            double_sweep_diameter(&small, 0) < double_sweep_diameter(&lattice, 0),
+            "rewired graph should be smaller-world"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "2k < n")]
+    fn rejects_oversized_k() {
+        watts_strogatz(6, 3, 0.0, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Graph I/O: SNAP-style edge-list text files and a compact binary CSR
+//! snapshot.
+//!
+//! The text reader accepts the format of the paper's data sources
+//! (SNAP/KONECT): one `u v` pair per line, `#` or `%` comment lines,
+//! arbitrary whitespace, directed duplicates tolerated (the builder
+//! symmetrizes).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic prefix of the binary CSR snapshot format.
+const MAGIC: &[u8; 8] = b"PSPCGRF1";
+
+/// Parses an edge list from any reader. Lines starting with `#` or `%` are
+/// comments; blank lines are skipped; each data line must contain at least
+/// two integers (extra columns such as weights/timestamps are ignored).
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Graph> {
+    let mut b = GraphBuilder::new();
+    let buf = BufReader::new(reader);
+    let mut line = String::new();
+    let mut buf = buf;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u = parse_vertex(it.next(), lineno)?;
+        let v = parse_vertex(it.next(), lineno)?;
+        b.push_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+fn parse_vertex(tok: Option<&str>, lineno: usize) -> io::Result<VertexId> {
+    tok.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {lineno}: expected two vertex ids"),
+        )
+    })?
+    .parse::<VertexId>()
+    .map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {lineno}: bad vertex id: {e}"),
+        )
+    })
+}
+
+/// Reads an edge-list file from disk.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> io::Result<Graph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes the graph as an edge list (each undirected edge once, `u < v`).
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# pspc edge list: {} vertices {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+/// Serializes the CSR arrays into a compact little-endian binary snapshot.
+pub fn to_binary(g: &Graph) -> Bytes {
+    let n = g.num_vertices();
+    let mut buf = BytesMut::with_capacity(16 + (n + 1) * 8 + g.num_arcs() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(g.num_arcs() as u64);
+    let mut off = 0u64;
+    buf.put_u64_le(0);
+    for v in 0..n as VertexId {
+        off += g.degree(v) as u64;
+        buf.put_u64_le(off);
+    }
+    for v in 0..n as VertexId {
+        for &w in g.neighbors(v) {
+            buf.put_u32_le(w);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a snapshot produced by [`to_binary`].
+pub fn from_binary(mut data: Bytes) -> io::Result<Graph> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.len() < 24 || &data[..8] != MAGIC {
+        return Err(bad("not a PSPC graph snapshot"));
+    }
+    data.advance(8);
+    let n = data.get_u64_le() as usize;
+    let arcs = data.get_u64_le() as usize;
+    let need = (n + 1) * 8 + arcs * 4;
+    if data.len() < need {
+        return Err(bad("truncated graph snapshot"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(data.get_u64_le());
+    }
+    if *offsets.last().unwrap() as usize != arcs {
+        return Err(bad("inconsistent arc count"));
+    }
+    let mut targets = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        targets.push(data.get_u32_le());
+    }
+    for w in offsets.windows(2) {
+        if w[0] > w[1] {
+            return Err(bad("offsets not monotone"));
+        }
+    }
+    if targets.iter().any(|&t| t as usize >= n) {
+        return Err(bad("target vertex out of range"));
+    }
+    Ok(Graph::from_csr_parts(offsets, targets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+
+    #[test]
+    fn round_trip_text() {
+        let g = erdos_renyi(60, 150, 8);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn parses_comments_and_extra_columns() {
+        let text = "# comment\n% other comment\n\n0 1 17 42\n1\t2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("7\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn directed_duplicates_collapse() {
+        let g = read_edge_list("0 1\n1 0\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn round_trip_binary() {
+        let g = erdos_renyi(80, 200, 9);
+        let bin = to_binary(&g);
+        let g2 = from_binary(bin).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = erdos_renyi(10, 20, 1);
+        let bin = to_binary(&g);
+        assert!(from_binary(bin.slice(..10)).is_err());
+        let mut tampered = bin.to_vec();
+        tampered[0] = b'X';
+        assert!(from_binary(Bytes::from(tampered)).is_err());
+    }
+}

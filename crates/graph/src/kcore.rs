@@ -1,0 +1,253 @@
+//! k-core decomposition and 1-shell (forest fringe) peeling.
+//!
+//! The 1-shell reduction of the paper (§IV.A) divides `G` into a core and a
+//! fringe of trees, each tree attached to the core by at most one edge. This
+//! module produces the peeling metadata (parent pointers toward the core,
+//! anchors, depths); the query-side wrapper lives in `pspc-core`.
+
+use crate::csr::{Graph, VertexId};
+
+/// Result of iteratively peeling degree-1 vertices.
+#[derive(Clone, Debug)]
+pub struct OneShell {
+    /// `true` for vertices that survive peeling (the 2-core plus fully
+    /// peeled tree remnants, which stay as isolated core vertices).
+    pub in_core: Vec<bool>,
+    /// For a peeled vertex, the neighbor it was attached to when removed
+    /// (one step toward the core); `u32::MAX` for core vertices.
+    pub parent: Vec<VertexId>,
+    /// The core vertex each vertex's fringe tree hangs off (`anchor[v] = v`
+    /// for core vertices). The paper writes this mapping as `shr(v)`.
+    pub anchor: Vec<VertexId>,
+    /// Hop distance to the anchor (0 for core vertices).
+    pub depth: Vec<u16>,
+}
+
+impl OneShell {
+    /// Number of peeled (fringe) vertices.
+    pub fn num_fringe(&self) -> usize {
+        self.in_core.iter().filter(|&&c| !c).count()
+    }
+}
+
+/// Iteratively removes degree-1 vertices until none remain, recording the
+/// attachment structure of the removed forest fringe.
+pub fn peel_one_shell(g: &Graph) -> OneShell {
+    let n = g.num_vertices();
+    let mut deg: Vec<u32> = g.degrees();
+    let mut removed = vec![false; n];
+    let mut parent = vec![VertexId::MAX; n];
+    let mut queue: Vec<VertexId> = (0..n as VertexId).filter(|&v| deg[v as usize] == 1).collect();
+    while let Some(u) = queue.pop() {
+        if removed[u as usize] || deg[u as usize] != 1 {
+            // Degree may have dropped to 0 if its last neighbor was peeled
+            // first; such a vertex stays in the core as an isolated remnant.
+            continue;
+        }
+        let p = g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .find(|&w| !removed[w as usize])
+            .expect("degree-1 vertex must have a live neighbor");
+        removed[u as usize] = true;
+        parent[u as usize] = p;
+        deg[u as usize] = 0;
+        deg[p as usize] -= 1;
+        if deg[p as usize] == 1 {
+            queue.push(p);
+        }
+    }
+    // Resolve anchors and depths by walking parent chains with memoization:
+    // unresolved vertices along the walk are stacked, then labeled from the
+    // first resolved ancestor outward.
+    let mut anchor = vec![VertexId::MAX; n];
+    let mut depth = vec![0u16; n];
+    for v in 0..n as VertexId {
+        if !removed[v as usize] {
+            anchor[v as usize] = v;
+        }
+    }
+    let mut path = Vec::new();
+    for v in 0..n as VertexId {
+        if anchor[v as usize] != VertexId::MAX {
+            continue;
+        }
+        let mut cur = v;
+        while anchor[cur as usize] == VertexId::MAX {
+            path.push(cur);
+            cur = parent[cur as usize];
+        }
+        let a = anchor[cur as usize];
+        let mut d = depth[cur as usize];
+        while let Some(u) = path.pop() {
+            d = d.saturating_add(1);
+            anchor[u as usize] = a;
+            depth[u as usize] = d;
+        }
+    }
+    OneShell {
+        in_core: removed.iter().map(|&r| !r).collect(),
+        parent,
+        anchor,
+        depth,
+    }
+}
+
+/// Coreness number of each vertex (the largest `k` such that the vertex
+/// belongs to the k-core), by bucketed peeling in `O(m)`.
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg: Vec<u32> = g.degrees();
+    let max_deg = *deg.iter().max().unwrap() as usize;
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bin[d as usize + 1] += 1;
+    }
+    for i in 0..=max_deg {
+        bin[i + 1] += bin[i];
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as VertexId; n];
+    let mut cursor = bin.clone();
+    for v in 0..n {
+        let d = deg[v] as usize;
+        pos[v] = cursor[d];
+        vert[pos[v]] = v as VertexId;
+        cursor[d] += 1;
+    }
+    let mut start = bin; // start[d] = first index of degree-d block
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = deg[v as usize];
+        for &u in g.neighbors(v) {
+            if deg[u as usize] > deg[v as usize] {
+                let du = deg[u as usize] as usize;
+                let pu = pos[u as usize];
+                let pw = start[du];
+                let w = vert[pw];
+                if u != w {
+                    vert.swap(pu, pw);
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                start[du] += 1;
+                deg[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The k-core subgraph (vertices with coreness ≥ k) and its id mapping.
+pub fn k_core(g: &Graph, k: u32) -> (Graph, Vec<VertexId>) {
+    let core = core_numbers(g);
+    let keep: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| core[v as usize] >= k)
+        .collect();
+    g.induced_subgraph(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Triangle with a path tail: 0-1-2 triangle, tail 2-3-4.
+    fn lollipop() -> Graph {
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+            .build()
+    }
+
+    #[test]
+    fn peel_tail_off_lollipop() {
+        let s = peel_one_shell(&lollipop());
+        assert_eq!(s.in_core, vec![true, true, true, false, false]);
+        assert_eq!(s.anchor[3], 2);
+        assert_eq!(s.anchor[4], 2);
+        assert_eq!(s.depth[3], 1);
+        assert_eq!(s.depth[4], 2);
+        assert_eq!(s.parent[4], 3);
+        assert_eq!(s.parent[3], 2);
+        assert_eq!(s.num_fringe(), 2);
+    }
+
+    #[test]
+    fn pure_tree_leaves_one_remnant() {
+        // star 0-(1,2,3)
+        let g = GraphBuilder::new().edges([(0, 1), (0, 2), (0, 3)]).build();
+        let s = peel_one_shell(&g);
+        let core_cnt = s.in_core.iter().filter(|&&c| c).count();
+        assert_eq!(core_cnt, 1, "a tree peels down to exactly one vertex");
+        for v in 0..4u32 {
+            if !s.in_core[v as usize] {
+                assert!(s.in_core[s.anchor[v as usize] as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn two_vertex_path_keeps_one() {
+        let g = GraphBuilder::new().edge(0, 1).build();
+        let s = peel_one_shell(&g);
+        assert_eq!(s.in_core.iter().filter(|&&c| c).count(), 1);
+        assert_eq!(s.num_fringe(), 1);
+    }
+
+    #[test]
+    fn cycle_is_all_core() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
+        let s = peel_one_shell(&g);
+        assert!(s.in_core.iter().all(|&c| c));
+        assert!(s.depth.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn core_numbers_lollipop() {
+        let c = core_numbers(&lollipop());
+        assert_eq!(c, vec![2, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn core_numbers_clique() {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.push_edge(u, v);
+            }
+        }
+        let c = core_numbers(&b.build());
+        assert!(c.iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    fn k_core_extraction() {
+        let (core2, ids) = k_core(&lollipop(), 2);
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(core2.num_edges(), 3);
+    }
+
+    #[test]
+    fn depths_consistent_with_parents() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (3, 5), (5, 6)])
+            .build();
+        let s = peel_one_shell(&g);
+        for v in 0..g.num_vertices() as u32 {
+            if !s.in_core[v as usize] {
+                let p = s.parent[v as usize];
+                let pd = s.depth[p as usize];
+                assert_eq!(s.depth[v as usize], pd + 1, "depth chain broken at {v}");
+                assert_eq!(s.anchor[v as usize], s.anchor[p as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # pspc-graph
+//!
+//! Graph substrate for the PSPC reproduction (Peng, Yu & Wang, ICDE 2023):
+//! compact CSR storage for unweighted undirected graphs, seeded random
+//! generators standing in for the paper's datasets, traversal primitives,
+//! 1-shell/k-core peeling, and a brute-force shortest-path-counting oracle
+//! that serves as the ground truth for every index in the workspace.
+//!
+//! ```
+//! use pspc_graph::{GraphBuilder, spc_bfs};
+//!
+//! // The diamond 0-{1,2}-3 has two shortest paths from 0 to 3.
+//! let g = GraphBuilder::new().edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build();
+//! let ans = spc_bfs::spc_pair(&g, 0, 3);
+//! assert_eq!((ans.dist, ans.count), (2, 2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod digraph;
+pub mod generators;
+pub mod io;
+pub mod kcore;
+pub mod spc_bfs;
+pub mod stats;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, VertexId};
+pub use spc_bfs::SpcAnswer;
+pub use stats::GraphStats;

@@ -1,0 +1,227 @@
+//! Brute-force shortest-path counting by BFS — the ground truth every index
+//! in this workspace is validated against.
+//!
+//! `spc(s, t)` is computed with the standard counting BFS: when a vertex is
+//! discovered its count is the sum of the counts of its predecessors on the
+//! previous level. The weighted variant multiplies through *internal*
+//! vertices' multiplicities, matching the semantics required by the
+//! neighborhood-equivalence reduction (paper §IV.B).
+
+use crate::csr::{Graph, VertexId};
+use crate::traversal::UNREACHABLE;
+
+/// A `(distance, count)` shortest-path-counting answer.
+///
+/// `dist == u16::MAX` means unreachable (`count == 0`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpcAnswer {
+    /// Shortest distance in hops, `u16::MAX` if disconnected.
+    pub dist: u16,
+    /// Number of shortest paths (saturating `u64`), 0 if disconnected.
+    pub count: u64,
+}
+
+impl SpcAnswer {
+    /// The answer for an unreachable pair.
+    pub const UNREACHABLE: SpcAnswer = SpcAnswer {
+        dist: u16::MAX,
+        count: 0,
+    };
+
+    /// Whether the pair is connected.
+    pub fn is_reachable(&self) -> bool {
+        self.dist != u16::MAX
+    }
+}
+
+/// Counting BFS from `src`: distances and shortest-path counts to every
+/// vertex. Counts saturate at `u64::MAX`.
+pub fn spc_from_source(g: &Graph, src: VertexId) -> (Vec<u16>, Vec<u64>) {
+    spc_from_source_weighted(g, src, None)
+}
+
+/// Weighted counting BFS: vertex `v`'s multiplicity `w(v)` multiplies every
+/// path in which `v` appears as an *internal* vertex (endpoints excluded).
+/// `weights == None` means all multiplicities are 1.
+pub fn spc_from_source_weighted(
+    g: &Graph,
+    src: VertexId,
+    weights: Option<&[u64]>,
+) -> (Vec<u16>, Vec<u64>) {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut count = vec![0u64; n];
+    let mut frontier = vec![src];
+    dist[src as usize] = 0;
+    count[src as usize] = 1;
+    let mut next: Vec<VertexId> = Vec::new();
+    let mut d: u16 = 0;
+    while !frontier.is_empty() {
+        d += 1;
+        for &u in &frontier {
+            // Extending a path s..u to s..u-v makes u internal, so its
+            // multiplicity applies now (never the endpoint v's).
+            let c_thru = match weights {
+                Some(w) if u != src => count[u as usize].saturating_mul(w[u as usize]),
+                _ => count[u as usize],
+            };
+            for &v in g.neighbors(u) {
+                let dv = &mut dist[v as usize];
+                if *dv == UNREACHABLE {
+                    *dv = d;
+                    count[v as usize] = c_thru;
+                    next.push(v);
+                } else if *dv == d {
+                    count[v as usize] = count[v as usize].saturating_add(c_thru);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    (dist, count)
+}
+
+/// Point-to-point brute-force SPC.
+pub fn spc_pair(g: &Graph, s: VertexId, t: VertexId) -> SpcAnswer {
+    spc_pair_weighted(g, s, t, None)
+}
+
+/// Point-to-point brute-force SPC with vertex multiplicities.
+pub fn spc_pair_weighted(g: &Graph, s: VertexId, t: VertexId, weights: Option<&[u64]>) -> SpcAnswer {
+    if s == t {
+        return SpcAnswer { dist: 0, count: 1 };
+    }
+    let (dist, count) = spc_from_source_weighted(g, s, weights);
+    if dist[t as usize] == UNREACHABLE {
+        SpcAnswer::UNREACHABLE
+    } else {
+        SpcAnswer {
+            dist: dist[t as usize],
+            count: count[t as usize],
+        }
+    }
+}
+
+/// All-pairs brute-force SPC, `n` counting BFS runs — test-sized graphs only.
+pub fn spc_all_pairs(g: &Graph) -> Vec<Vec<SpcAnswer>> {
+    let n = g.num_vertices();
+    (0..n as VertexId)
+        .map(|s| {
+            let (dist, count) = spc_from_source(g, s);
+            (0..n)
+                .map(|t| {
+                    if t == s as usize {
+                        SpcAnswer { dist: 0, count: 1 }
+                    } else if dist[t] == UNREACHABLE {
+                        SpcAnswer::UNREACHABLE
+                    } else {
+                        SpcAnswer {
+                            dist: dist[t],
+                            count: count[t],
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Figure 1 of the paper: s–t2 has two shortest paths, s–t1 one.
+    #[test]
+    fn figure1_motivating_example() {
+        // s=0, t1=1, v1=2, v2=3, v3=4, v4=5, t2=6
+        let g = GraphBuilder::new()
+            .edges([(0, 2), (2, 1), (0, 3), (0, 4), (3, 5), (4, 5), (5, 6)])
+            .build();
+        // t1 at distance 2 with 1 path; v4(5) at distance 2 with 2 paths.
+        assert_eq!(spc_pair(&g, 0, 1), SpcAnswer { dist: 2, count: 1 });
+        assert_eq!(spc_pair(&g, 0, 5), SpcAnswer { dist: 2, count: 2 });
+        assert_eq!(spc_pair(&g, 0, 6), SpcAnswer { dist: 3, count: 2 });
+    }
+
+    #[test]
+    fn cycle_has_two_paths_to_antipode() {
+        let n = 6u32;
+        let g = GraphBuilder::new()
+            .edges((0..n).map(|i| (i, (i + 1) % n)))
+            .build();
+        assert_eq!(spc_pair(&g, 0, 3), SpcAnswer { dist: 3, count: 2 });
+        assert_eq!(spc_pair(&g, 0, 2), SpcAnswer { dist: 2, count: 1 });
+    }
+
+    #[test]
+    fn hypercube_counts_factorial_paths() {
+        // 3-dimensional hypercube: spc between antipodes = 3! = 6.
+        let mut b = GraphBuilder::new();
+        for u in 0u32..8 {
+            for bit in 0..3 {
+                let v = u ^ (1 << bit);
+                b.push_edge(u, v);
+            }
+        }
+        let g = b.build();
+        assert_eq!(spc_pair(&g, 0, 7), SpcAnswer { dist: 3, count: 6 });
+        assert_eq!(spc_pair(&g, 0, 3), SpcAnswer { dist: 2, count: 2 });
+    }
+
+    #[test]
+    fn self_pair_is_one_empty_path() {
+        let g = GraphBuilder::new().edge(0, 1).build();
+        assert_eq!(spc_pair(&g, 0, 0), SpcAnswer { dist: 0, count: 1 });
+    }
+
+    #[test]
+    fn unreachable_pair() {
+        let g = GraphBuilder::new().num_vertices(3).edge(0, 1).build();
+        assert_eq!(spc_pair(&g, 0, 2), SpcAnswer::UNREACHABLE);
+        assert!(!spc_pair(&g, 0, 2).is_reachable());
+    }
+
+    #[test]
+    fn weighted_counts_multiply_internal_vertices() {
+        // path 0-1-2: vertex 1 has multiplicity 3 => spc(0,2) = 3.
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2)]).build();
+        let w = vec![5, 3, 7]; // endpoint weights must NOT contribute
+        assert_eq!(
+            spc_pair_weighted(&g, 0, 2, Some(&w)),
+            SpcAnswer { dist: 2, count: 3 }
+        );
+        assert_eq!(
+            spc_pair_weighted(&g, 0, 1, Some(&w)),
+            SpcAnswer { dist: 1, count: 1 }
+        );
+    }
+
+    #[test]
+    fn weighted_diamond() {
+        // 0-{1,2}-3 with w(1)=2, w(2)=5 => spc(0,3)=7.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
+        let w = vec![1, 2, 5, 1];
+        assert_eq!(
+            spc_pair_weighted(&g, 0, 3, Some(&w)),
+            SpcAnswer { dist: 2, count: 7 }
+        );
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn all_pairs_symmetric() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+            .build();
+        let ap = spc_all_pairs(&g);
+        for s in 0..4 {
+            for t in 0..4 {
+                assert_eq!(ap[s][t], ap[t][s], "asymmetry at ({s},{t})");
+            }
+        }
+    }
+}

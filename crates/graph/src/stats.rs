@@ -1,0 +1,100 @@
+//! Summary statistics used by the dataset table (paper Table III) and the
+//! experiment harness.
+
+use crate::components::connected_components;
+use crate::csr::Graph;
+use crate::traversal::double_sweep_diameter;
+use serde::{Deserialize, Serialize};
+
+/// Dataset-level statistics in the shape of the paper's Table III.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// `|V|`
+    pub num_vertices: usize,
+    /// `|E|`
+    pub num_edges: usize,
+    /// `d_avg = 2|E| / |V|`
+    pub avg_degree: f64,
+    /// maximum degree
+    pub max_degree: usize,
+    /// number of connected components
+    pub num_components: usize,
+    /// double-sweep diameter lower bound of the component of vertex 0
+    pub diameter_estimate: u16,
+}
+
+impl GraphStats {
+    /// Computes all statistics for `g`.
+    pub fn compute(g: &Graph) -> GraphStats {
+        let (_, num_components) = connected_components(g);
+        GraphStats {
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            avg_degree: g.avg_degree(),
+            max_degree: g.max_degree(),
+            num_components,
+            diameter_estimate: if g.num_vertices() > 0 {
+                double_sweep_diameter(g, 0)
+            } else {
+                0
+            },
+        }
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Fraction of vertices with degree at least `k`.
+pub fn degree_tail_fraction(g: &Graph, k: usize) -> f64 {
+    if g.num_vertices() == 0 {
+        return 0.0;
+    }
+    let cnt = g.vertices().filter(|&v| g.degree(v) >= k).count();
+    cnt as f64 / g.num_vertices() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3)])
+            .build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.num_components, 1);
+        assert_eq!(s.diameter_estimate, 3);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+            .build();
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.num_vertices());
+        assert_eq!(h[3], 1); // vertex 0
+        assert_eq!(h[1], 1); // vertex 3
+    }
+
+    #[test]
+    fn tail_fraction() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3)])
+            .build();
+        assert!((degree_tail_fraction(&g, 3) - 0.25).abs() < 1e-12);
+        assert_eq!(degree_tail_fraction(&g, 0), 1.0);
+    }
+}

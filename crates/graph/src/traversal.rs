@@ -1,0 +1,161 @@
+//! Breadth-first traversal utilities: single-source distances,
+//! level-synchronous frontiers and a double-sweep diameter estimate.
+
+use crate::csr::{Graph, VertexId};
+
+/// Sentinel distance for unreachable vertices.
+pub const UNREACHABLE: u16 = u16::MAX;
+
+/// Single-source BFS distances as `u16` hops ([`UNREACHABLE`] if not
+/// connected to `src`). Saturates at `u16::MAX - 1` (far beyond the diameter
+/// of any graph this library targets).
+pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<u16> {
+    let mut dist = vec![UNREACHABLE; g.num_vertices()];
+    bfs_distances_into(g, src, &mut dist);
+    dist
+}
+
+/// Same as [`bfs_distances`] but reuses a caller-provided buffer (filled
+/// with [`UNREACHABLE`] first), avoiding allocation in hot loops.
+pub fn bfs_distances_into(g: &Graph, src: VertexId, dist: &mut [u16]) {
+    assert_eq!(dist.len(), g.num_vertices());
+    dist.fill(UNREACHABLE);
+    let mut frontier = vec![src];
+    dist[src as usize] = 0;
+    let mut next = Vec::new();
+    let mut d: u16 = 0;
+    while !frontier.is_empty() {
+        d = d.saturating_add(1).min(u16::MAX - 1);
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == UNREACHABLE {
+                    dist[v as usize] = d;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+}
+
+/// BFS that visits level by level, invoking `on_level(d, &frontier)` for
+/// each non-empty level `d` (level 0 is `[src]`).
+pub fn bfs_levels(g: &Graph, src: VertexId, mut on_level: impl FnMut(u16, &[VertexId])) {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut frontier = vec![src];
+    seen[src as usize] = true;
+    let mut next = Vec::new();
+    let mut d: u16 = 0;
+    while !frontier.is_empty() {
+        on_level(d, &frontier);
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+        d = d.saturating_add(1);
+    }
+}
+
+/// Eccentricity of `src` within its connected component.
+pub fn eccentricity(g: &Graph, src: VertexId) -> u16 {
+    bfs_distances(g, src)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `src`, then BFS from
+/// the farthest vertex found. Exact on trees, a tight lower bound in
+/// practice on small-world graphs.
+pub fn double_sweep_diameter(g: &Graph, src: VertexId) -> u16 {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let d1 = bfs_distances(g, src);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(src);
+    eccentricity(g, far)
+}
+
+/// Exact diameter of the graph restricted to the component of each vertex
+/// (max eccentricity over all vertices). `O(n·m)` — test-sized graphs only.
+pub fn exact_diameter(g: &Graph) -> u16 {
+    (0..g.num_vertices() as VertexId)
+        .map(|v| eccentricity(g, v))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path(n: u32) -> Graph {
+        GraphBuilder::new().edges((0..n - 1).map(|i| (i, i + 1))).build()
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = GraphBuilder::new().num_vertices(4).edge(0, 1).build();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn levels_cover_all_reachable() {
+        let g = path(6);
+        let mut total = 0;
+        bfs_levels(&g, 2, |d, f| {
+            if d == 0 {
+                assert_eq!(f, &[2]);
+            }
+            total += f.len();
+        });
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_path() {
+        let g = path(9);
+        assert_eq!(double_sweep_diameter(&g, 4), 8);
+        assert_eq!(exact_diameter(&g), 8);
+    }
+
+    #[test]
+    fn eccentricity_center_of_star() {
+        let g = GraphBuilder::new().edges((1..8).map(|i| (0, i))).build();
+        assert_eq!(eccentricity(&g, 0), 1);
+        assert_eq!(eccentricity(&g, 3), 2);
+        assert_eq!(exact_diameter(&g), 2);
+    }
+
+    #[test]
+    fn reuse_buffer() {
+        let g = path(4);
+        let mut buf = vec![0u16; 4];
+        bfs_distances_into(&g, 3, &mut buf);
+        assert_eq!(buf, vec![3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based invariants of the graph substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use pspc_graph::components::{connect_components, connected_components, is_connected};
+use pspc_graph::kcore::{core_numbers, peel_one_shell};
+use pspc_graph::spc_bfs::{spc_from_source, spc_pair};
+use pspc_graph::traversal::{bfs_distances, UNREACHABLE};
+use pspc_graph::{Graph, GraphBuilder};
+
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| GraphBuilder::new().num_vertices(n).edges(edges).build())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The builder always produces a structurally valid CSR.
+    #[test]
+    fn builder_output_validates(g in arb_graph(60, 240)) {
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// Degrees sum to twice the edge count (handshake lemma).
+    #[test]
+    fn handshake_lemma(g in arb_graph(60, 240)) {
+        let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.num_edges());
+    }
+
+    /// SPC distance equals plain BFS distance everywhere.
+    #[test]
+    fn spc_distance_is_bfs_distance(g in arb_graph(40, 140)) {
+        let (d_spc, counts) = spc_from_source(&g, 0);
+        let d_bfs = bfs_distances(&g, 0);
+        prop_assert_eq!(&d_spc, &d_bfs);
+        // Reachable vertices have nonzero counts, unreachable zero.
+        for v in 0..g.num_vertices() {
+            if d_bfs[v] != UNREACHABLE {
+                prop_assert!(counts[v] >= 1);
+            } else {
+                prop_assert_eq!(counts[v], 0);
+            }
+        }
+    }
+
+    /// SPC is symmetric on undirected graphs.
+    #[test]
+    fn spc_symmetry(g in arb_graph(30, 90), s in 0u32..30, t in 0u32..30) {
+        let n = g.num_vertices() as u32;
+        let (s, t) = (s % n, t % n);
+        prop_assert_eq!(spc_pair(&g, s, t), spc_pair(&g, t, s));
+    }
+
+    /// Relabeling by any permutation preserves SPC answers.
+    #[test]
+    fn relabel_preserves_spc(g in arb_graph(25, 80), seed in 0u64..100) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = g.num_vertices();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let r = g.relabel(&perm);
+        let mut inv = vec![0u32; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        for s in 0..n as u32 {
+            for t in 0..n as u32 {
+                prop_assert_eq!(
+                    spc_pair(&g, s, t),
+                    spc_pair(&r, inv[s as usize], inv[t as usize])
+                );
+            }
+        }
+    }
+
+    /// connect_components always yields a connected graph and preserves
+    /// all original edges.
+    #[test]
+    fn connect_components_connects(g in arb_graph(50, 100)) {
+        let c = connect_components(&g);
+        prop_assert!(is_connected(&c));
+        for (u, v) in g.edges() {
+            prop_assert!(c.has_edge(u, v));
+        }
+    }
+
+    /// Component ids are consistent: same component iff BFS-reachable.
+    #[test]
+    fn components_match_reachability(g in arb_graph(40, 80)) {
+        let (comp, _) = connected_components(&g);
+        let d0 = bfs_distances(&g, 0);
+        for v in 0..g.num_vertices() {
+            prop_assert_eq!(comp[v] == comp[0], d0[v] != UNREACHABLE);
+        }
+    }
+
+    /// 1-shell peeling invariants: anchors are core vertices, parents step
+    /// toward the core, depths are consistent, and the core has no
+    /// degree-1 vertex with respect to the core subgraph.
+    #[test]
+    fn one_shell_invariants(g in arb_graph(50, 120)) {
+        let s = peel_one_shell(&g);
+        let n = g.num_vertices();
+        for v in 0..n as u32 {
+            if s.in_core[v as usize] {
+                prop_assert_eq!(s.anchor[v as usize], v);
+                prop_assert_eq!(s.depth[v as usize], 0);
+            } else {
+                let p = s.parent[v as usize];
+                prop_assert!(p != u32::MAX);
+                prop_assert!(g.has_edge(v, p));
+                prop_assert_eq!(s.depth[v as usize], s.depth[p as usize] + 1);
+                let a = s.anchor[v as usize];
+                prop_assert!(s.in_core[a as usize]);
+            }
+        }
+        // Core subgraph: every vertex has core-degree != 1.
+        for v in 0..n as u32 {
+            if s.in_core[v as usize] {
+                let cd = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&w| s.in_core[w as usize])
+                    .count();
+                prop_assert!(cd != 1, "core vertex {v} has core degree 1");
+            }
+        }
+    }
+
+    /// Coreness numbers: a vertex's coreness never exceeds its degree and
+    /// the k-core property holds (within the subgraph of coreness >= k,
+    /// every vertex has >= k neighbors, for k = max coreness).
+    #[test]
+    fn core_numbers_invariants(g in arb_graph(40, 160)) {
+        let core = core_numbers(&g);
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert!(core[v as usize] as usize <= g.degree(v));
+        }
+        if let Some(&kmax) = core.iter().max() {
+            for v in 0..g.num_vertices() as u32 {
+                if core[v as usize] == kmax && kmax > 0 {
+                    let inside = g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&w| core[w as usize] >= kmax)
+                        .count();
+                    prop_assert!(inside as u32 >= kmax);
+                }
+            }
+        }
+    }
+
+    /// Edge-list text I/O round-trips every graph.
+    #[test]
+    fn io_round_trip(g in arb_graph(40, 120)) {
+        use pspc_graph::io;
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = io::read_edge_list(&buf[..]).unwrap();
+        // Isolated trailing vertices are not representable in an edge
+        // list; compare edge sets and reachable structure.
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        prop_assert_eq!(e1, e2);
+    }
+
+    /// Binary snapshot I/O round-trips exactly (including isolated
+    /// vertices).
+    #[test]
+    fn binary_round_trip(g in arb_graph(40, 120)) {
+        use pspc_graph::io;
+        let g2 = io::from_binary(io::to_binary(&g)).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,47 @@
+//! Degree-based vertex ordering (paper §III.G, *Degree-Based Scheme*).
+//!
+//! "Vertices with a higher degree have stronger connections to many other
+//! vertices, and as a result, many shortest paths will pass through them" —
+//! so high-degree vertices receive the *highest* ranks (rank 0 = largest
+//! degree). Ties break by vertex id for determinism.
+
+use crate::rank::VertexOrder;
+use pspc_graph::{Graph, VertexId};
+
+/// Descending-degree total order.
+pub fn degree_order(g: &Graph) -> VertexOrder {
+    let mut vs: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    vs.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    VertexOrder::from_order(vs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspc_graph::GraphBuilder;
+
+    #[test]
+    fn hub_ranked_first() {
+        // star with center 3
+        let g = GraphBuilder::new()
+            .edges([(3, 0), (3, 1), (3, 2), (0, 1)])
+            .build();
+        let o = degree_order(&g);
+        assert_eq!(o.vertex_at(0), 3);
+        assert!(o.higher(3, 2));
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let g = GraphBuilder::new().edges([(0, 1), (2, 3)]).build();
+        let o = degree_order(&g);
+        assert_eq!(o.order(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn covers_all_vertices() {
+        let g = GraphBuilder::new().num_vertices(7).edge(0, 1).build();
+        let o = degree_order(&g);
+        assert_eq!(o.len(), 7);
+    }
+}

@@ -1,0 +1,94 @@
+//! Hybrid vertex ordering — paper §III.G, *Hybrid Vertex Ordering*.
+//!
+//! Vertices split by a degree threshold `δ`: the **core** (degree > δ) is
+//! ranked first by descending degree; the **fringe** (degree ≤ δ) is ranked
+//! after the core by the tree-decomposition order of the fringe-induced
+//! subgraph. This buys the index-size quality of the road-network order on
+//! the sparse periphery without paying the elimination game's fill-in cost
+//! on the dense core — and, unlike the significant-path order, it has no
+//! dependency on index construction and therefore parallelizes.
+
+use crate::rank::VertexOrder;
+use crate::tree_decomp::tree_decomposition_order;
+use pspc_graph::{Graph, VertexId};
+
+/// Hybrid order with degree threshold `delta` (paper default: 5).
+pub fn hybrid_order(g: &Graph, delta: u32) -> VertexOrder {
+    let n = g.num_vertices();
+    let mut core: Vec<VertexId> = Vec::new();
+    let mut fringe: Vec<VertexId> = Vec::new();
+    for v in 0..n as VertexId {
+        if g.degree(v) as u32 > delta {
+            core.push(v);
+        } else {
+            fringe.push(v);
+        }
+    }
+    core.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    let mut order = core;
+    if !fringe.is_empty() {
+        let (sub, ids) = g.induced_subgraph(&fringe);
+        let sub_order = tree_decomposition_order(&sub);
+        order.extend(sub_order.order().iter().map(|&s| ids[s as usize]));
+    }
+    VertexOrder::from_order(order)
+}
+
+/// Size of the core part for a given threshold — used by the δ experiment.
+pub fn core_size(g: &Graph, delta: u32) -> usize {
+    g.vertices().filter(|&v| g.degree(v) as u32 > delta).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspc_graph::generators::{barabasi_albert, perturbed_grid};
+    use pspc_graph::GraphBuilder;
+
+    #[test]
+    fn core_ranked_before_fringe() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4), (4, 5)])
+            .build();
+        let o = hybrid_order(&g, 1);
+        // vertex 0 (deg 4) and vertex 4 (deg 2) form the core.
+        assert_eq!(o.vertex_at(0), 0);
+        assert_eq!(o.vertex_at(1), 4);
+        for v in [1u32, 2, 3, 5] {
+            assert!(o.rank_of(v) >= 2, "fringe vertex {v} ranked into core");
+        }
+    }
+
+    #[test]
+    fn delta_zero_is_degree_order_on_core() {
+        let g = barabasi_albert(60, 2, 1);
+        let o = hybrid_order(&g, 0);
+        assert_eq!(o.len(), 60);
+        // Every vertex has degree >= 1 > 0, so this is a pure degree order.
+        let degs: Vec<usize> = o.order().iter().map(|&v| g.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn huge_delta_is_pure_tree_decomposition() {
+        let g = perturbed_grid(5, 5, 0.0, 0.0, 0);
+        let o = hybrid_order(&g, 1000);
+        let td = tree_decomposition_order(&g);
+        assert_eq!(o, td);
+    }
+
+    #[test]
+    fn covers_everything() {
+        let g = barabasi_albert(100, 3, 2);
+        for delta in [0, 2, 5, 10] {
+            assert_eq!(hybrid_order(&g, delta).len(), 100);
+        }
+    }
+
+    #[test]
+    fn core_size_monotone_in_delta() {
+        let g = barabasi_albert(100, 3, 7);
+        let sizes: Vec<usize> = (0..10).map(|d| core_size(&g, d)).collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

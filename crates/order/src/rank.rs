@@ -1,0 +1,129 @@
+//! Total orders over vertices.
+//!
+//! Everything in PSPC is driven by a total order `≤` over `V` (paper §II):
+//! `w ≤ v` means `w` has the *higher* rank. We represent an order by the
+//! array `order[rank] = vertex` together with its inverse `rank[vertex]`;
+//! rank 0 is the highest-ranked vertex.
+
+use pspc_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// A total order over the vertices of a graph.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexOrder {
+    order: Vec<VertexId>,
+    rank: Vec<u32>,
+}
+
+impl VertexOrder {
+    /// Builds an order from `order[rank] = vertex`.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..n`.
+    pub fn from_order(order: Vec<VertexId>) -> Self {
+        let n = order.len();
+        let mut rank = vec![u32::MAX; n];
+        for (r, &v) in order.iter().enumerate() {
+            assert!(
+                (v as usize) < n,
+                "vertex {v} out of range for an order over {n} vertices"
+            );
+            assert!(rank[v as usize] == u32::MAX, "vertex {v} appears twice");
+            rank[v as usize] = r as u32;
+        }
+        VertexOrder { order, rank }
+    }
+
+    /// Builds an order from `rank[vertex]`.
+    pub fn from_rank(rank: Vec<u32>) -> Self {
+        let n = rank.len();
+        let mut order = vec![VertexId::MAX; n];
+        for (v, &r) in rank.iter().enumerate() {
+            assert!((r as usize) < n, "rank {r} out of range");
+            assert!(order[r as usize] == VertexId::MAX, "rank {r} assigned twice");
+            order[r as usize] = v as VertexId;
+        }
+        VertexOrder { order, rank }
+    }
+
+    /// The identity order (vertex id = rank).
+    pub fn identity(n: usize) -> Self {
+        VertexOrder {
+            order: (0..n as VertexId).collect(),
+            rank: (0..n as u32).collect(),
+        }
+    }
+
+    /// Number of vertices covered by the order.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the order is over the empty vertex set.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The vertex holding rank `r` (rank 0 = highest).
+    #[inline]
+    pub fn vertex_at(&self, r: u32) -> VertexId {
+        self.order[r as usize]
+    }
+
+    /// The rank of vertex `v`.
+    #[inline]
+    pub fn rank_of(&self, v: VertexId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// `order[rank] = vertex` view.
+    pub fn order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// `rank[vertex]` view.
+    pub fn ranks(&self) -> &[u32] {
+        &self.rank
+    }
+
+    /// Whether `a` is ranked strictly higher than `b` (`a ≤ b` in paper
+    /// notation).
+    #[inline]
+    pub fn higher(&self, a: VertexId, b: VertexId) -> bool {
+        self.rank[a as usize] < self.rank[b as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let o = VertexOrder::from_order(vec![2, 0, 1]);
+        assert_eq!(o.rank_of(2), 0);
+        assert_eq!(o.rank_of(0), 1);
+        assert_eq!(o.vertex_at(2), 1);
+        let o2 = VertexOrder::from_rank(o.ranks().to_vec());
+        assert_eq!(o, o2);
+    }
+
+    #[test]
+    fn identity() {
+        let o = VertexOrder::identity(4);
+        assert!(o.higher(0, 3));
+        assert_eq!(o.vertex_at(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn rejects_duplicates() {
+        VertexOrder::from_order(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        VertexOrder::from_order(vec![0, 5, 1]);
+    }
+}

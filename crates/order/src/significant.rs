@@ -1,0 +1,216 @@
+//! Significant-path-based vertex ordering — paper §III.G.
+//!
+//! The scheme interleaves ordering with label construction: pushing hub
+//! `w_i` via a pruned BFS yields a partial shortest-path tree `T_{w_i}`;
+//! the *significant path* descends from `w_i` through the child with the
+//! most descendants; the next hub `w_{i+1}` is the vertex on that path
+//! maximizing `deg(v) · (des(par(v)) − des(v))`. `w_1` is the
+//! highest-degree vertex.
+//!
+//! Because `w_{i+1}` depends on the tree produced while pushing `w_i`, the
+//! scheme is inherently sequential — which is exactly the paper's argument
+//! for the hybrid order. It is provided here as the strongest sequential
+//! baseline for the node-order ablation (Fig. 10c).
+//!
+//! The embedded labeling is a distance-only pruned-BFS 2-hop labeling (we
+//! only need the tree shape and pruning behaviour, not path counts).
+
+use crate::rank::VertexOrder;
+use pspc_graph::{Graph, VertexId};
+
+/// Distance-only pruned landmark labeling used to drive the order.
+struct DistLabeling {
+    /// per-vertex `(hub_iteration, dist)` entries, hub iterations ascending
+    labels: Vec<Vec<(u32, u16)>>,
+    /// scratch: distance from the current source to each hub iteration
+    hub_dist: Vec<u16>,
+}
+
+impl DistLabeling {
+    fn new(n: usize) -> Self {
+        DistLabeling {
+            labels: vec![Vec::new(); n],
+            hub_dist: vec![u16::MAX; n],
+        }
+    }
+
+    /// 2-hop upper bound on `dist(src, u)` given `hub_dist` loaded for src.
+    #[inline]
+    fn query_loaded(&self, u: VertexId) -> u16 {
+        let mut best = u16::MAX;
+        for &(h, dh) in &self.labels[u as usize] {
+            let ds = self.hub_dist[h as usize];
+            if ds != u16::MAX {
+                best = best.min(ds.saturating_add(dh));
+            }
+        }
+        best
+    }
+}
+
+/// Result of one pruned BFS: the visited (labeled) vertices in BFS order
+/// and their parents in the partial shortest-path tree.
+struct PrunedTree {
+    visited: Vec<VertexId>,
+    parent: Vec<VertexId>,
+}
+
+fn pruned_bfs(g: &Graph, lab: &mut DistLabeling, iter: u32, src: VertexId) -> PrunedTree {
+    let n = g.num_vertices();
+    // Load the source's hub distances.
+    for &(h, d) in &lab.labels[src as usize] {
+        lab.hub_dist[h as usize] = d;
+    }
+    let mut parent = vec![VertexId::MAX; n];
+    let mut seen = vec![false; n];
+    let mut visited = Vec::new();
+    let mut frontier = vec![src];
+    seen[src as usize] = true;
+    lab.labels[src as usize].push((iter, 0));
+    visited.push(src);
+    let mut next = Vec::new();
+    let mut d: u16 = 0;
+    while !frontier.is_empty() {
+        d += 1;
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if seen[v as usize] {
+                    continue;
+                }
+                seen[v as usize] = true;
+                if lab.query_loaded(v) <= d {
+                    continue; // pruned: covered by earlier hubs
+                }
+                lab.labels[v as usize].push((iter, d));
+                parent[v as usize] = u;
+                visited.push(v);
+                next.push(v);
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    // Unload scratch.
+    for &(h, _) in &lab.labels[src as usize] {
+        lab.hub_dist[h as usize] = u16::MAX;
+    }
+    PrunedTree { visited, parent }
+}
+
+/// Significant-path total order (deterministic; ties by vertex id).
+pub fn significant_path_order(g: &Graph) -> VertexOrder {
+    let n = g.num_vertices();
+    if n == 0 {
+        return VertexOrder::from_order(Vec::new());
+    }
+    let mut lab = DistLabeling::new(n);
+    let mut chosen = vec![false; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut des = vec![0u64; n];
+    let mut best_child = vec![VertexId::MAX; n];
+
+    // Highest-degree unchosen vertex, id tie-break.
+    let fallback = |chosen: &[bool]| -> Option<VertexId> {
+        (0..n as VertexId)
+            .filter(|&v| !chosen[v as usize])
+            .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v)))
+    };
+
+    let mut current = fallback(&chosen);
+    let mut iter = 0u32;
+    while let Some(w) = current {
+        chosen[w as usize] = true;
+        order.push(w);
+        let tree = pruned_bfs(g, &mut lab, iter, w);
+        iter += 1;
+        if order.len() == n {
+            break;
+        }
+        // Descendant counts (self-inclusive) over the partial SPT, and the
+        // max-des child of every tree vertex, in one reverse sweep.
+        for &v in &tree.visited {
+            des[v as usize] = 1;
+            best_child[v as usize] = VertexId::MAX;
+        }
+        for &v in tree.visited.iter().rev() {
+            let p = tree.parent[v as usize];
+            if p != VertexId::MAX {
+                des[p as usize] += des[v as usize];
+                let bc = best_child[p as usize];
+                if bc == VertexId::MAX
+                    || des[v as usize] > des[bc as usize]
+                    || (des[v as usize] == des[bc as usize] && v < bc)
+                {
+                    best_child[p as usize] = v;
+                }
+            }
+        }
+        // Walk the significant path and score candidates.
+        let mut best: Option<(u64, std::cmp::Reverse<VertexId>, VertexId)> = None;
+        let mut v = best_child[w as usize];
+        while v != VertexId::MAX {
+            if !chosen[v as usize] {
+                let p = tree.parent[v as usize];
+                let gap = des[p as usize].saturating_sub(des[v as usize]);
+                let score = g.degree(v) as u64 * gap;
+                let key = (score, std::cmp::Reverse(v), v);
+                if best.is_none_or(|b| key > b) {
+                    best = Some(key);
+                }
+            }
+            v = best_child[v as usize];
+        }
+        current = best.map(|(_, _, v)| v).or_else(|| fallback(&chosen));
+    }
+    VertexOrder::from_order(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspc_graph::generators::{barabasi_albert, erdos_renyi};
+    use pspc_graph::GraphBuilder;
+
+    #[test]
+    fn covers_all_vertices() {
+        let g = barabasi_albert(120, 2, 3);
+        let o = significant_path_order(&g);
+        assert_eq!(o.len(), 120);
+    }
+
+    #[test]
+    fn starts_with_max_degree() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)])
+            .build();
+        let o = significant_path_order(&g);
+        assert_eq!(o.vertex_at(0), 0);
+    }
+
+    #[test]
+    fn handles_disconnected_graph() {
+        let g = GraphBuilder::new()
+            .num_vertices(6)
+            .edges([(0, 1), (2, 3)])
+            .build();
+        let o = significant_path_order(&g);
+        assert_eq!(o.len(), 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = erdos_renyi(80, 200, 4);
+        assert_eq!(significant_path_order(&g), significant_path_order(&g));
+    }
+
+    #[test]
+    fn path_graph_picks_central_vertices_early() {
+        let g = GraphBuilder::new()
+            .edges((0..20u32).map(|i| (i, i + 1)))
+            .build();
+        let o = significant_path_order(&g);
+        // The first two hubs of a path should be interior, not the leaves.
+        assert!(g.degree(o.vertex_at(0)) == 2);
+        assert!(g.degree(o.vertex_at(1)) == 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Tree-decomposition ("road network") vertex ordering — paper §III.G.
+//!
+//! The order is produced by the minimum-degree elimination game: repeatedly
+//! remove the lowest-degree vertex, connect its remaining neighbors into a
+//! clique (fill-in), and push it onto a queue; the final ranking reads the
+//! queue *from the back*, so the last vertex eliminated receives the highest
+//! rank. On low-treewidth graphs (road networks, grid-like fringes) this
+//! mirrors the hierarchy of [Ouyang et al., SIGMOD 2018] that the paper
+//! cites.
+//!
+//! Note: the paper's degree-update formula `deg(u) + deg(u0) − 1` is an
+//! approximation of the elimination game; we implement the exact game
+//! (clique fill-in with real degree recomputation), which is what tree
+//! decomposition requires. On high-degree cores the fill-in can be dense —
+//! the hybrid order (δ threshold) exists precisely to keep this routine on
+//! the sparse fringe.
+
+use crate::rank::VertexOrder;
+use pspc_graph::{Graph, VertexId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Minimum-degree-elimination order. Ties break by vertex id.
+pub fn tree_decomposition_order(g: &Graph) -> VertexOrder {
+    let n = g.num_vertices();
+    let mut adj: Vec<HashSet<VertexId>> = (0..n as VertexId)
+        .map(|v| g.neighbors(v).iter().copied().collect())
+        .collect();
+    let mut eliminated = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(usize, VertexId)>> = (0..n as VertexId)
+        .map(|v| Reverse((adj[v as usize].len(), v)))
+        .collect();
+    let mut queue: Vec<VertexId> = Vec::with_capacity(n);
+
+    while let Some(Reverse((deg, v))) = heap.pop() {
+        if eliminated[v as usize] || adj[v as usize].len() != deg {
+            continue; // stale heap entry
+        }
+        eliminated[v as usize] = true;
+        queue.push(v);
+        let nbrs: Vec<VertexId> = adj[v as usize].iter().copied().collect();
+        // Remove v and add the fill-in clique among its live neighbors.
+        for &u in &nbrs {
+            adj[u as usize].remove(&v);
+        }
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                let (a, b) = (nbrs[i], nbrs[j]);
+                if adj[a as usize].insert(b) {
+                    adj[b as usize].insert(a);
+                }
+            }
+        }
+        for &u in &nbrs {
+            heap.push(Reverse((adj[u as usize].len(), u)));
+        }
+        adj[v as usize].clear();
+    }
+    // Last eliminated = highest rank ("append from the back of the queue").
+    queue.reverse();
+    VertexOrder::from_order(queue)
+}
+
+/// The *treewidth bound* observed during elimination: the maximum number of
+/// live neighbors any vertex had at its elimination. Useful for diagnostics
+/// and tests (paths have bound 1, cycles 2, grids O(min side)).
+pub fn elimination_width(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    let mut adj: Vec<HashSet<VertexId>> = (0..n as VertexId)
+        .map(|v| g.neighbors(v).iter().copied().collect())
+        .collect();
+    let mut eliminated = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(usize, VertexId)>> = (0..n as VertexId)
+        .map(|v| Reverse((adj[v as usize].len(), v)))
+        .collect();
+    let mut width = 0usize;
+    while let Some(Reverse((deg, v))) = heap.pop() {
+        if eliminated[v as usize] || adj[v as usize].len() != deg {
+            continue;
+        }
+        eliminated[v as usize] = true;
+        width = width.max(deg);
+        let nbrs: Vec<VertexId> = adj[v as usize].iter().copied().collect();
+        for &u in &nbrs {
+            adj[u as usize].remove(&v);
+        }
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                let (a, b) = (nbrs[i], nbrs[j]);
+                if adj[a as usize].insert(b) {
+                    adj[b as usize].insert(a);
+                }
+            }
+        }
+        for &u in &nbrs {
+            heap.push(Reverse((adj[u as usize].len(), u)));
+        }
+        adj[v as usize].clear();
+    }
+    width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspc_graph::generators::{grid2d, perturbed_grid};
+    use pspc_graph::GraphBuilder;
+
+    #[test]
+    fn path_eliminates_leaf_first() {
+        // On a path the minimum-degree rule eliminates a leaf first, and
+        // the first-eliminated vertex receives the lowest rank.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .build();
+        let o = tree_decomposition_order(&g);
+        let lowest = o.vertex_at(o.len() as u32 - 1);
+        assert_eq!(g.degree(lowest), 1, "lowest rank should be a leaf");
+        // With id tie-breaking, leaf 0 is eliminated first.
+        assert_eq!(lowest, 0);
+    }
+
+    #[test]
+    fn star_leaves_eliminated_first() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4)])
+            .build();
+        let o = tree_decomposition_order(&g);
+        // The three lowest ranks must be original leaves (the center only
+        // becomes eliminable after its degree drops to 1).
+        for r in [4u32, 3, 2] {
+            let v = o.vertex_at(r);
+            assert_eq!(g.degree(v), 1, "rank {r} vertex {v} is not a leaf");
+        }
+    }
+
+    #[test]
+    fn covers_all_vertices_once() {
+        let g = perturbed_grid(8, 8, 0.1, 0.05, 2);
+        let o = tree_decomposition_order(&g);
+        assert_eq!(o.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn width_of_path_and_cycle() {
+        let path = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build();
+        assert_eq!(elimination_width(&path), 1);
+        let cycle = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
+        assert_eq!(elimination_width(&cycle), 2);
+    }
+
+    #[test]
+    fn width_of_grid_bounded_by_side() {
+        let g = grid2d(4, 10);
+        let w = elimination_width(&g);
+        assert!((4..=8).contains(&w), "grid width {w} out of expected range");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = perturbed_grid(6, 6, 0.1, 0.1, 5);
+        assert_eq!(tree_decomposition_order(&g), tree_decomposition_order(&g));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based invariants of the vertex-ordering strategies.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use pspc_graph::{Graph, GraphBuilder};
+use pspc_order::*;
+
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| GraphBuilder::new().num_vertices(n).edges(edges).build())
+    })
+}
+
+fn all_strategies() -> [OrderingStrategy; 5] {
+    [
+        OrderingStrategy::Degree,
+        OrderingStrategy::TreeDecomposition,
+        OrderingStrategy::SignificantPath,
+        OrderingStrategy::Hybrid { delta: 0 },
+        OrderingStrategy::Hybrid { delta: 4 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every strategy produces a valid permutation covering all vertices.
+    #[test]
+    fn orders_are_permutations(g in arb_graph(50, 150)) {
+        for s in all_strategies() {
+            let o = s.compute(&g);
+            prop_assert_eq!(o.len(), g.num_vertices(), "{}", s.name());
+            // from_order/from_rank both validate permutation-ness, so a
+            // round-trip through ranks is a sufficient check.
+            let o2 = VertexOrder::from_rank(o.ranks().to_vec());
+            prop_assert_eq!(&o, &o2);
+        }
+    }
+
+    /// Every strategy is deterministic.
+    #[test]
+    fn orders_deterministic(g in arb_graph(40, 120)) {
+        for s in all_strategies() {
+            prop_assert_eq!(s.compute(&g), s.compute(&g), "{}", s.name());
+        }
+    }
+
+    /// Degree order sorts by descending degree.
+    #[test]
+    fn degree_order_monotone(g in arb_graph(40, 120)) {
+        let o = degree_order(&g);
+        let degs: Vec<usize> = o.order().iter().map(|&v| g.degree(v)).collect();
+        prop_assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// Hybrid order puts the whole core (degree > delta) before the whole
+    /// fringe.
+    #[test]
+    fn hybrid_core_before_fringe(g in arb_graph(40, 120), delta in 0u32..6) {
+        let o = hybrid_order(&g, delta);
+        let k = core_size(&g, delta) as u32;
+        for r in 0..o.len() as u32 {
+            let v = o.vertex_at(r);
+            if r < k {
+                prop_assert!(g.degree(v) as u32 > delta);
+            } else {
+                prop_assert!(g.degree(v) as u32 <= delta);
+            }
+        }
+    }
+
+    /// `higher` is a strict total order consistent with ranks.
+    #[test]
+    fn higher_is_strict_total(g in arb_graph(30, 60)) {
+        let o = degree_order(&g);
+        let n = g.num_vertices() as u32;
+        for a in 0..n {
+            prop_assert!(!o.higher(a, a));
+            for b in 0..n {
+                if a != b {
+                    prop_assert!(o.higher(a, b) ^ o.higher(b, a));
+                }
+            }
+        }
+    }
+}

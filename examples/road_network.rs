@@ -1,0 +1,71 @@
+//! Road-network routing flexibility — the paper's second motivating
+//! application (§I, Application 2).
+//!
+//! Among candidate destinations at (nearly) the same driving distance, the
+//! one reachable by *more* shortest routes offers more detour options under
+//! congestion. This example runs top-k nearest-neighbor queries over a
+//! perturbed-grid road network and breaks distance ties by shortest-path
+//! count, using the road-network configuration of the index (hybrid order
+//! dominated by the tree-decomposition part).
+//!
+//! ```text
+//! cargo run --release --example road_network
+//! ```
+
+use pspc::graph::generators::perturbed_grid;
+use pspc::prelude::*;
+
+fn main() {
+    // A 120x120 perturbed grid: ~14k intersections, low degree, high
+    // diameter — the regime where degree ordering fails (paper §III.G).
+    let g = perturbed_grid(120, 120, 0.06, 0.03, 99);
+    println!(
+        "road network: {} intersections, {} road segments",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Road-network configuration: δ = 0 would still put every vertex with
+    // degree > δ in the degree-ordered core; road networks want the
+    // tree-decomposition order to dominate, so use a high δ.
+    let cfg = PspcConfig {
+        ordering: OrderingStrategy::Hybrid { delta: 4 },
+        ..PspcConfig::default()
+    };
+    let (index, _) = build_pspc(&g, &cfg);
+    println!(
+        "index: {:.2} MiB, avg label {:.1}, built in {:.2}s",
+        index.stats().size_mib(),
+        index.stats().avg_label_size,
+        index.stats().total_seconds()
+    );
+
+    // 25 candidate "restaurants" spread deterministically over the map.
+    let n = g.num_vertices() as u32;
+    let candidates: Vec<VertexId> = (0..25u32).map(|i| (i * 523 + 77) % n).collect();
+
+    for query in [0u32, n / 2, n - 1] {
+        // Rank candidates by (distance, -route count): closest first,
+        // most-flexible first among ties.
+        let mut ranked: Vec<(VertexId, SpcAnswer)> = candidates
+            .iter()
+            .map(|&c| (c, index.query(query, c)))
+            .filter(|(_, a)| a.is_reachable())
+            .collect();
+        ranked.sort_by_key(|&(c, a)| (a.dist, std::cmp::Reverse(a.count), c));
+        println!("\ntop-3 candidates near intersection {query}:");
+        for (rank, (c, a)) in ranked.iter().take(3).enumerate() {
+            println!(
+                "  #{} intersection {:>6}: distance {:>3}, {} alternative shortest routes",
+                rank + 1,
+                c,
+                a.dist,
+                a.count
+            );
+        }
+        // The flexibility signal is real: verify the top answer against
+        // the exact BFS count.
+        let (c, a) = ranked[0];
+        assert_eq!(pspc::graph::spc_bfs::spc_pair(&g, query, c), a);
+    }
+}

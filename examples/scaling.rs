@@ -1,0 +1,66 @@
+//! Scalability demonstration: determinism across configurations and the
+//! work-model speedup of the distance-iteration construction (the paper's
+//! Exp 2 and Exp 4 in miniature).
+//!
+//! ```text
+//! cargo run --release --example scaling
+//! ```
+
+use pspc::graph::generators::chung_lu_power_law;
+use pspc::prelude::*;
+
+fn main() {
+    let g = chung_lu_power_law(8_000, 12.0, 2.3, 4);
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // 1. Determinism: any thread count, schedule and paradigm produces the
+    //    exact same index (paper Exp 2: "PSPC and PSPC+ return the same
+    //    index size" — here: the same index, bit for bit).
+    let order = OrderingStrategy::DEFAULT.compute(&g);
+    let mut reference: Option<SpcIndex> = None;
+    for threads in [1usize, 4] {
+        for paradigm in [Paradigm::Pull, Paradigm::Push] {
+            let cfg = PspcConfig {
+                threads,
+                paradigm,
+                ..PspcConfig::default()
+            };
+            let (idx, _) = build_pspc_with_order(&g, order.clone(), None, &cfg);
+            match &reference {
+                None => reference = Some(idx),
+                Some(r) => {
+                    assert_eq!(r.label_sets(), idx.label_sets());
+                    println!("threads={threads} {paradigm:?}: identical index ✓");
+                }
+            }
+        }
+    }
+
+    // 2. Work-model speedup: replay the recorded per-vertex work under
+    //    both schedule plans for 1..20 threads.
+    let cfg = PspcConfig {
+        threads: 1,
+        record_work: true,
+        ..PspcConfig::default()
+    };
+    let (idx, stats) = build_pspc(&g, &cfg);
+    let model = stats.work_model.expect("work recorded");
+    println!(
+        "\nbuilt in {:.2}s over {} iterations; modelled speedup:",
+        idx.stats().total_seconds(),
+        stats.iterations
+    );
+    println!("{:>8} {:>10} {:>10}", "threads", "static", "dynamic");
+    for t in [1usize, 2, 4, 8, 12, 16, 20] {
+        println!(
+            "{:>8} {:>10.2} {:>10.2}",
+            t,
+            model.speedup(t, SchedulePlan::Static),
+            model.speedup(t, SchedulePlan::default()),
+        );
+    }
+}

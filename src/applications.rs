@@ -1,0 +1,265 @@
+//! Application-level algorithms built on the SPC index — the paper's two
+//! motivating use cases (§I) as a library API.
+//!
+//! * [`pair_dependency`] / [`betweenness_scores`] / [`greedy_group_betweenness`]
+//!   — group-betweenness machinery after Puzis et al., where every
+//!   ingredient is an SPC query (Application 1);
+//! * [`top_k_flexible`] — nearest-neighbor ranking with distance ties
+//!   broken by the number of alternative shortest routes (Application 2).
+
+use pspc_core::{build_pspc, PspcConfig, SpcIndex};
+use pspc_graph::{Graph, GraphBuilder, SpcAnswer, VertexId};
+
+/// Fraction of shortest `s → t` paths that pass through `v`, evaluated
+/// from SPC queries only: non-zero iff `d(s,v) + d(v,t) = d(s,t)`, in
+/// which case it is `spc(s,v)·spc(v,t)/spc(s,t)`.
+///
+/// `base` supplies `spc(s,t)`; `index` supplies the two legs. Passing the
+/// same index for both gives the classic pair dependency; passing an index
+/// built on `G ∖ C` as `index` restricts to paths avoiding `C` (the
+/// incremental-GBC update step).
+pub fn pair_dependency(
+    base: &SpcIndex,
+    index: &SpcIndex,
+    s: VertexId,
+    t: VertexId,
+    v: VertexId,
+) -> f64 {
+    if v == s || v == t || s == t {
+        return 0.0;
+    }
+    let st = base.query(s, t);
+    if !st.is_reachable() || st.count == 0 {
+        return 0.0;
+    }
+    let sv = index.query(s, v);
+    let vt = index.query(v, t);
+    if !sv.is_reachable() || !vt.is_reachable() {
+        return 0.0;
+    }
+    if sv.dist as u32 + vt.dist as u32 != st.dist as u32 {
+        return 0.0;
+    }
+    (sv.count as f64 * vt.count as f64) / st.count as f64
+}
+
+/// Betweenness score of every vertex over the given source–target pairs
+/// (exact over those pairs; feed all ordered pairs for exact betweenness,
+/// or a sample for the usual estimator).
+pub fn betweenness_scores(index: &SpcIndex, pairs: &[(VertexId, VertexId)], n: usize) -> Vec<f64> {
+    let mut score = vec![0.0f64; n];
+    for &(s, t) in pairs {
+        if s == t {
+            continue;
+        }
+        let st = index.query(s, t);
+        if !st.is_reachable() || st.count == 0 || st.dist == 0 {
+            continue;
+        }
+        // Accumulate dependency for vertices on some shortest path.
+        // For exactness without enumerating paths, test every vertex; for
+        // large graphs callers should sample pairs (the cost is n queries
+        // per pair either way — this is the GBC precompute regime).
+        for v in 0..n as VertexId {
+            score[v as usize] += pair_dependency(index, index, s, t, v);
+        }
+    }
+    score
+}
+
+/// Greedy group-betweenness maximization: selects `k` vertices, each round
+/// adding the vertex with the largest marginal coverage of the sampled
+/// pairs, re-indexing `G ∖ C` between rounds (the incremental GBC scheme,
+/// with the SPC index replacing the precomputed matrices of Puzis et al.).
+///
+/// Returns the selected group and the estimated `B̈(C)` after each round.
+pub fn greedy_group_betweenness(
+    g: &Graph,
+    pairs: &[(VertexId, VertexId)],
+    k: usize,
+    config: &PspcConfig,
+) -> (Vec<VertexId>, Vec<f64>) {
+    let n = g.num_vertices();
+    let (base, _) = build_pspc(g, config);
+    let mut current = base.clone();
+    let mut group: Vec<VertexId> = Vec::new();
+    let mut trajectory = Vec::new();
+    let mut total = 0.0f64;
+    for _ in 0..k.min(n) {
+        let mut best: Option<(f64, VertexId)> = None;
+        for v in 0..n as VertexId {
+            if group.contains(&v) {
+                continue;
+            }
+            let gain: f64 = pairs
+                .iter()
+                .map(|&(s, t)| pair_dependency(&base, &current, s, t, v))
+                .sum();
+            // Deterministic tie-break on the smaller id.
+            if best.is_none_or(|(bg, bv)| gain > bg || (gain == bg && v < bv)) {
+                best = Some((gain, v));
+            }
+        }
+        let Some((gain, v)) = best else { break };
+        group.push(v);
+        total += gain;
+        trajectory.push(total);
+        let (next, _) = build_pspc(&without_vertices(g, &group), config);
+        current = next;
+    }
+    (group, trajectory)
+}
+
+/// The subgraph with `removed` vertices isolated (ids stay stable).
+pub fn without_vertices(g: &Graph, removed: &[VertexId]) -> Graph {
+    let gone: std::collections::HashSet<VertexId> = removed.iter().copied().collect();
+    let mut b = GraphBuilder::new().num_vertices(g.num_vertices());
+    for (u, v) in g.edges() {
+        if !gone.contains(&u) && !gone.contains(&v) {
+            b.push_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Top-`k` candidates nearest to `query`, distance ties broken by the
+/// *number of shortest routes* (more routes = more routing flexibility —
+/// the paper's road-network application). Unreachable candidates are
+/// dropped; remaining ties break on the smaller vertex id.
+pub fn top_k_flexible(
+    index: &SpcIndex,
+    query: VertexId,
+    candidates: &[VertexId],
+    k: usize,
+) -> Vec<(VertexId, SpcAnswer)> {
+    let mut ranked: Vec<(VertexId, SpcAnswer)> = candidates
+        .iter()
+        .map(|&c| (c, index.query(query, c)))
+        .filter(|(_, a)| a.is_reachable())
+        .collect();
+    ranked.sort_by_key(|&(c, a)| (a.dist, std::cmp::Reverse(a.count), c));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspc_graph::spc_bfs::spc_pair;
+
+    /// Brute-force betweenness by shortest-path enumeration (DFS), for
+    /// validating the index-based dependency on tiny graphs.
+    fn brute_dependency(g: &Graph, s: VertexId, t: VertexId, v: VertexId) -> f64 {
+        if v == s || v == t || s == t {
+            return 0.0;
+        }
+        let st = spc_pair(g, s, t);
+        if !st.is_reachable() {
+            return 0.0;
+        }
+        let sv = spc_pair(g, s, v);
+        let vt = spc_pair(g, v, t);
+        if !sv.is_reachable() || !vt.is_reachable() {
+            return 0.0;
+        }
+        if sv.dist + vt.dist != st.dist {
+            return 0.0;
+        }
+        (sv.count as f64 * vt.count as f64) / st.count as f64
+    }
+
+    fn diamond_tail() -> Graph {
+        GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+            .build()
+    }
+
+    #[test]
+    fn dependency_matches_brute_force() {
+        let g = diamond_tail();
+        let (idx, _) = build_pspc(&g, &PspcConfig::default());
+        for s in 0..5u32 {
+            for t in 0..5u32 {
+                for v in 0..5u32 {
+                    let got = pair_dependency(&idx, &idx, s, t, v);
+                    let want = brute_dependency(&g, s, t, v);
+                    assert!((got - want).abs() < 1e-12, "({s},{t},{v}): {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_middles_split_dependency() {
+        let g = diamond_tail();
+        let (idx, _) = build_pspc(&g, &PspcConfig::default());
+        // Two shortest 0-3 paths, one through each middle vertex.
+        assert!((pair_dependency(&idx, &idx, 0, 3, 1) - 0.5).abs() < 1e-12);
+        assert!((pair_dependency(&idx, &idx, 0, 3, 2) - 0.5).abs() < 1e-12);
+        // Vertex 3 carries all 0-4 paths.
+        assert!((pair_dependency(&idx, &idx, 0, 4, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betweenness_identifies_cut_vertex() {
+        let g = diamond_tail();
+        let (idx, _) = build_pspc(&g, &PspcConfig::default());
+        let pairs: Vec<(u32, u32)> = (0..5u32)
+            .flat_map(|s| (0..5u32).map(move |t| (s, t)))
+            .filter(|&(s, t)| s != t)
+            .collect();
+        let scores = betweenness_scores(&idx, &pairs, 5);
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 3, "vertex 3 is the articulation point: {scores:?}");
+    }
+
+    #[test]
+    fn greedy_group_prefers_central_vertices() {
+        let g = diamond_tail();
+        let pairs: Vec<(u32, u32)> = (0..5u32)
+            .flat_map(|s| (0..5u32).map(move |t| (s, t)))
+            .filter(|&(s, t)| s != t)
+            .collect();
+        let (group, traj) = greedy_group_betweenness(&g, &pairs, 2, &PspcConfig::default());
+        assert_eq!(group[0], 3);
+        assert_eq!(traj.len(), 2);
+        assert!(traj[1] >= traj[0], "coverage must be monotone");
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_count() {
+        // 0 at distance 2 from both 3 (two routes) and 4 (one route).
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3), (1, 4)])
+            .build();
+        let (idx, _) = build_pspc(&g, &PspcConfig::default());
+        let ranked = top_k_flexible(&idx, 0, &[3, 4], 2);
+        assert_eq!(ranked[0].0, 3, "two routes beat one at equal distance");
+        assert_eq!(ranked[0].1.count, 2);
+        assert_eq!(ranked[1].0, 4);
+    }
+
+    #[test]
+    fn top_k_drops_unreachable() {
+        let g = GraphBuilder::new().num_vertices(4).edges([(0, 1), (1, 2)]).build();
+        let (idx, _) = build_pspc(&g, &PspcConfig::default());
+        let ranked = top_k_flexible(&idx, 0, &[1, 2, 3], 10);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, 1);
+    }
+
+    #[test]
+    fn without_vertices_isolates() {
+        let g = diamond_tail();
+        let h = without_vertices(&g, &[3]);
+        assert_eq!(h.degree(3), 0);
+        assert_eq!(h.num_vertices(), 5);
+        assert!(h.has_edge(0, 1));
+        assert!(!h.has_edge(1, 3));
+    }
+}

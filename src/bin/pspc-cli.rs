@@ -1,0 +1,268 @@
+//! `pspc-cli` — build, persist and query shortest-path-counting indexes
+//! from the command line.
+//!
+//! ```text
+//! pspc-cli stats  <edges.txt>
+//! pspc-cli build  <edges.txt> -o index.bin [--order degree|td|sig|hybrid[:δ]]
+//!                 [--landmarks k] [--threads t] [--push] [--static]
+//! pspc-cli query  <index.bin> <s> <t> [<s> <t> ...]
+//! pspc-cli bench  <index.bin> [--count n] [--seed s]
+//! ```
+//!
+//! Edge lists are SNAP-style text (`u v` per line, `#`/`%` comments).
+
+use pspc::core::serialize::{index_from_binary, index_to_binary};
+use pspc::graph::io::read_edge_list_file;
+use pspc::prelude::*;
+use pspc::GraphStats;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: pspc-cli stats <edges> | build <edges> -o <out> [opts] | \
+                 query <index> <s> <t>... | bench <index> [--count n] [--seed s]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some(other) => Err(format!("unknown command {other}")),
+        None => Err("missing command".into()),
+    }
+}
+
+/// Parses `--order degree|td|sig|hybrid[:delta]`.
+fn parse_order(s: &str) -> Result<OrderingStrategy, String> {
+    match s {
+        "degree" => Ok(OrderingStrategy::Degree),
+        "td" => Ok(OrderingStrategy::TreeDecomposition),
+        "sig" => Ok(OrderingStrategy::SignificantPath),
+        "hybrid" => Ok(OrderingStrategy::DEFAULT),
+        other => {
+            if let Some(d) = other.strip_prefix("hybrid:") {
+                let delta: u32 = d.parse().map_err(|e| format!("bad δ in {other}: {e}"))?;
+                Ok(OrderingStrategy::Hybrid { delta })
+            } else {
+                Err(format!("unknown order {other} (degree|td|sig|hybrid[:δ])"))
+            }
+        }
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats: missing edge-list path")?;
+    let g = read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let s = GraphStats::compute(&g);
+    println!("vertices           {}", s.num_vertices);
+    println!("edges              {}", s.num_edges);
+    println!("avg degree         {:.2}", s.avg_degree);
+    println!("max degree         {}", s.max_degree);
+    println!("components         {}", s.num_components);
+    println!("diameter (approx)  {}", s.diameter_estimate);
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let mut input: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut config = PspcConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match a.as_str() {
+            "-o" | "--output" => output = Some(value("-o")?),
+            "--order" => config.ordering = parse_order(value("--order")?)?,
+            "--landmarks" => {
+                config.num_landmarks = value("--landmarks")?
+                    .parse()
+                    .map_err(|e| format!("bad --landmarks: {e}"))?
+            }
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--push" => config.paradigm = Paradigm::Push,
+            "--static" => config.schedule = SchedulePlan::Static,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => {
+                if input.is_some() {
+                    return Err(format!("unexpected positional argument {path}"));
+                }
+                input = Some(path);
+            }
+        }
+    }
+    let input = input.ok_or("build: missing edge-list path")?;
+    let output = output.ok_or("build: missing -o <output>")?;
+    let g = read_edge_list_file(input).map_err(|e| format!("reading {input}: {e}"))?;
+    eprintln!(
+        "building index for {} vertices / {} edges ...",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    let (index, build) = build_pspc(&g, &config);
+    let s = index.stats();
+    eprintln!(
+        "built in {:.2}s (order {:.2}s, landmarks {:.2}s, construction {:.2}s; \
+         {} iterations)",
+        s.total_seconds(),
+        s.order_seconds,
+        s.landmark_seconds,
+        s.construction_seconds,
+        build.iterations
+    );
+    eprintln!(
+        "{} entries, {:.2} MiB, avg label {:.1}, max label {}",
+        s.total_entries,
+        s.size_mib(),
+        s.avg_label_size,
+        s.max_label_size
+    );
+    let bytes = index_to_binary(&index);
+    std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+    eprintln!("snapshot written to {output} ({} bytes)", bytes.len());
+    Ok(())
+}
+
+fn load_index(path: &str) -> Result<SpcIndex, String> {
+    let data = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    index_from_binary(pspc::core::serialize::Bytes::from(data))
+        .map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("query: missing index path")?;
+    let rest = &args[1..];
+    if rest.is_empty() || !rest.len().is_multiple_of(2) {
+        return Err("query: need an even number of vertex ids".into());
+    }
+    let index = load_index(path)?;
+    let n = index.num_vertices() as u64;
+    for pair in rest.chunks_exact(2) {
+        let s: u64 = pair[0].parse().map_err(|e| format!("bad vertex: {e}"))?;
+        let t: u64 = pair[1].parse().map_err(|e| format!("bad vertex: {e}"))?;
+        if s >= n || t >= n {
+            return Err(format!("vertex out of range (n = {n})"));
+        }
+        let ans = index.query(s as u32, t as u32);
+        if ans.is_reachable() {
+            println!("SPC({s}, {t}) = {} paths, distance {}", ans.count, ans.dist);
+        } else {
+            println!("SPC({s}, {t}) = unreachable");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("bench: missing index path")?;
+    let mut count = 100_000usize;
+    let mut seed = 42u64;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--count" => {
+                count = it
+                    .next()
+                    .ok_or("missing --count value")?
+                    .parse()
+                    .map_err(|e| format!("bad --count: {e}"))?
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("missing --seed value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let index = load_index(path)?;
+    let n = index.num_vertices() as u64;
+    // xorshift-style deterministic pairs without pulling a CLI rand dep.
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % n) as u32
+    };
+    let pairs: Vec<(u32, u32)> = (0..count).map(|_| (next(), next())).collect();
+    let t0 = Instant::now();
+    let answers = index.query_batch_sequential(&pairs);
+    let secs = t0.elapsed().as_secs_f64();
+    let reachable = answers.iter().filter(|a| a.is_reachable()).count();
+    println!(
+        "{count} queries in {:.3}s ({:.2} us/query), {reachable} reachable",
+        secs,
+        secs / count as f64 * 1e6
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_parsing() {
+        assert_eq!(parse_order("degree").unwrap(), OrderingStrategy::Degree);
+        assert_eq!(
+            parse_order("hybrid:9").unwrap(),
+            OrderingStrategy::Hybrid { delta: 9 }
+        );
+        assert!(parse_order("nope").is_err());
+        assert!(parse_order("hybrid:x").is_err());
+    }
+
+    #[test]
+    fn full_pipeline_through_temp_files() {
+        let dir = std::env::temp_dir();
+        let edges = dir.join("pspc_cli_test_edges.txt");
+        let index = dir.join("pspc_cli_test_index.bin");
+        std::fs::write(&edges, "0 1\n0 2\n1 3\n2 3\n3 4\n").unwrap();
+        let e = edges.to_str().unwrap().to_string();
+        let i = index.to_str().unwrap().to_string();
+        run(&["stats".into(), e.clone()]).unwrap();
+        run(&[
+            "build".into(),
+            e,
+            "-o".into(),
+            i.clone(),
+            "--order".into(),
+            "degree".into(),
+            "--landmarks".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        run(&["query".into(), i.clone(), "0".into(), "3".into()]).unwrap();
+        run(&["bench".into(), i.clone(), "--count".into(), "100".into()]).unwrap();
+        assert!(run(&["query".into(), i.clone(), "0".into(), "99".into()]).is_err());
+        assert!(run(&["query".into(), i, "0".into()]).is_err());
+        std::fs::remove_file(edges).ok();
+        std::fs::remove_file(index).ok();
+    }
+
+    #[test]
+    fn rejects_unknown_commands() {
+        assert!(run(&["frobnicate".into()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

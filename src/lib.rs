@@ -1,0 +1,54 @@
+//! # pspc — Parallel Shortest Path Counting
+//!
+//! A Rust implementation of *PSPC: Efficient Parallel Shortest Path
+//! Counting on Large-Scale Graphs* (Peng, Yu & Wang, ICDE 2023): a 2-hop
+//! hub-labeling index that answers *how many* shortest paths connect two
+//! vertices (and at what distance) in microseconds, built in parallel
+//! without the rank-order dependency of prior constructions.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! * [`graph`] ([`pspc_graph`]) — CSR graphs, generators, traversal, the
+//!   brute-force counting oracle;
+//! * [`order`] ([`pspc_order`]) — degree / tree-decomposition /
+//!   significant-path / hybrid vertex orderings;
+//! * [`core`] ([`pspc_core`]) — the ESPC index, the sequential HP-SPC
+//!   baseline, the parallel PSPC builder, reductions and serialization.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pspc::prelude::*;
+//!
+//! // A diamond: two shortest paths from 0 to 3.
+//! let g = GraphBuilder::new().edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build();
+//! let (index, _stats) = build_pspc(&g, &PspcConfig::default());
+//! let ans = index.query(0, 3);
+//! assert_eq!((ans.dist, ans.count), (2, 2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod applications;
+
+pub use pspc_core as core;
+pub use pspc_graph as graph;
+pub use pspc_order as order;
+
+pub use pspc_core::{
+    build_hpspc, build_pspc, Count, IndexStats, LabelEntry, LabelSet, Paradigm, PspcBuildStats,
+    PspcConfig, ReducedIndex, SchedulePlan, SpcIndex,
+};
+pub use pspc_graph::{Graph, GraphBuilder, GraphStats, SpcAnswer, VertexId};
+pub use pspc_order::{OrderingStrategy, VertexOrder};
+
+/// Convenient glob-import surface for applications.
+pub mod prelude {
+    pub use pspc_core::builder::{build_pspc, build_pspc_with_order};
+    pub use pspc_core::hpspc::{build_hpspc, build_hpspc_with_order};
+    pub use pspc_core::{
+        Count, Paradigm, PspcConfig, ReducedIndex, SchedulePlan, SpcIndex,
+    };
+    pub use pspc_graph::{Graph, GraphBuilder, SpcAnswer, VertexId};
+    pub use pspc_order::{OrderingStrategy, VertexOrder};
+}

@@ -1,0 +1,85 @@
+//! The paper's Exp 2 claim, hardened into tests: the PSPC index is
+//! bit-identical across thread counts, schedule plans, propagation
+//! paradigms and landmark settings — and identical to the sequential
+//! HP-SPC index, because the ESPC is uniquely determined by the vertex
+//! order.
+
+use pspc::prelude::*;
+use pspc::graph::generators::{chung_lu_power_law, perturbed_grid};
+
+fn build(g: &Graph, order: &VertexOrder, cfg: &PspcConfig) -> SpcIndex {
+    let (idx, _) = build_pspc_with_order(g, order.clone(), None, cfg);
+    idx
+}
+
+#[test]
+fn full_configuration_matrix_is_deterministic() {
+    let g = chung_lu_power_law(500, 9.0, 2.3, 77);
+    let order = OrderingStrategy::DEFAULT.compute(&g);
+    let reference = build_hpspc_with_order(&g, order.clone(), None);
+
+    for threads in [1usize, 2, 3, 8] {
+        for schedule in [
+            SchedulePlan::Static,
+            SchedulePlan::Dynamic { chunks_per_thread: 1 },
+            SchedulePlan::Dynamic { chunks_per_thread: 16 },
+        ] {
+            for paradigm in [Paradigm::Pull, Paradigm::Push] {
+                for (landmarks, bitset) in [(0usize, false), (32, false), (32, true)] {
+                    let cfg = PspcConfig {
+                        threads,
+                        schedule,
+                        paradigm,
+                        num_landmarks: landmarks,
+                        landmark_bitset: bitset,
+                        ..PspcConfig::default()
+                    };
+                    let idx = build(&g, &order, &cfg);
+                    assert_eq!(
+                        reference.label_sets(),
+                        idx.label_sets(),
+                        "t={threads} {}/{paradigm:?}/lm={landmarks}/bits={bitset}",
+                        schedule.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn road_network_configuration_matrix() {
+    let g = perturbed_grid(18, 18, 0.08, 0.04, 5);
+    let order = OrderingStrategy::TreeDecomposition.compute(&g);
+    let reference = build_hpspc_with_order(&g, order.clone(), None);
+    for threads in [1usize, 4] {
+        for paradigm in [Paradigm::Pull, Paradigm::Push] {
+            let cfg = PspcConfig {
+                threads,
+                paradigm,
+                num_landmarks: 16,
+                ..PspcConfig::default()
+            };
+            let idx = build(&g, &order, &cfg);
+            assert_eq!(reference.label_sets(), idx.label_sets());
+        }
+    }
+}
+
+#[test]
+fn index_size_independent_of_threads() {
+    // The exact statement of the paper's Exp 2.
+    let g = chung_lu_power_law(400, 8.0, 2.4, 3);
+    let sizes: Vec<usize> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| {
+            let cfg = PspcConfig {
+                threads: t,
+                ..PspcConfig::default()
+            };
+            let (idx, _) = build_pspc(&g, &cfg);
+            idx.stats().label_bytes
+        })
+        .collect();
+    assert!(sizes.windows(2).all(|w| w[0] == w[1]), "sizes: {sizes:?}");
+}

@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: generators → orderings → builders →
+//! queries → reductions → serialization, validated against the brute-force
+//! counting-BFS oracle.
+
+use pspc::core::serialize::{index_from_binary, index_to_binary};
+use pspc::graph::generators::*;
+use pspc::graph::spc_bfs::spc_pair;
+use pspc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample_pairs(n: u32, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
+}
+
+fn check_index_against_bfs(g: &Graph, idx: &SpcIndex, pairs: &[(u32, u32)], what: &str) {
+    for &(s, t) in pairs {
+        assert_eq!(idx.query(s, t), spc_pair(g, s, t), "{what}: mismatch ({s},{t})");
+    }
+}
+
+#[test]
+fn every_generator_family_round_trips() {
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("er", erdos_renyi(300, 900, 1)),
+        ("ba", barabasi_albert(300, 3, 2)),
+        ("ws", watts_strogatz(300, 3, 0.1, 3)),
+        ("rmat", rmat(512, 2000, RmatParams::default(), 4)),
+        ("chung_lu", chung_lu_power_law(300, 8.0, 2.4, 5)),
+        ("sbm", planted_partition(300, 3, 6.0, 1.0, 6)),
+        ("geo", random_geometric(300, 0.1, 7)),
+        ("grid", perturbed_grid(15, 15, 0.05, 0.05, 8)),
+    ];
+    for (name, g) in &graphs {
+        let (idx, _) = build_pspc(g, &PspcConfig::default());
+        assert!(idx.validate().is_ok(), "{name}: invalid index");
+        let pairs = sample_pairs(g.num_vertices() as u32, 60, 42);
+        check_index_against_bfs(g, &idx, &pairs, name);
+    }
+}
+
+#[test]
+fn hpspc_and_pspc_agree_on_all_orderings() {
+    let g = chung_lu_power_law(250, 7.0, 2.4, 11);
+    for strategy in [
+        OrderingStrategy::Degree,
+        OrderingStrategy::TreeDecomposition,
+        OrderingStrategy::SignificantPath,
+        OrderingStrategy::Hybrid { delta: 3 },
+    ] {
+        let order = strategy.compute(&g);
+        let seq = build_hpspc_with_order(&g, order.clone(), None);
+        let cfg = PspcConfig {
+            ordering: strategy,
+            ..PspcConfig::default()
+        };
+        let (par, _) = build_pspc_with_order(&g, order, None, &cfg);
+        assert_eq!(
+            seq.label_sets(),
+            par.label_sets(),
+            "{}: ESPC must be unique given the order",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn reduced_index_is_exact_end_to_end() {
+    let g = barabasi_albert(400, 2, 17);
+    let ri = ReducedIndex::build(&g, &PspcConfig::default());
+    assert!(ri.reduced_vertices() < g.num_vertices());
+    for (s, t) in sample_pairs(400, 120, 3) {
+        assert_eq!(ri.query(s, t), spc_pair(&g, s, t), "({s},{t})");
+    }
+}
+
+#[test]
+fn serialization_survives_disk_round_trip() {
+    let g = erdos_renyi(200, 700, 23);
+    let (idx, _) = build_pspc(&g, &PspcConfig::default());
+    let bytes = index_to_binary(&idx);
+    let dir = std::env::temp_dir().join("pspc_e2e_snapshot.bin");
+    std::fs::write(&dir, &bytes).unwrap();
+    let read = std::fs::read(&dir).unwrap();
+    std::fs::remove_file(&dir).ok();
+    let restored = index_from_binary(bytes::Bytes::from(read)).unwrap();
+    let pairs = sample_pairs(200, 80, 5);
+    for (s, t) in pairs {
+        assert_eq!(idx.query(s, t), restored.query(s, t));
+    }
+}
+
+#[test]
+fn graph_io_pipeline() {
+    use pspc::graph::io;
+    let g = planted_partition(150, 3, 5.0, 1.0, 9);
+    let mut buf = Vec::new();
+    io::write_edge_list(&g, &mut buf).unwrap();
+    let g2 = io::read_edge_list(&buf[..]).unwrap();
+    assert_eq!(g, g2);
+    let (i1, _) = build_pspc(&g, &PspcConfig::default());
+    let (i2, _) = build_pspc(&g2, &PspcConfig::default());
+    assert_eq!(i1.label_sets(), i2.label_sets());
+}
+
+#[test]
+fn distance_only_queries_match_bfs_distances() {
+    let g = watts_strogatz(200, 3, 0.2, 31);
+    let (idx, _) = build_pspc(&g, &PspcConfig::default());
+    let dist = pspc::graph::traversal::bfs_distances(&g, 0);
+    for t in 0..200u32 {
+        let d = idx.distance(0, t);
+        if dist[t as usize] == u16::MAX {
+            assert_eq!(d, None);
+        } else {
+            assert_eq!(d, Some(dist[t as usize]));
+        }
+    }
+}
+
+#[test]
+fn batch_queries_consistent_with_singles() {
+    let g = barabasi_albert(300, 3, 41);
+    let (idx, _) = build_pspc(&g, &PspcConfig::default());
+    let pairs = sample_pairs(300, 500, 77);
+    let batch = idx.query_batch(&pairs);
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        assert_eq!(batch[i], idx.query(s, t));
+    }
+}

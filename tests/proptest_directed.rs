@@ -1,0 +1,71 @@
+//! Property-based invariants of the directed index extension.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use pspc::core::directed::hpspc::build_di_hpspc_with_order;
+use pspc::core::directed::pspc::{build_di_pspc_with_order, DiPspcConfig};
+use pspc::core::directed::{di_degree_order, DiSpcIndex};
+use pspc::graph::digraph::{di_spc_pair, DiGraph, DiGraphBuilder};
+
+fn arb_digraph(max_n: usize, max_m: usize) -> impl Strategy<Value = DiGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |arcs| DiGraphBuilder::new().num_vertices(n).arcs(arcs).build())
+    })
+}
+
+fn build_both(g: &DiGraph, landmarks: usize) -> (DiSpcIndex, DiSpcIndex) {
+    let order = di_degree_order(g);
+    let seq = build_di_hpspc_with_order(g, order.clone());
+    let par = build_di_pspc_with_order(
+        g,
+        order,
+        &DiPspcConfig {
+            num_landmarks: landmarks,
+            ..DiPspcConfig::default()
+        },
+    );
+    (seq, par)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The directed ESPC is unique given the order: sequential and parallel
+    /// builders agree on both label directions.
+    #[test]
+    fn directed_espc_unique(g in arb_digraph(30, 160), lm in 0usize..6) {
+        let (seq, par) = build_both(&g, lm);
+        prop_assert_eq!(seq.lin_sets(), par.lin_sets());
+        prop_assert_eq!(seq.lout_sets(), par.lout_sets());
+    }
+
+    /// Directed queries equal the forward counting-BFS oracle on all pairs.
+    #[test]
+    fn directed_queries_exact(g in arb_digraph(25, 120)) {
+        let (_, idx) = build_both(&g, 4);
+        let n = g.num_vertices() as u32;
+        for s in 0..n {
+            for t in 0..n {
+                prop_assert_eq!(idx.query(s, t), di_spc_pair(&g, s, t));
+            }
+        }
+    }
+
+    /// On a symmetric digraph the directed index agrees with the
+    /// undirected one.
+    #[test]
+    fn symmetric_digraph_matches_undirected(edges in vec((0u32..20, 0u32..20), 1..60)) {
+        use pspc::graph::digraph::from_undirected;
+        use pspc::prelude::*;
+        let ug = GraphBuilder::new().num_vertices(20).edges(edges).build();
+        let dg = from_undirected(&ug);
+        let (_, didx) = build_both(&dg, 0);
+        let (uidx, _) = build_pspc(&ug, &PspcConfig { num_landmarks: 0, ..PspcConfig::default() });
+        for s in 0..20u32 {
+            for t in 0..20u32 {
+                prop_assert_eq!(didx.query(s, t), uidx.query(s, t));
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests of the incremental distance index
+//! (`pspc::core::dynamic`): after any stream of edge insertions, distance
+//! queries must equal BFS on the evolved graph.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use pspc::core::dynamic::DynamicDistanceIndex;
+use pspc::graph::traversal::bfs_distances;
+use pspc::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn insertion_stream_preserves_exact_distances(
+        n in 4usize..28,
+        initial in vec((0u32..28, 0u32..28), 0..50),
+        inserts in vec((0u32..28, 0u32..28), 1..20),
+    ) {
+        let clamp = |edges: Vec<(u32, u32)>| -> Vec<(u32, u32)> {
+            edges
+                .into_iter()
+                .map(|(u, v)| (u % n as u32, v % n as u32))
+                .collect()
+        };
+        let initial = clamp(initial);
+        let inserts = clamp(inserts);
+        let g = GraphBuilder::new().num_vertices(n).edges(initial.clone()).build();
+        let mut idx = DynamicDistanceIndex::build(&g, OrderingStrategy::Degree);
+
+        let mut all_edges = initial;
+        for &(u, v) in &inserts {
+            idx.insert_edge(u, v);
+            all_edges.push((u, v));
+        }
+        let evolved = GraphBuilder::new()
+            .num_vertices(n)
+            .edges(all_edges)
+            .build();
+        for s in 0..n as u32 {
+            let truth = bfs_distances(&evolved, s);
+            for t in 0..n as u32 {
+                let want = (truth[t as usize] != u16::MAX).then_some(truth[t as usize]);
+                prop_assert_eq!(idx.distance(s, t), want, "({}, {})", s, t);
+            }
+        }
+    }
+
+    /// The dynamic index built statically agrees with the SPC index's
+    /// distance component.
+    #[test]
+    fn static_build_matches_spc_distances(edges in vec((0u32..24, 0u32..24), 1..70)) {
+        let g = GraphBuilder::new().num_vertices(24).edges(edges).build();
+        let dyn_idx = DynamicDistanceIndex::build(&g, OrderingStrategy::Degree);
+        let (spc_idx, _) = build_pspc(&g, &PspcConfig::default());
+        for s in 0..24u32 {
+            for t in 0..24u32 {
+                prop_assert_eq!(dyn_idx.distance(s, t), spc_idx.distance(s, t));
+            }
+        }
+    }
+}

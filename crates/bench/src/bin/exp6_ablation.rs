@@ -27,7 +27,9 @@ fn main() {
             exp6_ablation(&opt, Ablation::BitFilter);
         }
         other => {
-            eprintln!("unknown panel {other}; use ll | schedule | order | paradigm | bitfilter | all");
+            eprintln!(
+                "unknown panel {other}; use ll | schedule | order | paradigm | bitfilter | all"
+            );
             std::process::exit(2);
         }
     }

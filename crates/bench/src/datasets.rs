@@ -47,6 +47,7 @@ pub enum Family {
 }
 
 /// The ten rows of Table III, in the paper's order.
+#[rustfmt::skip]
 pub const DATASETS: [DatasetSpec; 10] = [
     DatasetSpec { code: "FB", name: "Facebook", paper_vertices: 63_731, paper_edges: 817_035, paper_avg_degree: 25.6, base_vertices: 2_000, family: Family::ScaleFree },
     DatasetSpec { code: "GW", name: "Gowalla", paper_vertices: 196_591, paper_edges: 950_327, paper_avg_degree: 9.7, base_vertices: 4_000, family: Family::Spatial },
@@ -63,9 +64,7 @@ pub const DATASETS: [DatasetSpec; 10] = [
 impl DatasetSpec {
     /// Looks a dataset up by its two-letter code (case-insensitive).
     pub fn by_code(code: &str) -> Option<&'static DatasetSpec> {
-        DATASETS
-            .iter()
-            .find(|d| d.code.eq_ignore_ascii_case(code))
+        DATASETS.iter().find(|d| d.code.eq_ignore_ascii_case(code))
     }
 
     /// Generates the stand-in graph at the given scale (vertex count =
@@ -88,7 +87,13 @@ impl DatasetSpec {
             }
             Family::Community => {
                 let blocks = (n / 250).max(2);
-                planted_partition(n, blocks, self.paper_avg_degree * 0.8, self.paper_avg_degree * 0.2, seed)
+                planted_partition(
+                    n,
+                    blocks,
+                    self.paper_avg_degree * 0.8,
+                    self.paper_avg_degree * 0.2,
+                    seed,
+                )
             }
             Family::Spatial => {
                 // radius chosen so E[deg] = π r² n ≈ paper_avg_degree
@@ -167,7 +172,10 @@ mod tests {
     fn size_ordering_matches_paper() {
         // Stand-ins preserve the relative edge-count ordering of Table III
         // (roughly; at least the largest and smallest are right).
-        let sizes: Vec<usize> = DATASETS.iter().map(|d| d.generate(0.05).num_edges()).collect();
+        let sizes: Vec<usize> = DATASETS
+            .iter()
+            .map(|d| d.generate(0.05).num_edges())
+            .collect();
         let max = sizes.iter().enumerate().max_by_key(|(_, &s)| s).unwrap().0;
         assert_eq!(DATASETS[max].code, "IN");
     }

@@ -110,7 +110,17 @@ pub fn table3_datasets(opt: &ExpOptions) {
         .collect();
     print_table(
         "Table III: datasets (paper vs synthetic stand-in)",
-        &["Code", "Name", "|V| paper", "|E| paper", "davg", "|V| ours", "|E| ours", "davg ours", "diam~"],
+        &[
+            "Code",
+            "Name",
+            "|V| paper",
+            "|E| paper",
+            "davg",
+            "|V| ours",
+            "|E| ours",
+            "davg ours",
+            "diam~",
+        ],
         &rows,
     );
 }
@@ -193,7 +203,13 @@ pub fn exp1_indexing_time(opt: &ExpOptions) {
     }
     print_table(
         "Exp 1 / Fig. 5: indexing time",
-        &["Dataset", "HP-SPC", "PSPC", "PSPC+ (wall)", "PSPC+ (20t model)"],
+        &[
+            "Dataset",
+            "HP-SPC",
+            "PSPC",
+            "PSPC+ (wall)",
+            "PSPC+ (20t model)",
+        ],
         &rows,
     );
 }
@@ -232,12 +248,7 @@ pub fn exp3_query_time(opt: &ExpOptions) {
         assert_eq!(a1, a2, "{}: indexes disagree", d.code);
         assert_eq!(a2, a3, "{}: parallel batch disagrees", d.code);
         let us = |t: f64| format!("{:.2}", t / pairs.len() as f64 * 1e6);
-        rows.push(vec![
-            d.code.to_string(),
-            us(t_hp),
-            us(t_ps),
-            us(t_pp),
-        ]);
+        rows.push(vec![d.code.to_string(), us(t_hp), us(t_ps), us(t_pp)]);
         eprintln!("[exp3] {} done", d.code);
     }
     print_table(
@@ -282,9 +293,7 @@ pub fn exp4_index_speedup(opt: &ExpOptions) {
 pub fn query_work_model(idx: &SpcIndex, pairs: &[(u32, u32)]) -> WorkModel {
     let works: Vec<u64> = pairs
         .iter()
-        .map(|&(s, t)| {
-            (idx.labels_of_vertex(s).len() + idx.labels_of_vertex(t).len()) as u64
-        })
+        .map(|&(s, t)| (idx.labels_of_vertex(s).len() + idx.labels_of_vertex(t).len()) as u64)
         .collect();
     WorkModel {
         per_iteration: vec![works],
@@ -369,9 +378,7 @@ pub fn exp6_ablation(opt: &ExpOptions, which: Ablation) {
                 let model = stats.work_model.expect("recorded");
                 let lc = idx.stats().construction_seconds;
                 let fixed = idx.stats().total_seconds() - lc;
-                let modeled = |plan: SchedulePlan| {
-                    fmt_secs(fixed + lc / model.speedup(20, plan))
-                };
+                let modeled = |plan: SchedulePlan| fmt_secs(fixed + lc / model.speedup(20, plan));
                 rows.push(vec![
                     d.code.to_string(),
                     modeled(SchedulePlan::Static),
@@ -489,9 +496,24 @@ pub fn exp7_delta(opt: &ExpOptions) {
         query_series.push((d.code.to_string(), queries));
     }
     let xs: Vec<String> = deltas.iter().map(|d| d.to_string()).collect();
-    print_series("Exp 6 / Fig. 11a: index size (MiB) vs delta", "delta", &xs, &size_series);
-    print_series("Exp 6 / Fig. 11b: index time vs delta", "delta", &xs, &time_series);
-    print_series("Exp 6 / Fig. 11c: query time (us) vs delta", "delta", &xs, &query_series);
+    print_series(
+        "Exp 6 / Fig. 11a: index size (MiB) vs delta",
+        "delta",
+        &xs,
+        &size_series,
+    );
+    print_series(
+        "Exp 6 / Fig. 11b: index time vs delta",
+        "delta",
+        &xs,
+        &time_series,
+    );
+    print_series(
+        "Exp 6 / Fig. 11c: query time (us) vs delta",
+        "delta",
+        &xs,
+        &query_series,
+    );
 }
 
 // ------------------------------------------------------------------- Exp 7
@@ -583,6 +605,9 @@ mod tests {
         let pairs = random_pairs(&g, 2000, 1);
         let model = query_work_model(&idx, &pairs);
         let s = model.speedup(8, SchedulePlan::default());
-        assert!(s > 6.0, "query batches should scale near-linearly, got {s:.2}");
+        assert!(
+            s > 6.0,
+            "query batches should scale near-linearly, got {s:.2}"
+        );
     }
 }

@@ -63,9 +63,7 @@ impl ExpOptions {
                         .collect();
                 }
                 "--help" | "-h" => {
-                    eprintln!(
-                        "options: --scale <f> --threads <n> --queries <n> --datasets A,B,.."
-                    );
+                    eprintln!("options: --scale <f> --threads <n> --queries <n> --datasets A,B,..");
                     std::process::exit(0);
                 }
                 other => {
@@ -119,10 +117,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(&widths
-        .iter()
-        .map(|w| "-".repeat(*w))
-        .collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }

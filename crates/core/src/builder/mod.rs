@@ -205,7 +205,9 @@ pub fn build_pspc_with_order(
                 &mut new,
                 vertex_work.as_deref_mut(),
             ),
-            Paradigm::Push => pool.install(|| push::run_push_iteration(&ctx, &ranges, &wpool, &mut new)),
+            Paradigm::Push => {
+                pool.install(|| push::run_push_iteration(&ctx, &ranges, &wpool, &mut new))
+            }
         };
         // Barrier: merge the fresh level into the frozen snapshot.
         let new_entries: usize = new.iter().map(Vec::len).sum();
@@ -229,21 +231,14 @@ pub fn build_pspc_with_order(
     build.iterations = build.entries_per_iteration.len();
 
     // Finalize: per-vertex sort by hub (levels were appended in time order).
-    let label_sets: Vec<LabelSet> = pool.install(|| {
-        labels
-            .into_par_iter()
-            .map(LabelSet::from_entries)
-            .collect()
-    });
+    let label_sets: Vec<LabelSet> =
+        pool.install(|| labels.into_par_iter().map(LabelSet::from_entries).collect());
     let stats = IndexStats {
         landmark_seconds,
         construction_seconds: t_lc.elapsed().as_secs_f64(),
         ..IndexStats::default()
     };
-    (
-        SpcIndex::new(order, label_sets, rank_weights, stats),
-        build,
-    )
+    (SpcIndex::new(order, label_sets, rank_weights, stats), build)
 }
 
 /// Read-only view of the frozen snapshot shared by one iteration.
@@ -258,11 +253,7 @@ pub(crate) struct PropagationCtx<'a> {
 }
 
 /// Computes the iteration's chunk ranges under the schedule plan.
-fn plan_ranges(
-    ctx: &PropagationCtx<'_>,
-    plan: SchedulePlan,
-    threads: usize,
-) -> Vec<Range<usize>> {
+fn plan_ranges(ctx: &PropagationCtx<'_>, plan: SchedulePlan, threads: usize) -> Vec<Range<usize>> {
     let n = ctx.rg.num_vertices();
     match plan {
         SchedulePlan::Static => schedule::static_ranges(n, threads),
@@ -329,9 +320,7 @@ fn run_pull_iteration(
             };
             let total = std::sync::atomic::AtomicU64::new(0);
             crossbeam::thread::scope(|scope| {
-                for ((range, slice), mut wslice) in
-                    ranges.iter().zip(slices).zip(work_slices)
-                {
+                for ((range, slice), mut wslice) in ranges.iter().zip(slices).zip(work_slices) {
                     let total = &total;
                     scope.spawn(move |_| {
                         let mut ws = Workspace::new(n);
@@ -366,8 +355,7 @@ fn run_pull_iteration(
                         wpool.with(|ws| {
                             let mut sum = 0u64;
                             for (i, u) in range.clone().enumerate() {
-                                let w =
-                                    pull::process_vertex(ctx, u as u32, ws, &mut slice[i]);
+                                let w = pull::process_vertex(ctx, u as u32, ws, &mut slice[i]);
                                 if let Some(wsl) = wslice.as_deref_mut() {
                                     wsl[i] = w;
                                 }
@@ -392,11 +380,7 @@ mod tests {
 
     fn assert_same_index(a: &SpcIndex, b: &SpcIndex, what: &str) {
         assert_eq!(a.order(), b.order(), "{what}: orders differ");
-        assert_eq!(
-            a.label_sets(),
-            b.label_sets(),
-            "{what}: label sets differ"
-        );
+        assert_eq!(a.label_sets(), b.label_sets(), "{what}: label sets differ");
     }
 
     #[test]
@@ -423,7 +407,9 @@ mod tests {
         for threads in [1usize, 2, 4] {
             for schedule in [
                 SchedulePlan::Static,
-                SchedulePlan::Dynamic { chunks_per_thread: 4 },
+                SchedulePlan::Dynamic {
+                    chunks_per_thread: 4,
+                },
             ] {
                 for paradigm in [Paradigm::Pull, Paradigm::Push] {
                     let cfg = PspcConfig {
@@ -500,7 +486,10 @@ mod tests {
         assert_eq!(model.per_iteration.len(), stats.iterations);
         assert!(model.total_work() > 0);
         let s = model.speedup(4, SchedulePlan::default());
-        assert!((1.0..=4.0).contains(&s), "modelled speedup {s} out of range");
+        assert!(
+            (1.0..=4.0).contains(&s),
+            "modelled speedup {s} out of range"
+        );
     }
 
     #[test]

@@ -205,7 +205,12 @@ mod tests {
             per_iteration: vec![works],
         };
         let s_static = model.speedup(4, SchedulePlan::Static);
-        let s_dyn = model.speedup(4, SchedulePlan::Dynamic { chunks_per_thread: 8 });
+        let s_dyn = model.speedup(
+            4,
+            SchedulePlan::Dynamic {
+                chunks_per_thread: 8,
+            },
+        );
         assert!(
             s_dyn > s_static,
             "dynamic {s_dyn:.2} should beat static {s_static:.2}"

@@ -44,8 +44,16 @@ pub fn build_di_hpspc_with_order(g: &DiGraph, order: VertexOrder) -> DiSpcIndex 
     let mut discovered: Vec<u32> = Vec::new();
 
     for s in 0..n as u32 {
-        lin[s as usize].push(LabelEntry { hub: s, dist: 0, count: 1 });
-        lout[s as usize].push(LabelEntry { hub: s, dist: 0, count: 1 });
+        lin[s as usize].push(LabelEntry {
+            hub: s,
+            dist: 0,
+            count: 1,
+        });
+        lout[s as usize].push(LabelEntry {
+            hub: s,
+            dist: 0,
+            count: 1,
+        });
 
         // ---- Forward sweep: trough paths s -> u, labels into Lin(u).
         // Witness legs: dist(s->h) from Lout(s), dist(h->u) from Lin(u).

@@ -48,7 +48,12 @@ impl DiSpcIndex {
         assert_eq!(order.len(), lout.len());
         stats.total_entries = lin.iter().chain(&lout).map(LabelSet::len).sum();
         stats.label_bytes = lin.iter().chain(&lout).map(LabelSet::size_bytes).sum();
-        stats.max_label_size = lin.iter().chain(&lout).map(LabelSet::len).max().unwrap_or(0);
+        stats.max_label_size = lin
+            .iter()
+            .chain(&lout)
+            .map(LabelSet::len)
+            .max()
+            .unwrap_or(0);
         stats.avg_label_size = if lin.is_empty() {
             0.0
         } else {
@@ -109,7 +114,13 @@ impl DiSpcIndex {
         }
         let rs = self.order.rank_of(s);
         let rt = self.order.rank_of(t);
-        query_label_sets(&self.lout[rs as usize], &self.lin[rt as usize], rs, rt, None)
+        query_label_sets(
+            &self.lout[rs as usize],
+            &self.lin[rt as usize],
+            rs,
+            rt,
+            None,
+        )
     }
 
     /// Directed distance only.

@@ -57,12 +57,16 @@ impl DiLandmarks {
         let k = k.min(n);
         let mut fwd = vec![u16::MAX; k * n];
         let mut bwd = vec![u16::MAX; k * n];
-        fwd.par_chunks_mut(n.max(1)).enumerate().for_each(|(w, row)| {
-            di_bfs_forward_into(rg, w as VertexId, row);
-        });
-        bwd.par_chunks_mut(n.max(1)).enumerate().for_each(|(w, row)| {
-            di_bfs_backward_into(rg, w as VertexId, row);
-        });
+        fwd.par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(w, row)| {
+                di_bfs_forward_into(rg, w as VertexId, row);
+            });
+        bwd.par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(w, row)| {
+                di_bfs_backward_into(rg, w as VertexId, row);
+            });
         DiLandmarks { k, n, fwd, bwd }
     }
 
@@ -103,7 +107,9 @@ pub fn build_di_pspc_with_order(
     assert_eq!(order.len(), g.num_vertices());
     let n = g.num_vertices();
     let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         config.threads
     };
@@ -119,7 +125,13 @@ pub fn build_di_pspc_with_order(
     let landmark_seconds = t_ll.elapsed().as_secs_f64();
 
     let t_lc = Instant::now();
-    let self_label = |u: u32| vec![LabelEntry { hub: u, dist: 0, count: 1 }];
+    let self_label = |u: u32| {
+        vec![LabelEntry {
+            hub: u,
+            dist: 0,
+            count: 1,
+        }]
+    };
     let mut lin: Vec<Vec<LabelEntry>> = (0..n as u32).map(self_label).collect();
     let mut lout: Vec<Vec<LabelEntry>> = (0..n as u32).map(self_label).collect();
     let mut ps_in: Vec<u32> = vec![0; n];
@@ -141,10 +153,26 @@ pub fn build_di_pspc_with_order(
                 .map(|u| {
                     wpool.with(|ws| {
                         let new_in = propagate_side(
-                            &rg, u, d, &lin, &lout, &ps_in, landmarks.as_ref(), ws, true,
+                            &rg,
+                            u,
+                            d,
+                            &lin,
+                            &lout,
+                            &ps_in,
+                            landmarks.as_ref(),
+                            ws,
+                            true,
                         );
                         let new_out = propagate_side(
-                            &rg, u, d, &lout, &lin, &ps_out, landmarks.as_ref(), ws, false,
+                            &rg,
+                            u,
+                            d,
+                            &lout,
+                            &lin,
+                            &ps_out,
+                            landmarks.as_ref(),
+                            ws,
+                            false,
                         );
                         (new_in, new_out)
                     })
@@ -272,8 +300,16 @@ mod tests {
                     ..DiPspcConfig::default()
                 };
                 let par = build_di_pspc_with_order(&g, order.clone(), &cfg);
-                assert_eq!(seq.lin_sets(), par.lin_sets(), "lin seed={seed} lm={landmarks}");
-                assert_eq!(seq.lout_sets(), par.lout_sets(), "lout seed={seed} lm={landmarks}");
+                assert_eq!(
+                    seq.lin_sets(),
+                    par.lin_sets(),
+                    "lin seed={seed} lm={landmarks}"
+                );
+                assert_eq!(
+                    seq.lout_sets(),
+                    par.lout_sets(),
+                    "lout seed={seed} lm={landmarks}"
+                );
             }
         }
     }
@@ -304,8 +340,20 @@ mod tests {
     #[test]
     fn deterministic_across_threads() {
         let g = erdos_renyi_digraph(70, 350, 2);
-        let a = build_di_pspc(&g, &DiPspcConfig { threads: 1, ..DiPspcConfig::default() });
-        let b = build_di_pspc(&g, &DiPspcConfig { threads: 4, ..DiPspcConfig::default() });
+        let a = build_di_pspc(
+            &g,
+            &DiPspcConfig {
+                threads: 1,
+                ..DiPspcConfig::default()
+            },
+        );
+        let b = build_di_pspc(
+            &g,
+            &DiPspcConfig {
+                threads: 4,
+                ..DiPspcConfig::default()
+            },
+        );
         assert_eq!(a.lin_sets(), b.lin_sets());
         assert_eq!(a.lout_sets(), b.lout_sets());
     }

@@ -165,11 +165,8 @@ impl DynamicDistanceIndex {
             scratch.set(hub, dist);
         }
         // Frontier of (vertex, dist) pairs in nondecreasing dist order.
-        let mut frontier: Vec<(u32, u16)> = seeds
-            .iter()
-            .copied()
-            .filter(|&(v, _)| v >= h)
-            .collect();
+        let mut frontier: Vec<(u32, u16)> =
+            seeds.iter().copied().filter(|&(v, _)| v >= h).collect();
         let mut next: Vec<(u32, u16)> = Vec::new();
         while !frontier.is_empty() {
             for &(v, d) in &frontier {

@@ -155,7 +155,10 @@ mod tests {
         type Entry = (u32, u16, u64);
         let expect: Vec<(u32, Vec<Entry>)> = vec![
             (0, vec![(0, 0, 1)]),
-            (1, vec![(0, 2, 2), (6, 2, 1), (3, 1, 1), (9, 1, 1), (1, 0, 1)]),
+            (
+                1,
+                vec![(0, 2, 2), (6, 2, 1), (3, 1, 1), (9, 1, 1), (1, 0, 1)],
+            ),
             (2, vec![(0, 1, 1), (6, 2, 1), (2, 0, 1)]),
             (3, vec![(0, 1, 1), (6, 1, 1), (3, 0, 1)]),
             (4, vec![(0, 1, 1), (6, 1, 1), (4, 0, 1)]),
@@ -164,7 +167,14 @@ mod tests {
             (7, vec![(0, 3, 3), (6, 1, 1), (9, 2, 1), (7, 0, 1)]),
             (
                 8,
-                vec![(0, 2, 1), (6, 2, 1), (3, 3, 1), (9, 1, 1), (7, 1, 1), (8, 0, 1)],
+                vec![
+                    (0, 2, 1),
+                    (6, 2, 1),
+                    (3, 3, 1),
+                    (9, 1, 1),
+                    (7, 1, 1),
+                    (8, 0, 1),
+                ],
             ),
             (9, vec![(0, 1, 1), (6, 3, 2), (3, 2, 1), (9, 0, 1)]),
         ];

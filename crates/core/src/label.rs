@@ -48,7 +48,11 @@ impl LabelSet {
     pub fn from_entries(mut entries: Vec<LabelEntry>) -> Self {
         entries.sort_unstable_by_key(|e| e.hub);
         for w in entries.windows(2) {
-            assert!(w[0].hub != w[1].hub, "duplicate hub {} in label set", w[0].hub);
+            assert!(
+                w[0].hub != w[1].hub,
+                "duplicate hub {} in label set",
+                w[0].hub
+            );
         }
         let mut s = LabelSet {
             hubs: Vec::with_capacity(entries.len()),

@@ -226,7 +226,9 @@ mod tests {
     use pspc_graph::GraphBuilder;
 
     fn path5() -> Graph {
-        GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build()
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .build()
     }
 
     #[test]
@@ -280,11 +282,7 @@ mod tests {
             bits.advance(d);
             for w in 0..4u32 {
                 for u in 0..10u32 {
-                    assert_eq!(
-                        bits.prunes(w, u),
-                        lm.prunes(w, u, d),
-                        "d={d} w={w} u={u}"
-                    );
+                    assert_eq!(bits.prunes(w, u), lm.prunes(w, u, d), "d={d} w={w} u={u}");
                 }
             }
         }

@@ -88,10 +88,7 @@ impl OneShellReduction {
                 count: 1,
             };
         }
-        let (cs, ct) = (
-            self.to_core[a_s as usize],
-            self.to_core[a_t as usize],
-        );
+        let (cs, ct) = (self.to_core[a_s as usize], self.to_core[a_t as usize]);
         debug_assert!(cs != u32::MAX && ct != u32::MAX, "anchors live in the core");
         let core = core_query(cs, ct);
         if !core.is_reachable() {

@@ -42,7 +42,8 @@ impl ReducedIndex {
     /// Exact `SPC(s, t)` over original vertex ids.
     pub fn query(&self, s: VertexId, t: VertexId) -> SpcAnswer {
         self.one_shell.query(s, t, |cs, ct| {
-            self.equivalence.query(cs, ct, |rs, rt| self.index.query(rs, rt))
+            self.equivalence
+                .query(cs, ct, |rs, rt| self.index.query(rs, rt))
         })
     }
 

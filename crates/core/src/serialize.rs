@@ -52,7 +52,9 @@ pub fn index_from_binary(mut data: Bytes) -> io::Result<SpcIndex> {
     }
     data.advance(8);
     let n = data.get_u64_le() as usize;
-    if data.remaining() < n * 4 + 1 {
+    // Saturating arithmetic: a corrupt header can claim any vertex count,
+    // and the size check must reject it rather than overflow.
+    if data.remaining() < n.saturating_mul(4).saturating_add(1) {
         return Err(bad("truncated order section"));
     }
     let mut order = Vec::with_capacity(n);
@@ -75,7 +77,7 @@ pub fn index_from_binary(mut data: Bytes) -> io::Result<SpcIndex> {
     let weights = match data.get_u8() {
         0 => None,
         1 => {
-            if data.remaining() < n * 8 {
+            if data.remaining() < n.saturating_mul(8) {
                 return Err(bad("truncated weights section"));
             }
             Some((0..n).map(|_| data.get_u64_le()).collect::<Vec<_>>())
@@ -88,7 +90,7 @@ pub fn index_from_binary(mut data: Bytes) -> io::Result<SpcIndex> {
             return Err(bad("truncated label header"));
         }
         let k = data.get_u32_le() as usize;
-        if data.remaining() < k * 14 {
+        if data.remaining() < k.saturating_mul(14) {
             return Err(bad("truncated label entries"));
         }
         let mut entries = Vec::with_capacity(k);
@@ -100,6 +102,13 @@ pub fn index_from_binary(mut data: Bytes) -> io::Result<SpcIndex> {
                 return Err(bad("hub ranked below owner"));
             }
             entries.push(LabelEntry { hub, dist, count });
+        }
+        // Reject duplicate hubs here: LabelSet::from_entries asserts on
+        // them, and corrupt input must error rather than panic.
+        let mut hubs: Vec<u32> = entries.iter().map(|e| e.hub).collect();
+        hubs.sort_unstable();
+        if hubs.windows(2).any(|w| w[0] == w[1]) {
+            return Err(bad("duplicate hub in label set"));
         }
         labels.push(LabelSet::from_entries(entries));
     }
@@ -151,6 +160,93 @@ mod tests {
         assert!(index_from_binary(Bytes::from(tampered)).is_err());
         // Truncate mid-labels.
         assert!(index_from_binary(bin.slice(..bin.len() - 5)).is_err());
+    }
+
+    #[test]
+    fn every_truncation_errors_without_panic() {
+        let g = barabasi_albert(40, 2, 5);
+        let w: Vec<u64> = (0..40).map(|i| 1 + i % 3).collect();
+        let o = pspc_order::OrderingStrategy::Degree.compute(&g);
+        let (idx, _) =
+            crate::builder::build_pspc_with_order(&g, o, Some(&w), &PspcConfig::default());
+        let bin = index_to_binary(&idx);
+        // Every strict prefix must be rejected with an error — no length
+        // may panic or be accepted as a shorter valid snapshot.
+        for len in 0..bin.len() {
+            assert!(
+                index_from_binary(bin.slice(..len)).is_err(),
+                "prefix of {len} bytes accepted"
+            );
+        }
+        assert!(index_from_binary(bin).is_ok());
+    }
+
+    #[test]
+    fn huge_header_counts_error_not_panic() {
+        // A corrupt vertex count near usize::MAX must not overflow the
+        // size checks or trigger a giant allocation.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(u64::MAX);
+        buf.put_u8(0);
+        assert!(index_from_binary(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn huge_label_count_errors_not_panic() {
+        // Valid empty-ish snapshot whose first label set claims u32::MAX
+        // entries.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(1);
+        buf.put_u32_le(0); // order: single vertex 0
+        buf.put_u8(0); // no weights
+        buf.put_u32_le(u32::MAX); // label count for rank 0
+        assert!(index_from_binary(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn bad_weights_flag_errors() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(1);
+        buf.put_u32_le(0);
+        buf.put_u8(9); // flag must be 0 or 1
+        assert!(index_from_binary(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn duplicate_hub_errors_not_panic() {
+        // Two entries for the same hub pass the hub <= rank check but
+        // would trip LabelSet::from_entries' assert; must error instead.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(1);
+        buf.put_u32_le(0); // order: single vertex 0
+        buf.put_u8(0); // no weights
+        buf.put_u32_le(2); // rank 0: two entries, both hub 0
+        for _ in 0..2 {
+            buf.put_u32_le(0);
+            buf.put_u16_le(0);
+            buf.put_u64_le(1);
+        }
+        assert!(index_from_binary(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn hub_ranked_below_owner_errors() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(2);
+        buf.put_u32_le(0);
+        buf.put_u32_le(1);
+        buf.put_u8(0);
+        // Rank 0's label set claims hub 1 — above its owner.
+        buf.put_u32_le(1);
+        buf.put_u32_le(1);
+        buf.put_u16_le(0);
+        buf.put_u64_le(1);
+        assert!(index_from_binary(buf.freeze()).is_err());
     }
 
     #[test]

@@ -112,9 +112,7 @@ mod tests {
 
     #[test]
     fn largest_component_extracted() {
-        let g = GraphBuilder::new()
-            .edges([(0, 1), (1, 2), (3, 4)])
-            .build();
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (3, 4)]).build();
         let (lcc, ids) = extract_largest_component(&g);
         assert_eq!(lcc.num_vertices(), 3);
         assert_eq!(ids, vec![0, 1, 2]);

@@ -45,6 +45,21 @@ impl Graph {
         g
     }
 
+    /// Builds a graph from CSR arrays of untrusted origin (e.g. a binary
+    /// snapshot), running full validation and returning an error instead
+    /// of panicking on violated invariants.
+    pub fn try_from_csr_parts(offsets: Vec<u64>, targets: Vec<VertexId>) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets must have n+1 entries".into());
+        }
+        if *offsets.last().unwrap() as usize != targets.len() {
+            return Err("last offset must equal the target-array length".into());
+        }
+        let g = Graph { offsets, targets };
+        g.validate()?;
+        Ok(g)
+    }
+
     /// Number of vertices `n = |V|`.
     #[inline]
     pub fn num_vertices(&self) -> usize {

@@ -331,7 +331,11 @@ pub fn di_bfs_backward_into(g: &DiGraph, src: VertexId, dist: &mut [u16]) {
     });
 }
 
-fn bfs_generic(dist: &mut [u16], src: VertexId, neighbors: impl Fn(VertexId, &mut dyn FnMut(VertexId))) {
+fn bfs_generic(
+    dist: &mut [u16],
+    src: VertexId,
+    neighbors: impl Fn(VertexId, &mut dyn FnMut(VertexId)),
+) {
     dist.fill(UNREACHABLE);
     let mut frontier = vec![src];
     dist[src as usize] = 0;
@@ -365,7 +369,9 @@ mod tests {
 
     #[test]
     fn builder_dedups_and_separates_directions() {
-        let g = DiGraphBuilder::new().arcs([(0, 1), (0, 1), (1, 0), (1, 2)]).build();
+        let g = DiGraphBuilder::new()
+            .arcs([(0, 1), (0, 1), (1, 0), (1, 2)])
+            .build();
         assert_eq!(g.num_arcs(), 3);
         assert!(g.has_arc(0, 1));
         assert!(g.has_arc(1, 0));

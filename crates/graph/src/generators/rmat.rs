@@ -67,7 +67,11 @@ pub fn rmat(n: usize, m: usize, p: RmatParams, seed: u64) -> Graph {
         if u >= n || v >= n || u == v {
             continue;
         }
-        let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        let key = if u < v {
+            (u as u32, v as u32)
+        } else {
+            (v as u32, u as u32)
+        };
         if seen.insert(key) {
             b.push_edge(key.0, key.1);
         }

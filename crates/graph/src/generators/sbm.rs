@@ -33,7 +33,11 @@ pub fn planted_partition(
         attempts += 1;
         let u = rng.gen_range(0..n);
         let lo = block_of(u) * block_size;
-        let hi = if block_of(u) == blocks - 1 { n } else { lo + block_size };
+        let hi = if block_of(u) == blocks - 1 {
+            n
+        } else {
+            lo + block_size
+        };
         let v = rng.gen_range(lo..hi);
         if u == v {
             continue;

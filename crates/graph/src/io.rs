@@ -66,7 +66,12 @@ pub fn read_edge_list_file(path: impl AsRef<Path>) -> io::Result<Graph> {
 /// Writes the graph as an edge list (each undirected edge once, `u < v`).
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# pspc edge list: {} vertices {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# pspc edge list: {} vertices {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u}\t{v}")?;
     }
@@ -103,7 +108,12 @@ pub fn from_binary(mut data: Bytes) -> io::Result<Graph> {
     data.advance(8);
     let n = data.get_u64_le() as usize;
     let arcs = data.get_u64_le() as usize;
-    let need = (n + 1) * 8 + arcs * 4;
+    // Saturating arithmetic: a corrupt header can claim any counts, and
+    // the size check must reject them rather than overflow.
+    let need = n
+        .saturating_add(1)
+        .saturating_mul(8)
+        .saturating_add(arcs.saturating_mul(4));
     if data.len() < need {
         return Err(bad("truncated graph snapshot"));
     }
@@ -118,15 +128,10 @@ pub fn from_binary(mut data: Bytes) -> io::Result<Graph> {
     for _ in 0..arcs {
         targets.push(data.get_u32_le());
     }
-    for w in offsets.windows(2) {
-        if w[0] > w[1] {
-            return Err(bad("offsets not monotone"));
-        }
-    }
-    if targets.iter().any(|&t| t as usize >= n) {
-        return Err(bad("target vertex out of range"));
-    }
-    Ok(Graph::from_csr_parts(offsets, targets))
+    // Full structural validation (monotone offsets, sorted/deduped
+    // neighbor lists, symmetry, no self loops): corrupt input must come
+    // back as an error, never a panic or a silently invalid graph.
+    Graph::try_from_csr_parts(offsets, targets).map_err(|e| bad(&e))
 }
 
 #[cfg(test)]
@@ -180,5 +185,86 @@ mod tests {
         let mut tampered = bin.to_vec();
         tampered[0] = b'X';
         assert!(from_binary(Bytes::from(tampered)).is_err());
+    }
+
+    #[test]
+    fn binary_every_truncation_errors_without_panic() {
+        let g = erdos_renyi(30, 60, 2);
+        let bin = to_binary(&g);
+        // Every strict prefix must be rejected with an error, never a
+        // panic or a silently shorter graph.
+        for len in 0..bin.len() {
+            assert!(
+                from_binary(bin.slice(..len)).is_err(),
+                "prefix of {len} bytes accepted"
+            );
+        }
+        assert!(from_binary(bin).is_ok());
+    }
+
+    #[test]
+    fn binary_huge_header_counts_error_not_panic() {
+        // Corrupt vertex/arc counts near u64::MAX must not overflow the
+        // size check or trigger a giant allocation.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(u64::MAX);
+        buf.put_u64_le(u64::MAX);
+        buf.put_u64_le(0);
+        assert!(from_binary(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_inconsistent_offsets() {
+        // Non-monotone offsets and out-of-range targets are structural
+        // corruption, not I/O truncation; both must error.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(2); // n = 2
+        buf.put_u64_le(2); // arcs = 2
+        buf.put_u64_le(0);
+        buf.put_u64_le(2);
+        buf.put_u64_le(1); // offsets not monotone (2 > 1) but last != arcs too
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        assert!(from_binary(buf.freeze()).is_err());
+
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(2);
+        buf.put_u64_le(2);
+        buf.put_u64_le(0);
+        buf.put_u64_le(1);
+        buf.put_u64_le(2);
+        buf.put_u32_le(1);
+        buf.put_u32_le(7); // target 7 out of range for n = 2
+        assert!(from_binary(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_invalid_structure_not_panic() {
+        // Size-consistent CSR whose content violates graph invariants
+        // (duplicate neighbor + asymmetric edge) must error, not panic
+        // via debug assertions or be silently accepted.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(2); // n = 2
+        buf.put_u64_le(2); // arcs = 2
+        buf.put_u64_le(0);
+        buf.put_u64_le(2);
+        buf.put_u64_le(2);
+        buf.put_u32_le(1);
+        buf.put_u32_le(1); // vertex 0 lists neighbor 1 twice; 1 lists none
+        assert!(from_binary(buf.freeze()).is_err());
+
+        // Self loop.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(1);
+        buf.put_u64_le(1);
+        buf.put_u64_le(0);
+        buf.put_u64_le(1);
+        buf.put_u32_le(0); // vertex 0 adjacent to itself
+        assert!(from_binary(buf.freeze()).is_err());
     }
 }

@@ -37,7 +37,9 @@ pub fn peel_one_shell(g: &Graph) -> OneShell {
     let mut deg: Vec<u32> = g.degrees();
     let mut removed = vec![false; n];
     let mut parent = vec![VertexId::MAX; n];
-    let mut queue: Vec<VertexId> = (0..n as VertexId).filter(|&v| deg[v as usize] == 1).collect();
+    let mut queue: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| deg[v as usize] == 1)
+        .collect();
     while let Some(u) = queue.pop() {
         if removed[u as usize] || deg[u as usize] != 1 {
             // Degree may have dropped to 0 if its last neighbor was peeled

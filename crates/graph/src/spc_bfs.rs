@@ -88,7 +88,12 @@ pub fn spc_pair(g: &Graph, s: VertexId, t: VertexId) -> SpcAnswer {
 }
 
 /// Point-to-point brute-force SPC with vertex multiplicities.
-pub fn spc_pair_weighted(g: &Graph, s: VertexId, t: VertexId, weights: Option<&[u64]>) -> SpcAnswer {
+pub fn spc_pair_weighted(
+    g: &Graph,
+    s: VertexId,
+    t: VertexId,
+    weights: Option<&[u64]>,
+) -> SpcAnswer {
     if s == t {
         return SpcAnswer { dist: 0, count: 1 };
     }

@@ -67,9 +67,7 @@ mod tests {
 
     #[test]
     fn stats_of_small_graph() {
-        let g = GraphBuilder::new()
-            .edges([(0, 1), (1, 2), (2, 3)])
-            .build();
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build();
         let s = GraphStats::compute(&g);
         assert_eq!(s.num_vertices, 4);
         assert_eq!(s.num_edges, 3);
@@ -91,9 +89,7 @@ mod tests {
 
     #[test]
     fn tail_fraction() {
-        let g = GraphBuilder::new()
-            .edges([(0, 1), (0, 2), (0, 3)])
-            .build();
+        let g = GraphBuilder::new().edges([(0, 1), (0, 2), (0, 3)]).build();
         assert!((degree_tail_fraction(&g, 3) - 0.25).abs() < 1e-12);
         assert_eq!(degree_tail_fraction(&g, 0), 1.0);
     }

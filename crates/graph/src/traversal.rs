@@ -105,7 +105,9 @@ mod tests {
     use crate::builder::GraphBuilder;
 
     fn path(n: u32) -> Graph {
-        GraphBuilder::new().edges((0..n - 1).map(|i| (i, i + 1))).build()
+        GraphBuilder::new()
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build()
     }
 
     #[test]

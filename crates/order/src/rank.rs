@@ -40,7 +40,10 @@ impl VertexOrder {
         let mut order = vec![VertexId::MAX; n];
         for (v, &r) in rank.iter().enumerate() {
             assert!((r as usize) < n, "rank {r} out of range");
-            assert!(order[r as usize] == VertexId::MAX, "rank {r} assigned twice");
+            assert!(
+                order[r as usize] == VertexId::MAX,
+                "rank {r} assigned twice"
+            );
             order[r as usize] = v as VertexId;
         }
         VertexOrder { order, rank }

@@ -35,7 +35,9 @@ fn main() {
     );
 
     let mut asymmetric = 0;
-    let probes: Vec<(u32, u32)> = (0..12u32).map(|i| (i * 97 % 5000, i * 389 % 5000)).collect();
+    let probes: Vec<(u32, u32)> = (0..12u32)
+        .map(|i| (i * 97 % 5000, i * 389 % 5000))
+        .collect();
     for &(s, t) in &probes {
         let fwd = idx.query(s, t);
         let bwd = idx.query(t, s);
@@ -52,7 +54,14 @@ fn main() {
                 "unreachable".to_string()
             }
         };
-        println!("  {s:>5} -> {t:>5}: {:<22} reverse: {}", show(fwd), show(bwd));
+        println!(
+            "  {s:>5} -> {t:>5}: {:<22} reverse: {}",
+            show(fwd),
+            show(bwd)
+        );
     }
-    println!("{asymmetric}/{} probe pairs are asymmetric — direction matters.", probes.len());
+    println!(
+        "{asymmetric}/{} probe pairs are asymmetric — direction matters.",
+        probes.len()
+    );
 }

@@ -36,7 +36,11 @@ fn main() {
     top.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
     println!("highest single-vertex betweenness (sampled):");
     for &v in top.iter().take(3) {
-        println!("  v{v}: score {:.1}, degree {}", scores[v], g.degree(v as u32));
+        println!(
+            "  v{v}: score {:.1}, degree {}",
+            scores[v],
+            g.degree(v as u32)
+        );
     }
 
     // Greedy group selection with incremental re-indexing.

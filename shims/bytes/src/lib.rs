@@ -1,0 +1,341 @@
+//! Offline stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! Provides the subset the workspace's binary snapshot formats use:
+//! [`Bytes`] (cheaply cloneable, sliceable, consumable view),
+//! [`BytesMut`] (growable write buffer), and the [`Buf`] / [`BufMut`]
+//! traits with the little-endian get/put helpers. Semantics match the
+//! real crate where it matters for correctness: `Buf::get_*` panic on
+//! underflow (callers are expected to check [`Buf::remaining`] first,
+//! which is exactly what the snapshot readers do for their error paths),
+//! `advance` panics past the end, and `slice` panics on out-of-range.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Read-side cursor operations over a contiguous byte source.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte. Panics on underflow.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian `u16`. Panics on underflow.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u32`. Panics on underflow.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u64`. Panics on underflow.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Copies `dst.len()` bytes out. Panics on underflow.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+/// Write-side append operations over a growable byte sink.
+pub trait BufMut {
+    /// Appends all of `src`.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Cheaply cloneable immutable byte buffer (an `Arc`'d vector plus a
+/// window, advanced in place by [`Buf`] reads).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Copies the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Sub-view over `range` (relative to this view). Panics if the range
+    /// is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&i) => i,
+            Bound::Excluded(&i) => i + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&i) => i + 1,
+            Bound::Excluded(&i) => i,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of range"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.len(),
+            "advance({cnt}) past end ({})",
+            self.len()
+        );
+        self.start += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_bytes(self, f)
+    }
+}
+
+/// Growable byte buffer for building snapshots.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_bytes(self, f)
+    }
+}
+
+/// Shared Debug body for the two buffer types: hex dump, elided when long.
+fn fmt_bytes(s: &[u8], f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    write!(f, "b\"")?;
+    for &b in s.iter().take(32) {
+        write!(f, "\\x{b:02x}")?;
+    }
+    if s.len() > 32 {
+        write!(f, "…(+{} bytes)", s.len() - 32)?;
+    }
+    write!(f, "\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_slice(b"HDR!");
+        b.put_u8(7);
+        b.put_u16_le(513);
+        b.put_u32_le(70_000);
+        b.put_u64_le(1 << 40);
+        let mut r = b.freeze();
+        assert_eq!(&r[..4], b"HDR!");
+        r.advance(4);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 513);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_windows() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(..2);
+        assert_eq!(&s2[..], &[2, 3]);
+        assert_eq!(b.slice(..).len(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_underflow_panics() {
+        let mut b = Bytes::from(vec![1u8, 2]);
+        let _ = b.get_u32_le();
+    }
+
+    #[test]
+    #[should_panic]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from(vec![1u8, 2]);
+        b.advance(3);
+    }
+}

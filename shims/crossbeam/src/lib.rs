@@ -1,0 +1,70 @@
+//! Offline stand-in for the [`crossbeam`](https://docs.rs/crossbeam)
+//! crate's scoped threads, implemented over `std::thread::scope` (which
+//! has provided the same borrow-the-stack semantics since Rust 1.63).
+//! Unlike the rayon shim this one is genuinely parallel: the static
+//! scheduling path of the PSPC builder really does run one OS thread per
+//! vertex range.
+
+/// Scoped threads (mirrors `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope: `Err` if any spawned thread panicked.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle passed to the scope closure; spawns threads that may borrow
+    /// from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam convention) so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope: all threads spawned within are joined before it
+    /// returns. Returns `Err` if any spawned thread panicked (matching
+    /// crossbeam, which aggregates child panics instead of propagating).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_borrow_and_join() {
+        let mut parts = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            for (i, p) in parts.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *p = (i as u64 + 1) * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(parts, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn child_panic_is_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,381 @@
+//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the API subset the workspace uses (`par_iter`, `par_iter_mut`,
+//! `into_par_iter`, `zip`/`map`/`sum`/`collect`/`for_each`,
+//! `par_sort_unstable_by_key`, `par_chunks_mut`, `ThreadPoolBuilder`,
+//! `ThreadPool::install`) with **sequential** execution. Call sites keep
+//! rayon's stricter `Send`/`Sync` obligations satisfied, so swapping the
+//! workspace dependency back to the real crate re-enables parallelism
+//! with no source changes. Determinism is unaffected: rayon's semantics
+//! for these combinators are order-preserving.
+
+/// A "parallel" iterator — a thin wrapper over a serial [`Iterator`].
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    /// Maps each item through `f`.
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Zips with anything convertible to a parallel iterator.
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::Iter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Splitting hint — a no-op for sequential execution.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Splitting hint — a no-op for sequential execution.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// Keeps items for which `f` returns `true`.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    /// Maps and flattens.
+    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, O, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Largest item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Collects into any [`FromIterator`] collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Folds sequentially then reduces (single sequential fold here).
+    pub fn reduce<ID, F>(self, identity: ID, f: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), f)
+    }
+}
+
+/// Conversion into a [`Par`] iterator (mirrors rayon's trait of the same
+/// name).
+pub trait IntoParallelIterator {
+    /// Underlying serial iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Performs the conversion.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<I: Iterator> IntoParallelIterator for Par<I> {
+    type Iter = I;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Par<I> {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter_mut())
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter_mut())
+    }
+}
+
+macro_rules! impl_into_par_for_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = std::ops::Range<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> Par<Self::Iter> {
+                Par(self)
+            }
+        }
+    )*};
+}
+impl_into_par_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `.par_iter()` on `&self` (mirrors rayon).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a shared reference).
+    type Item: 'data;
+    /// Underlying serial iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'data self) -> Par<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Item = <&'data C as IntoParallelIterator>::Item;
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+    fn par_iter(&'data self) -> Par<Self::Iter> {
+        self.into_par_iter()
+    }
+}
+
+/// `.par_iter_mut()` on `&mut self` (mirrors rayon).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Item type (an exclusive reference).
+    type Item: 'data;
+    /// Underlying serial iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter_mut(&'data mut self) -> Par<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoParallelIterator,
+{
+    type Item = <&'data mut C as IntoParallelIterator>::Item;
+    type Iter = <&'data mut C as IntoParallelIterator>::Iter;
+    fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
+        self.into_par_iter()
+    }
+}
+
+/// Parallel operations on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Chunked iteration.
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+}
+
+/// Parallel operations on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Chunked mutable iteration.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+
+    /// Unstable sort (sequential in this shim).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    /// Unstable sort by key (sequential in this shim).
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+
+    /// Unstable sort by comparator (sequential in this shim).
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable()
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_unstable_by_key(f)
+    }
+
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_unstable_by(compare)
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `n` worker threads (recorded but unused: execution is
+    /// sequential in this shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible here.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A (nominal) thread pool. `install` simply runs the closure on the
+/// current thread.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` "inside" the pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// Configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Global thread count rayon would use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_zip_sum_collect() {
+        let a = vec![1u64, 2, 3];
+        let mut b = vec![10u64, 20, 30];
+        let s: u64 = a
+            .par_iter()
+            .zip(b.par_iter_mut())
+            .map(|(x, y)| *x + *y)
+            .sum();
+        assert_eq!(s, 66);
+        let v: Vec<u64> = (0..5u64).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn sort_and_chunks() {
+        let mut v = vec![3u32, 1, 2];
+        v.par_sort_unstable_by_key(|&x| x);
+        assert_eq!(v, vec![1, 2, 3]);
+        let mut w = vec![0u32; 6];
+        w.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u32));
+        assert_eq!(w, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn pool_install_runs() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 42), 42);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for the [`serde`](https://docs.rs/serde) crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and stats
+//! types for forward compatibility, but every byte that actually crosses a
+//! boundary goes through the hand-rolled `bytes`-based snapshot formats.
+//! This shim therefore provides the two trait names plus no-op derive
+//! macros (see `shims/serde_derive`) so the annotations compile; nothing
+//! bounds on the traits today. Swapping the workspace dependency back to
+//! real serde requires no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Mirror of `serde::de` (namespace only).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` (namespace only).
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as inert
+//! annotations — all actual (de)serialization is hand-rolled through the
+//! `bytes` snapshot formats — so these derives expand to nothing. That
+//! keeps the derive attribute valid on any type (generics, enums, where
+//! clauses) without needing `syn`/`quote`, which are unavailable offline.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -246,7 +246,10 @@ mod tests {
 
     #[test]
     fn top_k_drops_unreachable() {
-        let g = GraphBuilder::new().num_vertices(4).edges([(0, 1), (1, 2)]).build();
+        let g = GraphBuilder::new()
+            .num_vertices(4)
+            .edges([(0, 1), (1, 2)])
+            .build();
         let (idx, _) = build_pspc(&g, &PspcConfig::default());
         let ranked = top_k_flexible(&idx, 0, &[1, 2, 3], 10);
         assert_eq!(ranked.len(), 2);

@@ -46,9 +46,7 @@ pub use pspc_order::{OrderingStrategy, VertexOrder};
 pub mod prelude {
     pub use pspc_core::builder::{build_pspc, build_pspc_with_order};
     pub use pspc_core::hpspc::{build_hpspc, build_hpspc_with_order};
-    pub use pspc_core::{
-        Count, Paradigm, PspcConfig, ReducedIndex, SchedulePlan, SpcIndex,
-    };
+    pub use pspc_core::{Count, Paradigm, PspcConfig, ReducedIndex, SchedulePlan, SpcIndex};
     pub use pspc_graph::{Graph, GraphBuilder, SpcAnswer, VertexId};
     pub use pspc_order::{OrderingStrategy, VertexOrder};
 }

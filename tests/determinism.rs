@@ -4,8 +4,8 @@
 //! HP-SPC index, because the ESPC is uniquely determined by the vertex
 //! order.
 
-use pspc::prelude::*;
 use pspc::graph::generators::{chung_lu_power_law, perturbed_grid};
+use pspc::prelude::*;
 
 fn build(g: &Graph, order: &VertexOrder, cfg: &PspcConfig) -> SpcIndex {
     let (idx, _) = build_pspc_with_order(g, order.clone(), None, cfg);
@@ -21,8 +21,12 @@ fn full_configuration_matrix_is_deterministic() {
     for threads in [1usize, 2, 3, 8] {
         for schedule in [
             SchedulePlan::Static,
-            SchedulePlan::Dynamic { chunks_per_thread: 1 },
-            SchedulePlan::Dynamic { chunks_per_thread: 16 },
+            SchedulePlan::Dynamic {
+                chunks_per_thread: 1,
+            },
+            SchedulePlan::Dynamic {
+                chunks_per_thread: 16,
+            },
         ] {
             for paradigm in [Paradigm::Pull, Paradigm::Push] {
                 for (landmarks, bitset) in [(0usize, false), (32, false), (32, true)] {

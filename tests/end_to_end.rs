@@ -18,7 +18,11 @@ fn sample_pairs(n: u32, count: usize, seed: u64) -> Vec<(u32, u32)> {
 
 fn check_index_against_bfs(g: &Graph, idx: &SpcIndex, pairs: &[(u32, u32)], what: &str) {
     for &(s, t) in pairs {
-        assert_eq!(idx.query(s, t), spc_pair(g, s, t), "{what}: mismatch ({s},{t})");
+        assert_eq!(
+            idx.query(s, t),
+            spc_pair(g, s, t),
+            "{what}: mismatch ({s},{t})"
+        );
     }
 }
 

@@ -1,0 +1,87 @@
+//! Heavy soak tests — the same invariants as the fast suites, pushed to
+//! graph sizes that take seconds-to-minutes rather than milliseconds.
+//!
+//! All tests here are `#[ignore]`d so the tier-1 `cargo test -q` stays
+//! fast; run them explicitly with
+//!
+//! ```text
+//! cargo test --release --test soak -- --ignored
+//! ```
+//!
+//! (Release mode recommended: the brute-force oracle is O(n·m) per
+//! source.) The property suites can separately be scaled up with the
+//! `PROPTEST_CASES` env var; see tests/README.md.
+
+use pspc::graph::generators::{barabasi_albert, chung_lu_power_law, perturbed_grid};
+use pspc::graph::spc_bfs::spc_from_source;
+use pspc::prelude::*;
+
+/// Index answers must match the counting-BFS oracle from every source on
+/// a social-style graph two orders of magnitude above the fast suite.
+#[test]
+#[ignore = "soak: minutes of oracle BFS; run with --ignored"]
+fn large_scale_free_exact_from_every_source() {
+    let g = barabasi_albert(4_000, 3, 2024);
+    let (idx, _) = build_pspc(&g, &PspcConfig::default());
+    let n = g.num_vertices() as u32;
+    for s in 0..n {
+        let (dist, counts) = spc_from_source(&g, s);
+        for t in 0..n {
+            let ans = idx.query(s, t);
+            assert_eq!(
+                (ans.dist, ans.count),
+                (dist[t as usize], counts[t as usize]),
+                "mismatch at ({s},{t})"
+            );
+        }
+    }
+}
+
+/// Determinism matrix at soak scale: every (threads, paradigm) cell must
+/// produce the identical index on a heavy-tailed graph.
+#[test]
+#[ignore = "soak: repeated index builds; run with --ignored"]
+fn large_build_matrix_deterministic() {
+    let g = chung_lu_power_law(10_000, 10.0, 2.3, 555);
+    let order = OrderingStrategy::DEFAULT.compute(&g);
+    let reference = build_hpspc_with_order(&g, order.clone(), None);
+    for threads in [1usize, 4, 16] {
+        for paradigm in [Paradigm::Pull, Paradigm::Push] {
+            let cfg = PspcConfig {
+                threads,
+                paradigm,
+                ..PspcConfig::default()
+            };
+            let (idx, _) = build_pspc_with_order(&g, order.clone(), None, &cfg);
+            assert_eq!(
+                reference.label_sets(),
+                idx.label_sets(),
+                "threads={threads} paradigm={paradigm:?}"
+            );
+        }
+    }
+}
+
+/// Road-network-style soak: tree-decomposition order on a large grid,
+/// snapshot round-trip included.
+#[test]
+#[ignore = "soak: large grid build; run with --ignored"]
+fn large_grid_round_trips() {
+    use pspc::core::serialize::{index_from_binary, index_to_binary};
+    let g = perturbed_grid(120, 120, 0.05, 0.02, 7);
+    let cfg = PspcConfig {
+        ordering: OrderingStrategy::TreeDecomposition,
+        ..PspcConfig::default()
+    };
+    let (idx, _) = build_pspc(&g, &cfg);
+    let restored = index_from_binary(index_to_binary(&idx)).unwrap();
+    assert_eq!(idx.label_sets(), restored.label_sets());
+    let (dist, counts) = spc_from_source(&g, 0);
+    for t in 0..g.num_vertices() as u32 {
+        let ans = restored.query(0, t);
+        assert_eq!(
+            (ans.dist, ans.count),
+            (dist[t as usize], counts[t as usize])
+        );
+    }
+}

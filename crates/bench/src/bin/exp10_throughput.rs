@@ -1,0 +1,9 @@
+//! Extension experiment: real wall-clock query-service scaling
+//! (`pspc_service::QueryEngine` vs `query_batch_sequential`).
+
+use pspc_bench::experiments::exp10_service_throughput;
+use pspc_bench::ExpOptions;
+
+fn main() {
+    exp10_service_throughput(&ExpOptions::from_args());
+}

@@ -26,5 +26,6 @@ fn main() {
     exp7_delta(&opt);
     exp8_landmarks(&opt);
     exp9_breakdown(&opt);
+    exp10_service_throughput(&opt);
     eprintln!("full evaluation complete");
 }

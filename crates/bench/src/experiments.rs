@@ -569,6 +569,59 @@ pub fn exp9_breakdown(opt: &ExpOptions) {
     );
 }
 
+// ----------------------------------------------------- Service throughput
+
+/// Worker axis for the service scaling experiment.
+pub const WORKER_AXIS: [usize; 4] = [1, 2, 4, 8];
+
+/// Extension experiment: **real wall-clock** query-service scaling.
+///
+/// Exp 4/Fig. 9 models query speedup from recorded work; this one
+/// measures it, by driving `pspc_service::QueryEngine` (worker pool +
+/// chunked sharding + per-worker scratch) against
+/// `query_batch_sequential` on the same batch. On a single-core machine
+/// the engine cannot beat the baseline — the point of the experiment is
+/// the shape on real cores, now that the rayon shim and the service
+/// runtime are genuinely parallel.
+pub fn exp10_service_throughput(opt: &ExpOptions) {
+    use pspc_service::{EngineConfig, QueryEngine};
+    let mut series = Vec::new();
+    for d in selected(opt, &["FB", "GO", "GW", "WI"]) {
+        let g = d.generate(opt.scale);
+        let (idx, _) = build_pspc(&g, &default_pspc(opt.threads));
+        let pairs = random_pairs(&g, opt.queries, 0x5EED);
+        let (expect, t_seq) = time(|| idx.query_batch_sequential(&pairs));
+        let mut index = idx;
+        let mut ys = Vec::new();
+        for &w in &WORKER_AXIS {
+            let engine = QueryEngine::with_config(
+                index,
+                EngineConfig {
+                    workers: w,
+                    ..EngineConfig::default()
+                },
+            );
+            let (answers, t) = time(|| engine.run(&pairs));
+            assert_eq!(
+                answers, expect,
+                "{}: engine diverges at {w} workers",
+                d.code
+            );
+            ys.push(format!("{:.2}", t_seq / t));
+            index = engine.into_index();
+        }
+        series.push((d.code.to_string(), ys));
+        eprintln!("[exp10] {} done (sequential {:.3}s)", d.code, t_seq);
+    }
+    let xs: Vec<String> = WORKER_AXIS.iter().map(|w| w.to_string()).collect();
+    print_series(
+        "Service throughput: engine wall-clock speedup over sequential vs #workers",
+        "workers",
+        &xs,
+        &series,
+    );
+}
+
 /// Convenience used by tests and `run_all`: a graph for quick smoke runs.
 pub fn smoke_graph() -> Graph {
     DatasetSpec::by_code("FB").unwrap().generate(0.05)
@@ -596,6 +649,18 @@ mod tests {
         for (s, t) in random_pairs(&g, 50, 3) {
             assert_eq!(r.index.query(s, t), r.hpspc_index.query(s, t));
         }
+    }
+
+    #[test]
+    fn service_throughput_experiment_smoke() {
+        let opt = ExpOptions {
+            scale: 0.05,
+            queries: 2000,
+            datasets: vec!["FB".into()],
+            ..ExpOptions::default()
+        };
+        // Asserts engine/sequential parity internally on every axis point.
+        exp10_service_throughput(&opt);
     }
 
     #[test]

@@ -18,6 +18,12 @@ use pspc_order::VertexOrder;
 use serde::{Deserialize, Serialize};
 
 /// Saturating shortest-path count.
+///
+/// All count arithmetic — label construction, equivalence-reduction
+/// weights, and the query-time products and tie sums — **saturates** at
+/// `u64::MAX` rather than wrapping, erroring, or widening to `u128`;
+/// `u64::MAX` reads as "at least this many paths". The full rationale and
+/// boundary tests live in [`crate::query`].
 pub type Count = u64;
 
 /// One label entry: `(hub rank, distance, trough count)`.

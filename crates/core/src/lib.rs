@@ -42,5 +42,6 @@ pub mod serialize;
 pub use builder::{build_pspc, Paradigm, PspcBuildStats, PspcConfig, SchedulePlan};
 pub use hpspc::build_hpspc;
 pub use label::{Count, IndexStats, LabelEntry, LabelSet, SpcIndex};
+pub use query::BatchScratch;
 pub use reduce::ReducedIndex;
 pub use serialize::{index_from_binary, index_to_binary};

@@ -6,6 +6,22 @@
 //! For weighted (equivalence-reduced) indexes a common hub `h ∉ {s, t}`
 //! additionally contributes its multiplicity factor `w(h)`, because `h` is
 //! an internal vertex of the recombined path.
+//!
+//! # Count overflow policy
+//!
+//! Shortest-path counts are [`Count`] (`u64`) and **saturate** at
+//! `u64::MAX` — both in the per-hub products `c(s,h)·c(h,t)` (computed
+//! through a `u128` intermediate) and in the tie sum over hubs. A returned
+//! count of `u64::MAX` therefore means "at least `u64::MAX` shortest
+//! paths". Saturation was chosen over erroring or widening to `u128`
+//! because (a) the index construction already accumulates counts
+//! saturatingly, so wider arithmetic at the query boundary could not
+//! restore exactness, and (b) path counts grow exponentially with graph
+//! size — any fixed width eventually saturates, and a graceful "at least"
+//! answer keeps the query service total. Distances saturate at
+//! `u16::MAX - 1` hops likewise (`u16::MAX` is reserved for
+//! "unreachable"). Boundary behavior is pinned by the
+//! `overflow_policy_*` tests in this module.
 
 use crate::label::{Count, LabelSet, SpcIndex};
 use pspc_graph::{SpcAnswer, VertexId};
@@ -73,8 +89,38 @@ fn mul_sat(a: Count, b: Count) -> Count {
     }
 }
 
+/// Reusable buffers for repeated batch evaluation.
+///
+/// A query service answering chunk after chunk should not reallocate the
+/// rank-translation and answer vectors per chunk; one `BatchScratch` per
+/// worker thread amortizes them across the worker's lifetime. Used by
+/// [`SpcIndex::query_batch_with_scratch`].
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Rank-space pairs of the current chunk.
+    ranks: Vec<(u32, u32)>,
+    /// Answers of the current chunk, index-aligned with the input.
+    answers: Vec<SpcAnswer>,
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch (buffers grow to the largest chunk seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Answers from the most recent batch (index-aligned with its input).
+    pub fn answers(&self) -> &[SpcAnswer] {
+        &self.answers
+    }
+}
+
 impl SpcIndex {
     /// `SPC(s, t)` for original vertex ids.
+    ///
+    /// The returned count **saturates** at `u64::MAX` (see the
+    /// [module-level overflow policy](self)); the distance saturates at
+    /// `u16::MAX - 1`.
     pub fn query(&self, s: VertexId, t: VertexId) -> SpcAnswer {
         let rs = self.order().rank_of(s);
         let rt = self.order().rank_of(t);
@@ -111,6 +157,51 @@ impl SpcIndex {
     /// Sequential batch evaluation (baseline for the Fig. 9 speedup).
     pub fn query_batch_sequential(&self, pairs: &[(VertexId, VertexId)]) -> Vec<SpcAnswer> {
         pairs.iter().map(|&(s, t)| self.query(s, t)).collect()
+    }
+
+    /// Allocation-free batch evaluation into a reusable [`BatchScratch`].
+    ///
+    /// Answers land in `scratch` (also returned as a slice), index-aligned
+    /// with `pairs`. Rank translation happens once per pair up front, so
+    /// the hot loop touches only rank-space label sets. This is the entry
+    /// point the `pspc_service` worker pool drives: each worker owns one
+    /// scratch and streams chunks through it with zero steady-state
+    /// allocation.
+    pub fn query_batch_with_scratch<'s>(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [SpcAnswer] {
+        scratch.ranks.clear();
+        scratch.ranks.extend(
+            pairs
+                .iter()
+                .map(|&(s, t)| (self.order().rank_of(s), self.order().rank_of(t))),
+        );
+        scratch.answers.clear();
+        scratch.answers.extend(
+            scratch
+                .ranks
+                .iter()
+                .map(|&(rs, rt)| self.query_ranks(rs, rt)),
+        );
+        &scratch.answers
+    }
+
+    /// Rank-space variant of [`SpcIndex::query_batch_with_scratch`] for
+    /// callers that translated vertex ids to ranks once up front (the
+    /// service engine translates a whole batch before sharding so workers
+    /// never touch the rank array).
+    pub fn query_rank_batch_with_scratch<'s>(
+        &self,
+        rank_pairs: &[(u32, u32)],
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [SpcAnswer] {
+        scratch.answers.clear();
+        scratch
+            .answers
+            .extend(rank_pairs.iter().map(|&(rs, rt)| self.query_ranks(rs, rt)));
+        &scratch.answers
     }
 }
 
@@ -190,6 +281,82 @@ mod tests {
         );
         assert_eq!(idx.query(0, 0), SpcAnswer { dist: 0, count: 1 });
         assert_eq!(idx.query(0, 1), SpcAnswer { dist: 1, count: 1 });
+    }
+
+    #[test]
+    fn overflow_policy_saturates_product_at_query_boundary() {
+        // Two vertices whose only common hub carries near-MAX counts on
+        // both sides: the product must come back as exactly u64::MAX, not
+        // wrap or panic.
+        let order = VertexOrder::identity(3);
+        let idx = SpcIndex::new(
+            order,
+            vec![
+                ls(&[(0, 0, 1)]),
+                ls(&[(0, 1, Count::MAX / 2), (1, 0, 1)]),
+                ls(&[(0, 1, 3), (2, 0, 1)]),
+            ],
+            None,
+            IndexStats::default(),
+        );
+        assert_eq!(
+            idx.query(1, 2),
+            SpcAnswer {
+                dist: 2,
+                count: Count::MAX
+            }
+        );
+    }
+
+    #[test]
+    fn overflow_policy_saturates_tie_sum_at_query_boundary() {
+        // Two tied hubs whose contributions sum past u64::MAX: the tie
+        // accumulation must saturate as well.
+        let a = ls(&[(0, 1, Count::MAX - 1), (1, 1, Count::MAX - 1)]);
+        let b = ls(&[(0, 1, 1), (1, 1, 1)]);
+        let ans = query_label_sets(&a, &b, 8, 9, None);
+        assert_eq!(
+            ans,
+            SpcAnswer {
+                dist: 2,
+                count: Count::MAX
+            }
+        );
+    }
+
+    #[test]
+    fn overflow_policy_saturates_weighted_hub() {
+        // The equivalence-reduction weight factor participates in the same
+        // saturating product.
+        let w = vec![Count::MAX, 1];
+        let a = ls(&[(0, 1, 2)]);
+        let b = ls(&[(0, 1, 2)]);
+        assert_eq!(query_label_sets(&a, &b, 1, 1, Some(&w)).count, Count::MAX);
+    }
+
+    #[test]
+    fn batch_with_scratch_matches_sequential_and_reuses_buffers() {
+        let order = VertexOrder::identity(3);
+        let idx = SpcIndex::new(
+            order,
+            vec![
+                ls(&[(0, 0, 1)]),
+                ls(&[(0, 1, 1), (1, 0, 1)]),
+                ls(&[(0, 1, 2), (2, 0, 1)]),
+            ],
+            None,
+            IndexStats::default(),
+        );
+        let mut scratch = BatchScratch::new();
+        let pairs = vec![(0, 1), (1, 2), (2, 2), (0, 2)];
+        let got = idx.query_batch_with_scratch(&pairs, &mut scratch).to_vec();
+        assert_eq!(got, idx.query_batch_sequential(&pairs));
+        assert_eq!(scratch.answers(), &got[..]);
+        // A second, shorter batch through the same scratch must not see
+        // stale entries.
+        let pairs2 = vec![(1, 1)];
+        let got2 = idx.query_batch_with_scratch(&pairs2, &mut scratch);
+        assert_eq!(got2, &[SpcAnswer { dist: 0, count: 1 }]);
     }
 
     #[test]

@@ -134,6 +134,89 @@ pub fn from_binary(mut data: Bytes) -> io::Result<Graph> {
     Graph::try_from_csr_parts(offsets, targets).map_err(|e| bad(&e))
 }
 
+/// File extension of the write-through binary cache next to an edge list.
+pub const CACHE_EXTENSION: &str = "pspcg";
+
+/// How [`load_or_build_cache`] obtained the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// A fresh `.pspcg` snapshot was read; the text file was not parsed.
+    Hit,
+    /// The text file was parsed and a snapshot written alongside it.
+    Built,
+    /// The snapshot existed but was older than the edge list; the text
+    /// file was re-parsed and the snapshot rewritten.
+    Refreshed,
+    /// The text file was parsed but the snapshot could not be written
+    /// (e.g. a read-only dataset directory); the graph is still returned
+    /// and the next load will parse again.
+    BuiltUncached,
+}
+
+/// The cache file used for `path` (`edges.txt` → `edges.txt.pspcg`).
+pub fn cache_path_for(path: impl AsRef<Path>) -> std::path::PathBuf {
+    let p = path.as_ref();
+    let mut name = p.file_name().unwrap_or_default().to_os_string();
+    name.push(".");
+    name.push(CACHE_EXTENSION);
+    p.with_file_name(name)
+}
+
+/// Loads an edge-list file through its binary snapshot cache.
+///
+/// Parsing large SNAP/KONECT text files dominates service start-up; the
+/// binary CSR snapshot ([`to_binary`]) loads an order of magnitude
+/// faster. This reads `<path>.pspcg` when it exists and is at least as
+/// new as the edge list (by mtime), and otherwise parses the text and
+/// writes the snapshot through.
+///
+/// A **corrupt cache file is an error**, not a silent rebuild: the
+/// hardened [`from_binary`] reader rejects it and the error names the
+/// cache file, so the operator can delete it deliberately. Masking
+/// corruption by re-parsing would hide disk trouble behind a mysterious
+/// slow start. A *failed write* of the snapshot, by contrast, is not
+/// fatal — the parse already succeeded (read-only dataset directories
+/// are common), so the graph is returned and the outcome reports
+/// [`CacheOutcome::BuiltUncached`].
+pub fn load_or_build_cache(path: impl AsRef<Path>) -> io::Result<Graph> {
+    load_or_build_cache_verbose(path).map(|(g, _)| g)
+}
+
+/// [`load_or_build_cache`] variant reporting whether the cache was hit.
+pub fn load_or_build_cache_verbose(path: impl AsRef<Path>) -> io::Result<(Graph, CacheOutcome)> {
+    let path = path.as_ref();
+    let cache = cache_path_for(path);
+    let source_mtime = std::fs::metadata(path)?.modified().ok();
+    let mut outcome = CacheOutcome::Built;
+    if let Ok(meta) = std::fs::metadata(&cache) {
+        let fresh = match (meta.modified().ok(), source_mtime) {
+            (Some(c), Some(s)) => c >= s,
+            // Filesystems without mtimes: trust the cache (the operator
+            // can always delete it).
+            _ => true,
+        };
+        if fresh {
+            let data = Bytes::from(std::fs::read(&cache)?);
+            let g = from_binary(data).map_err(|e| {
+                io::Error::new(
+                    e.kind(),
+                    format!(
+                        "corrupt graph cache {} (delete it to rebuild): {e}",
+                        cache.display()
+                    ),
+                )
+            })?;
+            return Ok((g, CacheOutcome::Hit));
+        }
+        outcome = CacheOutcome::Refreshed;
+    }
+    let g = read_edge_list_file(path)?;
+    if std::fs::write(&cache, to_binary(&g)).is_err() {
+        outcome = CacheOutcome::BuiltUncached;
+    }
+    Ok((g, outcome))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +295,86 @@ mod tests {
         buf.put_u64_le(u64::MAX);
         buf.put_u64_le(0);
         assert!(from_binary(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn cache_builds_hits_and_refreshes() {
+        let dir = std::env::temp_dir().join("pspc_graph_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("edges.txt");
+        let cache = cache_path_for(&edges);
+        std::fs::remove_file(&cache).ok();
+        let g0 = erdos_renyi(50, 120, 3);
+        write_edge_list(&g0, std::fs::File::create(&edges).unwrap()).unwrap();
+
+        // First load parses and writes the snapshot through.
+        let (g1, o1) = load_or_build_cache_verbose(&edges).unwrap();
+        assert_eq!(o1, CacheOutcome::Built);
+        assert_eq!(g1, g0);
+        assert!(cache.exists());
+
+        // Second load must come from the snapshot.
+        let (g2, o2) = load_or_build_cache_verbose(&edges).unwrap();
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert_eq!(g2, g0);
+
+        // Touch the edge list into the future: the stale snapshot must be
+        // rebuilt (mtime granularity on some filesystems is 1s, so set an
+        // explicit future time instead of sleeping).
+        let later = std::time::SystemTime::now() + std::time::Duration::from_secs(5);
+        let f = std::fs::File::options().append(true).open(&edges).unwrap();
+        f.set_modified(later).unwrap();
+        drop(f);
+        let (g3, o3) = load_or_build_cache_verbose(&edges).unwrap();
+        assert_eq!(o3, CacheOutcome::Refreshed);
+        assert_eq!(g3, g0);
+
+        std::fs::remove_file(&edges).ok();
+        std::fs::remove_file(&cache).ok();
+    }
+
+    #[test]
+    fn corrupt_cache_errors_and_names_the_file() {
+        let dir = std::env::temp_dir().join("pspc_graph_cache_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("edges.txt");
+        let cache = cache_path_for(&edges);
+        let g0 = erdos_renyi(20, 40, 7);
+        write_edge_list(&g0, std::fs::File::create(&edges).unwrap()).unwrap();
+        load_or_build_cache(&edges).unwrap();
+
+        // Tamper with the snapshot; future-date it so it counts as fresh.
+        let mut bytes = std::fs::read(&cache).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&cache, &bytes).unwrap();
+        let f = std::fs::File::options().append(true).open(&cache).unwrap();
+        f.set_modified(std::time::SystemTime::now() + std::time::Duration::from_secs(5))
+            .unwrap();
+        drop(f);
+
+        let err = load_or_build_cache(&edges).unwrap_err();
+        assert!(
+            err.to_string().contains("corrupt graph cache"),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains(CACHE_EXTENSION));
+
+        std::fs::remove_file(&edges).ok();
+        std::fs::remove_file(&cache).ok();
+    }
+
+    #[test]
+    fn missing_source_errors() {
+        assert!(load_or_build_cache("/nonexistent/pspc/edges.txt").is_err());
+    }
+
+    #[test]
+    fn cache_path_appends_extension() {
+        assert_eq!(
+            cache_path_for("/data/web-Google.txt"),
+            std::path::PathBuf::from("/data/web-Google.txt.pspcg")
+        );
     }
 
     #[test]

@@ -13,6 +13,12 @@ use crate::traversal::UNREACHABLE;
 /// A `(distance, count)` shortest-path-counting answer.
 ///
 /// `dist == u16::MAX` means unreachable (`count == 0`).
+///
+/// **Overflow policy:** `count` saturates at `u64::MAX` everywhere it is
+/// produced — the BFS oracle here as well as every index query path — so
+/// `count == u64::MAX` means "at least `u64::MAX` shortest paths". The
+/// policy (saturate, never wrap/error/widen) is documented with rationale
+/// and pinned by boundary tests in `pspc_core::query`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SpcAnswer {
     /// Shortest distance in hops, `u16::MAX` if disconnected.

@@ -1,0 +1,16 @@
+//! `pspc` — build, persist and serve shortest-path-counting indexes.
+//!
+//! See `pspc --help` or the crate docs of `pspc_service` for usage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pspc_service::cli::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Argument parsing and subcommand dispatch for the `pspc` binary.
+//!
+//! ```text
+//! pspc build <edges.txt> -o <index.pspc> [--order degree|td|sig|hybrid[:δ]]
+//!            [--landmarks k] [--threads t] [--push] [--static] [--no-cache]
+//! pspc query <index.pspc> [--pairs <file|->] [--workers n] [--chunk n]
+//!            [--no-sort] [s t ...]
+//! pspc bench <index.pspc> [--count n] [--seed s] [--workers n] [--chunk n]
+//!            [--no-sort] [--compare]
+//! ```
+//!
+//! `build` goes through the binary edge-list cache
+//! ([`pspc_graph::io::load_or_build_cache`]): the first build of a dataset
+//! parses the text and drops an `<edges>.pspcg` snapshot next to it;
+//! subsequent builds load the snapshot. `query` reads pairs from a file,
+//! from stdin (`--pairs -`), or inline from the argument list, answers
+//! them on the worker pool, and prints `s\tt\tdist\tcount` lines. `bench`
+//! reports sustained throughput and latency percentiles for a random
+//! workload, optionally against the sequential baseline (`--compare`).
+
+use crate::bench::{random_pairs, run_bench};
+use crate::engine::{EngineConfig, QueryEngine};
+use crate::pairs::{read_pairs, write_answers};
+use pspc_core::builder::{build_pspc, Paradigm, PspcConfig, SchedulePlan};
+use pspc_core::serialize::{index_from_binary, index_to_binary, Bytes};
+use pspc_core::SpcIndex;
+use pspc_graph::io::{load_or_build_cache_verbose, read_edge_list_file, CacheOutcome};
+use pspc_order::OrderingStrategy;
+
+const USAGE: &str = "usage: pspc build <edges> -o <index> [--order o] [--landmarks k] \
+[--threads t] [--push] [--static] [--no-cache] | pspc query <index> [--pairs <file|->] \
+[--workers n] [--chunk n] [--no-sort] [s t ...] | pspc bench <index> [--count n] \
+[--seed s] [--workers n] [--chunk n] [--no-sort] [--compare]";
+
+/// Entry point shared by `main` and the tests.
+pub fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other}\n{USAGE}")),
+        None => Err(format!("missing command\n{USAGE}")),
+    }
+}
+
+/// Parses `--order degree|td|sig|hybrid[:delta]`.
+fn parse_order(s: &str) -> Result<OrderingStrategy, String> {
+    match s {
+        "degree" => Ok(OrderingStrategy::Degree),
+        "td" => Ok(OrderingStrategy::TreeDecomposition),
+        "sig" => Ok(OrderingStrategy::SignificantPath),
+        "hybrid" => Ok(OrderingStrategy::DEFAULT),
+        other => {
+            if let Some(d) = other.strip_prefix("hybrid:") {
+                let delta: u32 = d.parse().map_err(|e| format!("bad δ in {other}: {e}"))?;
+                Ok(OrderingStrategy::Hybrid { delta })
+            } else {
+                Err(format!("unknown order {other} (degree|td|sig|hybrid[:δ])"))
+            }
+        }
+    }
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let mut input: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut use_cache = true;
+    let mut config = PspcConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match a.as_str() {
+            "-o" | "--output" => output = Some(value("-o")?),
+            "--order" => config.ordering = parse_order(value("--order")?)?,
+            "--landmarks" => {
+                config.num_landmarks = value("--landmarks")?
+                    .parse()
+                    .map_err(|e| format!("bad --landmarks: {e}"))?
+            }
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--push" => config.paradigm = Paradigm::Push,
+            "--static" => config.schedule = SchedulePlan::Static,
+            "--no-cache" => use_cache = false,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => {
+                if input.is_some() {
+                    return Err(format!("unexpected positional argument {path}"));
+                }
+                input = Some(path);
+            }
+        }
+    }
+    let input = input.ok_or("build: missing edge-list path")?;
+    let output = output.ok_or("build: missing -o <output>")?;
+    let g = if use_cache {
+        let (g, outcome) =
+            load_or_build_cache_verbose(input).map_err(|e| format!("reading {input}: {e}"))?;
+        match outcome {
+            CacheOutcome::Hit => eprintln!("loaded binary cache for {input}"),
+            CacheOutcome::Built => eprintln!("parsed {input}, wrote binary cache"),
+            CacheOutcome::Refreshed => eprintln!("cache was stale; re-parsed {input}"),
+            CacheOutcome::BuiltUncached => {
+                eprintln!("warning: parsed {input} but could not write its binary cache")
+            }
+        }
+        g
+    } else {
+        read_edge_list_file(input).map_err(|e| format!("reading {input}: {e}"))?
+    };
+    eprintln!(
+        "building index for {} vertices / {} edges ...",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    let (index, _) = build_pspc(&g, &config);
+    let s = index.stats();
+    eprintln!(
+        "built in {:.2}s: {} entries, {:.2} MiB, avg label {:.1}",
+        s.total_seconds(),
+        s.total_entries,
+        s.size_mib(),
+        s.avg_label_size
+    );
+    let bytes = index_to_binary(&index);
+    std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+    eprintln!("index snapshot written to {output} ({} bytes)", bytes.len());
+    Ok(())
+}
+
+fn load_index(path: &str) -> Result<SpcIndex, String> {
+    let data = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    index_from_binary(Bytes::from(data)).map_err(|e| format!("loading {path}: {e}"))
+}
+
+/// Flags shared by `query` and `bench`.
+struct EngineFlags {
+    cfg: EngineConfig,
+    rest: Vec<String>,
+}
+
+/// Subcommand-specific flag hook: consumes a token (and possibly its
+/// value from the iterator) and reports whether it handled it.
+type ExtraFlagParser<'a> =
+    dyn FnMut(&str, &mut std::slice::Iter<String>) -> Result<bool, String> + 'a;
+
+fn parse_engine_flags(
+    args: &[String],
+    extra: &mut ExtraFlagParser<'_>,
+) -> Result<EngineFlags, String> {
+    let mut cfg = EngineConfig::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .ok_or("missing --workers value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?
+            }
+            "--chunk" => {
+                cfg.chunk_size = it
+                    .next()
+                    .ok_or("missing --chunk value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --chunk: {e}"))?
+                    .max(1)
+            }
+            "--no-sort" => cfg.sort_by_rank = false,
+            other => {
+                if !extra(other, &mut it)? {
+                    rest.push(other.to_string());
+                }
+            }
+        }
+    }
+    Ok(EngineFlags { cfg, rest })
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let mut pairs_src: Option<String> = None;
+    let flags = parse_engine_flags(args, &mut |flag, it| match flag {
+        "--pairs" => {
+            pairs_src = Some(it.next().ok_or("missing --pairs value")?.clone());
+            Ok(true)
+        }
+        f if f.starts_with("--") => Err(format!("unknown flag {f}")),
+        _ => Ok(false),
+    })?;
+    let (index_path, inline) = flags
+        .rest
+        .split_first()
+        .ok_or("query: missing index path")?;
+
+    let pairs: Vec<(u64, u64)> = if let Some(src) = pairs_src {
+        if !inline.is_empty() {
+            return Err("query: give either --pairs or inline ids, not both".into());
+        }
+        let parsed = if src == "-" {
+            read_pairs(std::io::stdin().lock())
+        } else {
+            let f = std::fs::File::open(&src).map_err(|e| format!("opening {src}: {e}"))?;
+            read_pairs(std::io::BufReader::new(f))
+        }
+        .map_err(|e| format!("reading pairs: {e}"))?;
+        parsed.iter().map(|&(s, t)| (s as u64, t as u64)).collect()
+    } else {
+        if inline.is_empty() || !inline.len().is_multiple_of(2) {
+            return Err("query: need --pairs <file|-> or an even number of vertex ids".into());
+        }
+        inline
+            .chunks_exact(2)
+            .map(|p| -> Result<(u64, u64), String> {
+                let s = p[0].parse().map_err(|e| format!("bad vertex: {e}"))?;
+                let t = p[1].parse().map_err(|e| format!("bad vertex: {e}"))?;
+                Ok((s, t))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let index = load_index(index_path)?;
+    let n = index.num_vertices() as u64;
+    if let Some(&(s, t)) = pairs.iter().find(|&&(s, t)| s >= n || t >= n) {
+        return Err(format!("vertex out of range in ({s}, {t}): n = {n}"));
+    }
+    let pairs: Vec<(u32, u32)> = pairs.iter().map(|&(s, t)| (s as u32, t as u32)).collect();
+
+    let engine = QueryEngine::with_config(index, flags.cfg);
+    let (answers, report) = engine.run_with_report(&pairs);
+    write_answers(&pairs, &answers, std::io::stdout().lock())
+        .map_err(|e| format!("writing answers: {e}"))?;
+    eprintln!(
+        "{} queries on {} workers in {:.3}s ({:.0} queries/sec)",
+        report.queries,
+        report.workers,
+        report.wall_secs,
+        report.qps()
+    );
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut count = 100_000usize;
+    let mut seed = 42u64;
+    let mut compare = false;
+    let flags = parse_engine_flags(args, &mut |flag, it| match flag {
+        "--count" => {
+            count = it
+                .next()
+                .ok_or("missing --count value")?
+                .parse()
+                .map_err(|e| format!("bad --count: {e}"))?;
+            Ok(true)
+        }
+        "--seed" => {
+            seed = it
+                .next()
+                .ok_or("missing --seed value")?
+                .parse()
+                .map_err(|e| format!("bad --seed: {e}"))?;
+            Ok(true)
+        }
+        "--compare" => {
+            compare = true;
+            Ok(true)
+        }
+        f if f.starts_with("--") => Err(format!("unknown flag {f}")),
+        _ => Ok(false),
+    })?;
+    let index_path = flags.rest.first().ok_or("bench: missing index path")?;
+    if flags.rest.len() > 1 {
+        return Err(format!("unexpected argument {}", flags.rest[1]));
+    }
+    let index = load_index(index_path)?;
+    let pairs = random_pairs(index.num_vertices(), count, seed);
+    let engine = QueryEngine::with_config(index, flags.cfg);
+    let report = run_bench(&engine, &pairs, compare);
+    print!("{report}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn order_parsing() {
+        assert_eq!(parse_order("degree").unwrap(), OrderingStrategy::Degree);
+        assert_eq!(
+            parse_order("hybrid:9").unwrap(),
+            OrderingStrategy::Hybrid { delta: 9 }
+        );
+        assert!(parse_order("nope").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_commands_and_flags() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&[])).is_err());
+        assert!(run(&s(&["query", "idx", "--bogus"])).is_err());
+        assert!(run(&s(&["bench", "idx", "--bogus"])).is_err());
+        assert!(run(&s(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn full_pipeline_through_temp_files() {
+        let dir = std::env::temp_dir().join("pspc_service_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("edges.txt");
+        let index = dir.join("index.pspc");
+        let queries = dir.join("queries.txt");
+        let cache = pspc_graph::io::cache_path_for(&edges);
+        std::fs::remove_file(&cache).ok();
+        std::fs::write(&edges, "0 1\n0 2\n1 3\n2 3\n3 4\n").unwrap();
+        std::fs::write(&queries, "# workload\n0 3\n4 0\n").unwrap();
+        let e = edges.to_str().unwrap();
+        let i = index.to_str().unwrap();
+        let q = queries.to_str().unwrap();
+
+        // Build twice: the second run must hit the binary cache.
+        run(&s(&[
+            "build",
+            e,
+            "-o",
+            i,
+            "--order",
+            "degree",
+            "--landmarks",
+            "2",
+        ]))
+        .unwrap();
+        assert!(cache.exists());
+        run(&s(&["build", e, "-o", i, "--order", "degree"])).unwrap();
+
+        // Query: inline pairs, file pairs, engine flags.
+        run(&s(&["query", i, "0", "3"])).unwrap();
+        run(&s(&[
+            "query",
+            i,
+            "--pairs",
+            q,
+            "--workers",
+            "2",
+            "--chunk",
+            "1",
+        ]))
+        .unwrap();
+        run(&s(&["query", i, "--pairs", q, "--no-sort"])).unwrap();
+
+        // Bench with the sequential comparison.
+        run(&s(&[
+            "bench",
+            i,
+            "--count",
+            "500",
+            "--workers",
+            "2",
+            "--compare",
+        ]))
+        .unwrap();
+
+        // Error paths: odd ids, out-of-range vertex, both pair sources.
+        assert!(run(&s(&["query", i, "0"])).is_err());
+        assert!(run(&s(&["query", i, "0", "99"])).is_err());
+        assert!(run(&s(&["query", i, "--pairs", q, "0", "3"])).is_err());
+
+        std::fs::remove_file(&edges).ok();
+        std::fs::remove_file(&index).ok();
+        std::fs::remove_file(&queries).ok();
+        std::fs::remove_file(&cache).ok();
+    }
+}

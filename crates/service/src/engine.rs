@@ -1,0 +1,382 @@
+//! The batch query engine: a fixed worker pool over `std::thread::scope`,
+//! per-worker reusable scratch, chunked work dispensing and input-order
+//! answer merging.
+//!
+//! # Execution model
+//!
+//! A batch of `(s, t)` pairs is turned into a *processing order* — either
+//! the input order, or (default) the input indices sorted by the source
+//! vertex's rank so that consecutive queries touch neighboring label sets
+//! and the big label arrays stay warm in cache. The order is cut into
+//! fixed-size chunks which a pool of `workers` scoped threads pulls off a
+//! shared atomic cursor (dynamic load balancing: a chunk of hub-heavy
+//! queries does not stall the other workers). Each worker owns one
+//! [`BatchScratch`] and a gather buffer for the whole batch, so the
+//! steady state allocates only the per-chunk answer copies pushed to the
+//! shared result buffer. After the scope joins, answers are scattered
+//! back to input positions — callers always see answers index-aligned
+//! with their input, whatever the processing order was.
+
+use pspc_core::{BatchScratch, SpcIndex};
+use pspc_graph::{SpcAnswer, VertexId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tuning knobs for [`QueryEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Queries per work chunk. Smaller chunks balance better, larger
+    /// chunks amortize dispatch; 1024 is a good default for microsecond
+    /// queries.
+    pub chunk_size: usize,
+    /// Process queries in source-rank order (cache-friendly sharding)
+    /// instead of input order. Answers are merged back to input order
+    /// either way.
+    pub sort_by_rank: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            chunk_size: 1024,
+            sort_by_rank: true,
+        }
+    }
+}
+
+/// Wall-clock facts about one executed batch.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchReport {
+    /// Number of queries answered.
+    pub queries: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Work chunks dispensed.
+    pub chunks: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_secs: f64,
+    /// Answers with a finite distance.
+    pub reachable: usize,
+}
+
+impl BatchReport {
+    /// Sustained throughput in queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.queries as f64 / self.wall_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A throughput-oriented batch query engine owning a built [`SpcIndex`].
+///
+/// See the [module docs](self) for the execution model and the crate docs
+/// for a quick start.
+pub struct QueryEngine {
+    index: SpcIndex,
+    cfg: EngineConfig,
+}
+
+impl QueryEngine {
+    /// Engine with default configuration (all cores, 1024-query chunks,
+    /// rank-sorted sharding).
+    pub fn new(index: SpcIndex) -> Self {
+        Self::with_config(index, EngineConfig::default())
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(index: SpcIndex, cfg: EngineConfig) -> Self {
+        QueryEngine { index, cfg }
+    }
+
+    /// The index being served.
+    pub fn index(&self) -> &SpcIndex {
+        &self.index
+    }
+
+    /// Recovers the index (e.g. to rebuild the engine with a new config).
+    pub fn into_index(self) -> SpcIndex {
+        self.index
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Resolved worker count (`workers == 0` ⇒ available parallelism).
+    pub fn workers(&self) -> usize {
+        if self.cfg.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.cfg.workers
+        }
+    }
+
+    /// Answers a batch; answers are index-aligned with `pairs`.
+    pub fn run(&self, pairs: &[(VertexId, VertexId)]) -> Vec<SpcAnswer> {
+        self.run_with_report(pairs).0
+    }
+
+    /// Answers a batch and reports wall-clock facts.
+    pub fn run_with_report(&self, pairs: &[(VertexId, VertexId)]) -> (Vec<SpcAnswer>, BatchReport) {
+        let (answers, report, _) = self.execute(pairs, false);
+        (answers, report)
+    }
+
+    /// Answers a batch, additionally timing every query individually
+    /// (nanoseconds, in processing order — suitable for percentile
+    /// latency reports; the per-query `Instant` reads add measurable
+    /// overhead, so throughput numbers should come from
+    /// [`QueryEngine::run_with_report`]).
+    pub fn run_with_latencies(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+    ) -> (Vec<SpcAnswer>, BatchReport, Vec<u64>) {
+        self.execute(pairs, true)
+    }
+
+    fn execute(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        time_queries: bool,
+    ) -> (Vec<SpcAnswer>, BatchReport, Vec<u64>) {
+        let n = pairs.len();
+        let chunk = self.cfg.chunk_size.max(1);
+        let t0 = Instant::now();
+        if n == 0 {
+            let report = BatchReport {
+                queries: 0,
+                workers: 0,
+                chunks: 0,
+                wall_secs: t0.elapsed().as_secs_f64(),
+                reachable: 0,
+            };
+            return (Vec::new(), report, Vec::new());
+        }
+
+        // Translate vertex ids to ranks once — the sort key and the
+        // queries both live in rank space, so workers never touch the
+        // rank array again.
+        let vorder = self.index.order();
+        let ranked: Vec<(u32, u32)> = pairs
+            .iter()
+            .map(|&(s, t)| (vorder.rank_of(s), vorder.rank_of(t)))
+            .collect();
+
+        // Processing order: input indices, optionally sorted by the
+        // source's rank (then target's) for cache-friendly label access.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        if self.cfg.sort_by_rank {
+            order.sort_unstable_by_key(|&i| ranked[i as usize]);
+        }
+
+        let num_chunks = n.div_ceil(chunk);
+        let workers = self.workers().min(num_chunks).max(1);
+        let mut answers = vec![SpcAnswer::UNREACHABLE; n];
+        let mut latencies = Vec::new();
+
+        if workers == 1 {
+            // Degenerate pool: same chunked scratch-reusing loop, no
+            // threads, answers written straight to their input slots.
+            let mut scratch = BatchScratch::new();
+            let mut gather: Vec<(u32, u32)> = Vec::with_capacity(chunk);
+            if time_queries {
+                latencies.reserve(n);
+            }
+            for c in order.chunks(chunk) {
+                gather.clear();
+                gather.extend(c.iter().map(|&i| ranked[i as usize]));
+                if time_queries {
+                    for (&i, &(rs, rt)) in c.iter().zip(&gather) {
+                        let q0 = Instant::now();
+                        let a = self.index.query_ranks(rs, rt);
+                        latencies.push(q0.elapsed().as_nanos() as u64);
+                        answers[i as usize] = a;
+                    }
+                } else {
+                    let out = self
+                        .index
+                        .query_rank_batch_with_scratch(&gather, &mut scratch);
+                    for (&i, &a) in c.iter().zip(out) {
+                        answers[i as usize] = a;
+                    }
+                }
+            }
+        } else {
+            // Shared chunk cursor + result buffer; workers pull, compute
+            // with private scratch, push `(chunk, answers, latencies)`.
+            let cursor = AtomicUsize::new(0);
+            type Part = (usize, Vec<SpcAnswer>, Vec<u64>);
+            let parts: Mutex<Vec<Part>> = Mutex::new(Vec::with_capacity(num_chunks));
+            let order = &order;
+            let ranked = &ranked;
+            let index = &self.index;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut scratch = BatchScratch::new();
+                        let mut gather: Vec<(u32, u32)> = Vec::with_capacity(chunk);
+                        loop {
+                            let c = cursor.fetch_add(1, Ordering::Relaxed);
+                            if c >= num_chunks {
+                                return;
+                            }
+                            let lo = c * chunk;
+                            let hi = (lo + chunk).min(n);
+                            gather.clear();
+                            gather.extend(order[lo..hi].iter().map(|&i| ranked[i as usize]));
+                            let mut lat = Vec::new();
+                            let out: Vec<SpcAnswer> = if time_queries {
+                                lat.reserve(hi - lo);
+                                gather
+                                    .iter()
+                                    .map(|&(rs, rt)| {
+                                        let q0 = Instant::now();
+                                        let a = index.query_ranks(rs, rt);
+                                        lat.push(q0.elapsed().as_nanos() as u64);
+                                        a
+                                    })
+                                    .collect()
+                            } else {
+                                index
+                                    .query_rank_batch_with_scratch(&gather, &mut scratch)
+                                    .to_vec()
+                            };
+                            parts
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push((c, out, lat));
+                        }
+                    });
+                }
+            });
+            let mut parts = parts.into_inner().unwrap_or_else(|e| e.into_inner());
+            debug_assert_eq!(parts.len(), num_chunks);
+            // Chunk order, not completion order: keeps the answer scatter
+            // cache-friendly and the latency vector deterministic (aligned
+            // with the processing order, as documented).
+            parts.sort_unstable_by_key(|&(c, _, _)| c);
+            for (c, out, lat) in parts {
+                let lo = c * chunk;
+                for (k, &a) in out.iter().enumerate() {
+                    answers[order[lo + k] as usize] = a;
+                }
+                latencies.extend(lat);
+            }
+        }
+
+        let report = BatchReport {
+            queries: n,
+            workers,
+            chunks: num_chunks,
+            wall_secs: t0.elapsed().as_secs_f64(),
+            reachable: answers.iter().filter(|a| a.is_reachable()).count(),
+        };
+        (answers, report, latencies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspc_core::{build_pspc, PspcConfig};
+    use pspc_graph::generators::barabasi_albert;
+
+    fn engine(cfg: EngineConfig) -> QueryEngine {
+        let g = barabasi_albert(300, 3, 11);
+        let (index, _) = build_pspc(&g, &PspcConfig::default());
+        QueryEngine::with_config(index, cfg)
+    }
+
+    fn pairs(n: usize, modulo: u32, seed: u64) -> Vec<(u32, u32)> {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % modulo as u64) as u32
+        };
+        (0..n).map(|_| (next(), next())).collect()
+    }
+
+    #[test]
+    fn answers_are_input_ordered_for_every_config() {
+        for workers in [1, 2, 4] {
+            for sort_by_rank in [false, true] {
+                for chunk_size in [1, 7, 1024] {
+                    let e = engine(EngineConfig {
+                        workers,
+                        chunk_size,
+                        sort_by_rank,
+                    });
+                    let ps = pairs(513, 300, 0xFEED);
+                    let expect = e.index().query_batch_sequential(&ps);
+                    let got = e.run(&ps);
+                    assert_eq!(
+                        got, expect,
+                        "workers={workers} sort={sort_by_rank} chunk={chunk_size}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let e = engine(EngineConfig::default());
+        let (answers, report) = e.run_with_report(&[]);
+        assert!(answers.is_empty());
+        assert_eq!(report.queries, 0);
+        assert_eq!(report.chunks, 0);
+    }
+
+    #[test]
+    fn report_counts_reachable_and_chunks() {
+        let e = engine(EngineConfig {
+            workers: 2,
+            chunk_size: 100,
+            sort_by_rank: true,
+        });
+        let ps = pairs(250, 300, 3);
+        let (answers, report) = e.run_with_report(&ps);
+        assert_eq!(report.queries, 250);
+        assert_eq!(report.chunks, 3);
+        assert_eq!(
+            report.reachable,
+            answers.iter().filter(|a| a.is_reachable()).count()
+        );
+        assert!(report.qps() > 0.0);
+    }
+
+    #[test]
+    fn latencies_cover_every_query() {
+        let e = engine(EngineConfig {
+            workers: 2,
+            chunk_size: 64,
+            sort_by_rank: true,
+        });
+        let ps = pairs(333, 300, 5);
+        let (answers, _, lat) = e.run_with_latencies(&ps);
+        assert_eq!(answers, e.index().query_batch_sequential(&ps));
+        assert_eq!(lat.len(), ps.len());
+    }
+
+    #[test]
+    fn workers_clamped_to_chunks() {
+        let e = engine(EngineConfig {
+            workers: 64,
+            chunk_size: 1000,
+            sort_by_rank: false,
+        });
+        let ps = pairs(10, 300, 9);
+        let (_, report) = e.run_with_report(&ps);
+        assert_eq!(report.workers, 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! # pspc-service
+//!
+//! A throughput-oriented batch query service over the PSPC
+//! shortest-path-counting index: the piece that turns the paper's
+//! microsecond point queries into a front-end that can saturate every
+//! core of a query server.
+//!
+//! * [`engine`] — [`QueryEngine`]: a fixed worker pool over
+//!   `std::thread::scope`, per-worker reusable scratch
+//!   ([`pspc_core::BatchScratch`]), cache-friendly chunk sharding
+//!   (optionally sorted by source rank) and input-order answer merging;
+//! * [`bench`] — sustained-throughput measurement (queries/sec, p50/p99
+//!   latency) and the sequential baseline comparison;
+//! * [`pairs`] — text I/O for query workloads;
+//! * [`cli`] — the `pspc` binary: `build`, `query`, `bench`.
+//!
+//! # Quick start
+//!
+//! Build an index snapshot once (the edge list is cached in binary form
+//! alongside the text file, so later builds skip parsing):
+//!
+//! ```text
+//! $ pspc build web-Google.txt -o web-Google.pspc --landmarks 100
+//! $ pspc query web-Google.pspc --pairs workload.txt --workers 16 > answers.tsv
+//! $ pspc bench web-Google.pspc --count 1000000 --compare
+//! ```
+//!
+//! Or drive the engine as a library:
+//!
+//! ```
+//! use pspc_core::{build_pspc, PspcConfig};
+//! use pspc_graph::generators::barabasi_albert;
+//! use pspc_service::{EngineConfig, QueryEngine};
+//!
+//! let g = barabasi_albert(500, 3, 42);
+//! let (index, _) = build_pspc(&g, &PspcConfig::default());
+//! let engine = QueryEngine::with_config(
+//!     index,
+//!     EngineConfig { workers: 4, ..EngineConfig::default() },
+//! );
+//! let answers = engine.run(&[(0, 499), (12, 345)]);
+//! assert_eq!(answers.len(), 2);
+//! assert!(answers[0].is_reachable());
+//! ```
+//!
+//! Answers are always index-aligned with the input batch; the engine's
+//! answers are bit-identical to
+//! [`query_batch_sequential`](pspc_core::SpcIndex::query_batch_sequential)
+//! (a property test pins this across worker counts). Counts follow the
+//! workspace-wide saturation policy documented in [`pspc_core::query`].
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod cli;
+pub mod engine;
+pub mod pairs;
+
+pub use bench::{run_bench, BenchReport};
+pub use engine::{BatchReport, EngineConfig, QueryEngine};

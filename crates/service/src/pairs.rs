@@ -1,0 +1,97 @@
+//! Query-pair I/O for the CLI: SNAP-style text in, tab-separated answers
+//! out.
+//!
+//! The pair format mirrors the edge-list reader in `pspc_graph::io`: one
+//! `s t` pair per line, `#`/`%` comments, blank lines skipped, extra
+//! columns ignored. Answers are written as `s\tt\tdist\tcount`, with
+//! `unreachable` in the distance column (and 0 paths) for disconnected
+//! pairs.
+
+use pspc_graph::{SpcAnswer, VertexId};
+use std::io::{self, BufRead, Write};
+
+/// Parses query pairs from a reader.
+pub fn read_pairs<R: BufRead>(mut reader: R) -> io::Result<Vec<(VertexId, VertexId)>> {
+    let mut pairs = Vec::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let s = parse_vertex(it.next(), lineno)?;
+        let t = parse_vertex(it.next(), lineno)?;
+        pairs.push((s, t));
+    }
+    Ok(pairs)
+}
+
+fn parse_vertex(tok: Option<&str>, lineno: usize) -> io::Result<VertexId> {
+    tok.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {lineno}: expected two vertex ids"),
+        )
+    })?
+    .parse::<VertexId>()
+    .map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {lineno}: bad vertex id: {e}"),
+        )
+    })
+}
+
+/// Writes one answer line per query: `s\tt\tdist\tcount`.
+pub fn write_answers<W: Write>(
+    pairs: &[(VertexId, VertexId)],
+    answers: &[SpcAnswer],
+    mut w: W,
+) -> io::Result<()> {
+    debug_assert_eq!(pairs.len(), answers.len());
+    for (&(s, t), a) in pairs.iter().zip(answers) {
+        if a.is_reachable() {
+            writeln!(w, "{s}\t{t}\t{}\t{}", a.dist, a.count)?;
+        } else {
+            writeln!(w, "{s}\t{t}\tunreachable\t0")?;
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs_with_comments() {
+        let text = "# query workload\n0 1\n% other\n\n2 3 extra columns\n4\t5\n";
+        let pairs = read_pairs(text.as_bytes()).unwrap();
+        assert_eq!(pairs, vec![(0, 1), (2, 3), (4, 5)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_pairs("0 x\n".as_bytes()).is_err());
+        assert!(read_pairs("7\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn writes_answers_including_unreachable() {
+        let pairs = vec![(0, 1), (2, 3)];
+        let answers = vec![SpcAnswer { dist: 2, count: 4 }, SpcAnswer::UNREACHABLE];
+        let mut out = Vec::new();
+        write_answers(&pairs, &answers, &mut out).unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "0\t1\t2\t4\n2\t3\tunreachable\t0\n"
+        );
+    }
+}

@@ -1,70 +1,207 @@
-//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate.
+//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate —
+//! **genuinely parallel** for the hot combinators.
 //!
 //! The build environment has no crates.io access, so this shim provides
-//! the API subset the workspace uses (`par_iter`, `par_iter_mut`,
-//! `into_par_iter`, `zip`/`map`/`sum`/`collect`/`for_each`,
-//! `par_sort_unstable_by_key`, `par_chunks_mut`, `ThreadPoolBuilder`,
-//! `ThreadPool::install`) with **sequential** execution. Call sites keep
-//! rayon's stricter `Send`/`Sync` obligations satisfied, so swapping the
-//! workspace dependency back to the real crate re-enables parallelism
-//! with no source changes. Determinism is unaffected: rayon's semantics
-//! for these combinators are order-preserving.
+//! the API subset the workspace uses. Unlike the original bring-up shim
+//! (which executed everything sequentially), the drivers that carry the
+//! expensive per-item closures — `map(..).collect()`, `map(..).sum()`,
+//! `for_each`, and [`join`] — now fan work out over OS threads via
+//! `std::thread::scope`:
+//!
+//! * sources and cheap combinators (`zip`, `enumerate`, `par_chunks_mut`,
+//!   `filter`, `flat_map`) compose a serial iterator that merely *names*
+//!   the items — references, index ranges, disjoint `&mut` chunks;
+//! * [`Par::map`] keeps its closure separate (in a [`ParMap`]) instead of
+//!   fusing it into the iterator, so the terminal driver can apply it in
+//!   worker threads;
+//! * drivers materialize the (cheap) item list, then dispense chunks of it
+//!   to workers through a mutex-guarded queue — dynamic load balancing in
+//!   the spirit of rayon's work stealing — and reassemble results in input
+//!   order, so `collect` remains order-preserving and deterministic.
+//!
+//! Thread count: [`ThreadPool::install`] sets a thread-local override for
+//! the duration of the closure (this is how `PspcConfig::threads` takes
+//! effect); otherwise `std::thread::available_parallelism` is used. With 1
+//! thread — or when a batch is smaller than the `with_min_len` hint —
+//! execution stays on the calling thread with zero spawns, so unit tests
+//! on small inputs pay no overhead.
+//!
+//! Still sequential: `par_sort_unstable*` (std's pdqsort is plenty fast
+//! and the sorts are not on the critical path) and closures passed to
+//! `filter`/`flat_map` (cheap at every call site). Nested parallelism
+//! inside a worker thread runs sequentially rather than oversubscribing.
+//! Swapping the workspace dependency back to the real crate remains a
+//! one-line change: call sites keep rayon's `Send`/`Sync` obligations.
 
-/// A "parallel" iterator — a thin wrapper over a serial [`Iterator`].
-pub struct Par<I>(I);
+use std::cell::Cell;
+use std::sync::{Mutex, MutexGuard};
+
+// ---------------------------------------------------------------- executor
+
+thread_local! {
+    /// Thread count forced by an enclosing [`ThreadPool::install`].
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Thread count parallel drivers will use right now.
+pub fn current_num_threads() -> usize {
+    POOL_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(available_threads)
+}
+
+/// Non-poisoning lock: a panicking worker must not turn into a confusing
+/// secondary panic in its siblings (the scope re-raises the original).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Applies `f` to every item, in input order, fanning out over scoped
+/// threads when the batch and thread budget justify it. The returned
+/// vector is index-aligned with `items`.
+fn par_apply<T, O, F>(items: Vec<T>, f: &F, min_len: usize) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads();
+    // ~4 chunks per worker gives the dispenser something to balance with,
+    // while `with_min_len` keeps tiny workloads serial.
+    let chunk = (n.div_ceil(threads.max(1) * 4)).max(min_len).max(1);
+    let workers = threads.min(n.div_ceil(chunk.max(1)).max(1));
+    if workers <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    // Chunk dispenser + out-of-order part list (Kun-peng-style shared
+    // buffers): workers pull the next chunk, compute, push `(start, out)`.
+    let queue = Mutex::new((0usize, items.into_iter()));
+    let parts: Mutex<Vec<(usize, Vec<O>)>> = Mutex::new(Vec::with_capacity(n.div_ceil(chunk)));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                // Workers get a serial budget: nested parallel drivers
+                // inside `f` must not oversubscribe the machine.
+                POOL_OVERRIDE.with(|c| c.set(Some(1)));
+                loop {
+                    let (start, batch) = {
+                        let mut q = lock(&queue);
+                        if q.1.len() == 0 {
+                            return;
+                        }
+                        let start = q.0;
+                        let batch: Vec<T> = q.1.by_ref().take(chunk).collect();
+                        q.0 += batch.len();
+                        (start, batch)
+                    };
+                    let out: Vec<O> = batch.into_iter().map(f).collect();
+                    lock(&parts).push((start, out));
+                }
+            });
+        }
+    });
+    let mut parts = parts.into_inner().unwrap_or_else(|e| e.into_inner());
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut p) in parts {
+        out.append(&mut p);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// A parallel iterator over a cheap serial *source* (refs, ranges,
+/// disjoint chunks). The expensive closure lives in [`ParMap`].
+pub struct Par<I> {
+    iter: I,
+    min_len: usize,
+}
 
 impl<I: Iterator> Par<I> {
-    /// Maps each item through `f`.
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
+    fn new(iter: I) -> Self {
+        Par { iter, min_len: 1 }
+    }
+
+    /// Maps each item through `f`. The closure is kept out of the iterator
+    /// so terminal drivers can apply it in parallel.
+    pub fn map<O, F: Fn(I::Item) -> O>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            base: self.iter,
+            f,
+            min_len: self.min_len,
+        }
     }
 
     /// Zips with anything convertible to a parallel iterator.
     pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::Iter>> {
-        Par(self.0.zip(other.into_par_iter().0))
+        Par {
+            iter: self.iter.zip(other.into_par_iter().iter),
+            min_len: self.min_len,
+        }
     }
 
     /// Pairs each item with its index.
     pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
+        Par {
+            iter: self.iter.enumerate(),
+            min_len: self.min_len,
+        }
     }
 
-    /// Splitting hint — a no-op for sequential execution.
-    pub fn with_min_len(self, _min: usize) -> Self {
+    /// Minimum items per work chunk (also the serial-execution cutoff).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
         self
     }
 
-    /// Splitting hint — a no-op for sequential execution.
+    /// Splitting hint — a no-op here.
     pub fn with_max_len(self, _max: usize) -> Self {
         self
     }
 
-    /// Keeps items for which `f` returns `true`.
+    /// Keeps items for which `f` returns `true` (applied serially while
+    /// materializing the source — cheap at every call site).
     pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
-        Par(self.0.filter(f))
+        Par {
+            iter: self.iter.filter(f),
+            min_len: self.min_len,
+        }
     }
 
-    /// Maps and flattens.
+    /// Maps and flattens (serial composition).
     pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
         self,
         f: F,
     ) -> Par<std::iter::FlatMap<I, O, F>> {
-        Par(self.0.flat_map(f))
+        Par {
+            iter: self.iter.flat_map(f),
+            min_len: self.min_len,
+        }
     }
 
-    /// Runs `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    /// Runs `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let items: Vec<I::Item> = self.iter.collect();
+        par_apply(items, &f, self.min_len);
     }
 
-    /// Sums the items.
+    /// Sums the items (source items are cheap; summing stays serial).
     pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+        self.iter.sum()
     }
 
     /// Counts the items.
     pub fn count(self) -> usize {
-        self.0.count()
+        self.iter.count()
     }
 
     /// Largest item.
@@ -72,12 +209,12 @@ impl<I: Iterator> Par<I> {
     where
         I::Item: Ord,
     {
-        self.0.max()
+        self.iter.max()
     }
 
     /// Collects into any [`FromIterator`] collection.
     pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+        self.iter.collect()
     }
 
     /// Folds sequentially then reduces (single sequential fold here).
@@ -86,7 +223,84 @@ impl<I: Iterator> Par<I> {
         ID: Fn() -> I::Item,
         F: Fn(I::Item, I::Item) -> I::Item,
     {
-        self.0.fold(identity(), f)
+        self.iter.fold(identity(), f)
+    }
+}
+
+/// A mapped parallel iterator: cheap source + the hot closure, applied in
+/// worker threads by every terminal driver.
+pub struct ParMap<I, F> {
+    base: I,
+    f: F,
+    min_len: usize,
+}
+
+impl<I, O, F> ParMap<I, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    O: Send,
+    F: Fn(I::Item) -> O + Sync,
+{
+    /// Minimum items per work chunk (also the serial-execution cutoff).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Composes a second map without losing parallel execution.
+    pub fn map<O2, G: Fn(O) -> O2>(self, g: G) -> ParMap<I, impl Fn(I::Item) -> O2> {
+        let f = self.f;
+        ParMap {
+            base: self.base,
+            f: move |t| g(f(t)),
+            min_len: self.min_len,
+        }
+    }
+
+    fn run(self) -> Vec<O> {
+        let items: Vec<I::Item> = self.base.collect();
+        par_apply(items, &self.f, self.min_len)
+    }
+
+    /// Collects mapped items, in input order, computed in parallel.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Runs the closure on every item for its side effects.
+    pub fn for_each(self)
+    where
+        F: Fn(I::Item) -> O,
+    {
+        self.run();
+    }
+
+    /// Sums the mapped items (the map runs in parallel).
+    pub fn sum<S: std::iter::Sum<O>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Number of mapped items.
+    pub fn count(self) -> usize {
+        self.run().len()
+    }
+
+    /// Largest mapped item.
+    pub fn max(self) -> Option<O>
+    where
+        O: Ord,
+    {
+        self.run().into_iter().max()
+    }
+
+    /// Parallel map, then a sequential reduction of the results.
+    pub fn reduce<ID, G>(self, identity: ID, g: G) -> O
+    where
+        ID: Fn() -> O,
+        G: Fn(O, O) -> O,
+    {
+        self.run().into_iter().fold(identity(), g)
     }
 }
 
@@ -113,7 +327,7 @@ impl<T> IntoParallelIterator for Vec<T> {
     type Iter = std::vec::IntoIter<T>;
     type Item = T;
     fn into_par_iter(self) -> Par<Self::Iter> {
-        Par(self.into_iter())
+        Par::new(self.into_iter())
     }
 }
 
@@ -121,7 +335,7 @@ impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
     type Iter = std::slice::Iter<'a, T>;
     type Item = &'a T;
     fn into_par_iter(self) -> Par<Self::Iter> {
-        Par(self.iter())
+        Par::new(self.iter())
     }
 }
 
@@ -129,7 +343,7 @@ impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
     type Iter = std::slice::Iter<'a, T>;
     type Item = &'a T;
     fn into_par_iter(self) -> Par<Self::Iter> {
-        Par(self.iter())
+        Par::new(self.iter())
     }
 }
 
@@ -137,7 +351,7 @@ impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
     type Iter = std::slice::IterMut<'a, T>;
     type Item = &'a mut T;
     fn into_par_iter(self) -> Par<Self::Iter> {
-        Par(self.iter_mut())
+        Par::new(self.iter_mut())
     }
 }
 
@@ -145,7 +359,7 @@ impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
     type Iter = std::slice::IterMut<'a, T>;
     type Item = &'a mut T;
     fn into_par_iter(self) -> Par<Self::Iter> {
-        Par(self.iter_mut())
+        Par::new(self.iter_mut())
     }
 }
 
@@ -155,7 +369,7 @@ macro_rules! impl_into_par_for_range {
             type Iter = std::ops::Range<$t>;
             type Item = $t;
             fn into_par_iter(self) -> Par<Self::Iter> {
-                Par(self)
+                Par::new(self)
             }
         }
     )*};
@@ -212,13 +426,14 @@ pub trait ParallelSlice<T: Sync> {
 
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-        Par(self.chunks(chunk_size))
+        Par::new(self.chunks(chunk_size))
     }
 }
 
 /// Parallel operations on exclusive slices.
 pub trait ParallelSliceMut<T: Send> {
-    /// Chunked mutable iteration.
+    /// Chunked mutable iteration — chunks are disjoint, so a parallel
+    /// `for_each` over them is race-free by construction.
     fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
 
     /// Unstable sort (sequential in this shim).
@@ -235,7 +450,7 @@ pub trait ParallelSliceMut<T: Send> {
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(chunk_size))
+        Par::new(self.chunks_mut(chunk_size))
     }
 
     fn par_sort_unstable(&mut self)
@@ -278,8 +493,7 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Requests `n` worker threads (recorded but unused: execution is
-    /// sequential in this shim).
+    /// Requests `n` worker threads (0 = all available).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
@@ -288,7 +502,7 @@ impl ThreadPoolBuilder {
     /// Builds the pool. Infallible here.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            available_threads()
         } else {
             self.num_threads
         };
@@ -296,18 +510,29 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A (nominal) thread pool. `install` simply runs the closure on the
-/// current thread.
+/// A thread-count context. Worker threads are not persistent (they are
+/// scoped per driver call), but `install` really does control how many
+/// threads the drivers inside `op` fan out to.
 pub struct ThreadPool {
     threads: usize,
 }
 
 impl ThreadPool {
-    /// Runs `op` "inside" the pool.
+    /// Runs `op` with this pool's thread count in effect for every
+    /// parallel driver on the current thread (restored afterwards, also on
+    /// panic).
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R,
     {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let prev = POOL_OVERRIDE.with(|c| c.replace(Some(self.threads)));
+        let _restore = Restore(prev);
         op()
     }
 
@@ -317,18 +542,32 @@ impl ThreadPool {
     }
 }
 
-/// Global thread count rayon would use.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Runs both closures (sequentially here) and returns both results.
+/// Runs both closures, `b` on a scoped thread while `a` runs on the
+/// caller, and returns both results. Falls back to sequential execution
+/// under a 1-thread budget. A panic in either closure propagates.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            // Spawned side gets a serial budget (no oversubscription from
+            // nested drivers); the caller side keeps its own.
+            POOL_OVERRIDE.with(|c| c.set(Some(1)));
+            b()
+        });
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
 }
 
 /// The traits a `use rayon::prelude::*` is expected to bring in scope.
@@ -342,6 +581,8 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
 
     #[test]
     fn map_zip_sum_collect() {
@@ -377,5 +618,176 @@ mod tests {
             .unwrap();
         assert_eq!(pool.install(|| 42), 42);
         assert_eq!(pool.current_num_threads(), 4);
+        // The override is scoped to the closure.
+        pool.install(|| assert_eq!(super::current_num_threads(), 4));
+    }
+
+    #[test]
+    fn collect_preserves_input_order_under_parallelism() {
+        // Force many small chunks across 4 workers; order must survive.
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let v: Vec<usize> = pool.install(|| {
+            (0..10_000usize)
+                .into_par_iter()
+                .map(|i| {
+                    if i % 1000 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                    i * 2
+                })
+                .collect()
+        });
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn map_drivers_really_fan_out() {
+        // With a forced 4-thread budget and sleepy items, at least two
+        // distinct OS threads must participate (the sleeps make a single
+        // worker draining the queue implausible even on one core).
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) < 2 {
+            eprintln!("skipping fan-out assertion: single-core machine");
+            return;
+        }
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let v: Vec<u32> = pool.install(|| {
+            (0..16u32)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|i| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    i
+                })
+                .collect()
+        });
+        assert_eq!(v, (0..16).collect::<Vec<_>>());
+        assert!(
+            seen.lock().unwrap().len() >= 2,
+            "expected at least 2 worker threads"
+        );
+    }
+
+    #[test]
+    fn for_each_writes_disjoint_chunks_in_parallel() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let mut w = vec![0u32; 4096];
+        pool.install(|| {
+            w.par_chunks_mut(64)
+                .enumerate()
+                .for_each(|(i, c)| c.fill(i as u32));
+        });
+        for (i, c) in w.chunks(64).enumerate() {
+            assert!(c.iter().all(|&x| x == i as u32));
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let r = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0..64usize)
+                    .into_par_iter()
+                    .with_min_len(1)
+                    .map(|i| {
+                        if i == 13 {
+                            panic!("boom");
+                        }
+                        i
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn join_panic_propagates() {
+        let r = std::panic::catch_unwind(|| super::join(|| 1, || -> u32 { panic!("right side") }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn min_len_keeps_small_batches_serial() {
+        // A batch under min_len must not spawn: observable via thread id.
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let main_id = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..8u32)
+                .into_par_iter()
+                .with_min_len(256)
+                .map(|_| std::thread::current().id())
+                .collect()
+        });
+        assert!(ids.iter().all(|&id| id == main_id));
+    }
+
+    #[test]
+    fn nested_drivers_in_workers_run_serial() {
+        // Workers carry a 1-thread budget, so a nested driver inside the
+        // mapped closure must not fan out again.
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let counts: Vec<usize> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|_| super::current_num_threads())
+                .collect()
+        });
+        assert!(counts.iter().all(|&c| c == 1), "got {counts:?}");
+    }
+
+    #[test]
+    fn join_spawned_side_has_serial_budget() {
+        let (_, nb) = super::join(|| 0, super::current_num_threads);
+        assert_eq!(nb, 1);
+    }
+
+    #[test]
+    fn sum_over_parmap_is_parallel_and_correct() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let s: u64 = pool.install(|| (0..100_000u64).into_par_iter().map(|x| x % 7).sum());
+        let expect: u64 = (0..100_000u64).map(|x| x % 7).sum();
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn composed_map_still_parallel_and_ordered() {
+        let v: Vec<u64> = (0..1000u64)
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x * 2)
+            .collect();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == (i as u64 + 1) * 2));
     }
 }

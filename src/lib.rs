@@ -13,7 +13,10 @@
 //! * [`order`] ([`pspc_order`]) — degree / tree-decomposition /
 //!   significant-path / hybrid vertex orderings;
 //! * [`core`] ([`pspc_core`]) — the ESPC index, the sequential HP-SPC
-//!   baseline, the parallel PSPC builder, reductions and serialization.
+//!   baseline, the parallel PSPC builder, reductions and serialization;
+//! * [`service`] ([`pspc_service`]) — the throughput-oriented batch
+//!   query engine (worker pool, chunked sharding, reusable scratch) and
+//!   the `pspc` CLI (`build`/`query`/`bench`).
 //!
 //! ## Quickstart
 //!
@@ -34,13 +37,15 @@ pub mod applications;
 pub use pspc_core as core;
 pub use pspc_graph as graph;
 pub use pspc_order as order;
+pub use pspc_service as service;
 
 pub use pspc_core::{
-    build_hpspc, build_pspc, Count, IndexStats, LabelEntry, LabelSet, Paradigm, PspcBuildStats,
-    PspcConfig, ReducedIndex, SchedulePlan, SpcIndex,
+    build_hpspc, build_pspc, BatchScratch, Count, IndexStats, LabelEntry, LabelSet, Paradigm,
+    PspcBuildStats, PspcConfig, ReducedIndex, SchedulePlan, SpcIndex,
 };
 pub use pspc_graph::{Graph, GraphBuilder, GraphStats, SpcAnswer, VertexId};
 pub use pspc_order::{OrderingStrategy, VertexOrder};
+pub use pspc_service::{EngineConfig, QueryEngine};
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {

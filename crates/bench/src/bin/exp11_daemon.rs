@@ -1,0 +1,9 @@
+//! Extension experiment: measured daemon throughput over local TCP
+//! (`pspc_server` vs in-process `QueryEngine` vs `query_batch_sequential`).
+
+use pspc_bench::experiments::exp11_daemon_throughput;
+use pspc_bench::ExpOptions;
+
+fn main() {
+    exp11_daemon_throughput(&ExpOptions::from_args());
+}

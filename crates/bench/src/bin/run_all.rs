@@ -27,5 +27,6 @@ fn main() {
     exp8_landmarks(&opt);
     exp9_breakdown(&opt);
     exp10_service_throughput(&opt);
+    exp11_daemon_throughput(&opt);
     eprintln!("full evaluation complete");
 }

@@ -622,6 +622,106 @@ pub fn exp10_service_throughput(opt: &ExpOptions) {
     );
 }
 
+// ------------------------------------------------------ Daemon throughput
+
+/// Pairs per network request in the daemon experiment.
+const EXP11_REQUEST_PAIRS: usize = 1024;
+/// Concurrent client connections in the daemon experiment.
+const EXP11_CLIENTS: usize = 4;
+
+/// Extension experiment: **measured daemon throughput** — the same
+/// workload answered three ways: `query_batch_sequential` in process,
+/// the persistent-pool `QueryEngine` in process, and the `pspc_server`
+/// daemon over local TCP (framed binary protocol, [`EXP11_CLIENTS`]
+/// persistent connections issuing [`EXP11_REQUEST_PAIRS`]-pair
+/// requests). Reports queries/sec for each plus p50/p99 per-request
+/// round-trip latency of the daemon; answers are asserted bit-identical
+/// across all three paths.
+pub fn exp11_daemon_throughput(opt: &ExpOptions) {
+    use pspc_server::client::RemoteClient;
+    use pspc_server::server::serve;
+    use pspc_service::bench::percentile_nanos;
+    use pspc_service::{EngineConfig, QueryEngine};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let mut rows = Vec::new();
+    for d in selected(opt, &["FB", "GO"]) {
+        let g = d.generate(opt.scale);
+        let (idx, _) = build_pspc(&g, &default_pspc(opt.threads));
+        let pairs = random_pairs(&g, opt.queries, 0xDAE11);
+        let engine_cfg = EngineConfig {
+            workers: opt.threads,
+            ..EngineConfig::default()
+        };
+
+        let (expect, t_seq) = time(|| idx.query_batch_sequential(&pairs));
+
+        let engine = QueryEngine::with_config(idx.clone(), engine_cfg);
+        let _ = engine.run(&pairs[..pairs.len().min(1000)]); // warmup
+        let (engine_answers, t_engine) = time(|| engine.run(&pairs));
+        assert_eq!(engine_answers, expect, "{}: engine diverges", d.code);
+        drop(engine);
+
+        let handle = serve(idx.clone(), "127.0.0.1:0", engine_cfg).expect("bind ephemeral port");
+        let addr = handle.local_addr().to_string();
+        let requests: Vec<&[(u32, u32)]> = pairs.chunks(EXP11_REQUEST_PAIRS).collect();
+        let next = AtomicUsize::new(0);
+        let parts: Mutex<Vec<(usize, Vec<pspc_graph::SpcAnswer>)>> =
+            Mutex::new(Vec::with_capacity(requests.len()));
+        let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(requests.len()));
+        let ((), t_daemon) = time(|| {
+            std::thread::scope(|s| {
+                for _ in 0..EXP11_CLIENTS {
+                    s.spawn(|| {
+                        let mut client = RemoteClient::connect(&addr).expect("connect");
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(req) = requests.get(i) else { return };
+                            let t0 = std::time::Instant::now();
+                            let answers = client.query_batch(req).expect("daemon answer");
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            latencies.lock().unwrap().push(ns);
+                            parts.lock().unwrap().push((i, answers));
+                        }
+                    });
+                }
+            });
+        });
+        let mut parts = parts.into_inner().unwrap();
+        parts.sort_unstable_by_key(|&(i, _)| i);
+        let daemon_answers: Vec<_> = parts.into_iter().flat_map(|(_, a)| a).collect();
+        assert_eq!(daemon_answers, expect, "{}: daemon diverges", d.code);
+        handle.shutdown();
+
+        let mut lat = latencies.into_inner().unwrap();
+        let qps = |secs: f64| format!("{:.0}", pairs.len() as f64 / secs.max(1e-9));
+        rows.push(vec![
+            d.code.to_string(),
+            qps(t_seq),
+            qps(t_engine),
+            qps(t_daemon),
+            format!("{:.0}", percentile_nanos(&mut lat, 0.50) as f64 / 1e3),
+            format!("{:.0}", percentile_nanos(&mut lat, 0.99) as f64 / 1e3),
+            format!("{:.2}", t_seq / t_daemon.max(1e-9)),
+        ]);
+        eprintln!("[exp11] {} done (daemon {:.3}s)", d.code, t_daemon);
+    }
+    print_table(
+        "Exp 11: daemon throughput over local TCP vs in-process engine vs sequential",
+        &[
+            "Dataset",
+            "seq q/s",
+            "engine q/s",
+            "daemon q/s",
+            "p50 us",
+            "p99 us",
+            "daemon speedup",
+        ],
+        &rows,
+    );
+}
+
 /// Convenience used by tests and `run_all`: a graph for quick smoke runs.
 pub fn smoke_graph() -> Graph {
     DatasetSpec::by_code("FB").unwrap().generate(0.05)
@@ -661,6 +761,18 @@ mod tests {
         };
         // Asserts engine/sequential parity internally on every axis point.
         exp10_service_throughput(&opt);
+    }
+
+    #[test]
+    fn daemon_throughput_experiment_smoke() {
+        let opt = ExpOptions {
+            scale: 0.05,
+            queries: 3000,
+            datasets: vec!["FB".into()],
+            ..ExpOptions::default()
+        };
+        // Asserts sequential == engine == daemon answers internally.
+        exp11_daemon_throughput(&opt);
     }
 
     #[test]

@@ -91,10 +91,13 @@ fn mul_sat(a: Count, b: Count) -> Count {
 
 /// Reusable buffers for repeated batch evaluation.
 ///
-/// A query service answering chunk after chunk should not reallocate the
-/// rank-translation and answer vectors per chunk; one `BatchScratch` per
-/// worker thread amortizes them across the worker's lifetime. Used by
-/// [`SpcIndex::query_batch_with_scratch`].
+/// A caller answering chunk after chunk on one thread should not
+/// reallocate the rank-translation and answer vectors per chunk; one
+/// `BatchScratch` amortizes them across its owner's lifetime. Used by
+/// [`SpcIndex::query_batch_with_scratch`]. (The `pspc_service` worker
+/// pool instead fills owned buffers via
+/// [`SpcIndex::query_rank_batch_into`], because its answers are shipped
+/// to the submitting thread through a channel.)
 #[derive(Debug, Default)]
 pub struct BatchScratch {
     /// Rank-space pairs of the current chunk.
@@ -164,9 +167,10 @@ impl SpcIndex {
     /// Answers land in `scratch` (also returned as a slice), index-aligned
     /// with `pairs`. Rank translation happens once per pair up front, so
     /// the hot loop touches only rank-space label sets. This is the entry
-    /// point the `pspc_service` worker pool drives: each worker owns one
-    /// scratch and streams chunks through it with zero steady-state
-    /// allocation.
+    /// point for embedders that evaluate chunk after chunk on one thread
+    /// and read answers in place; workers that must *ship* answers to
+    /// another thread use [`SpcIndex::query_rank_batch_into`] instead
+    /// (the borrow of a worker-local scratch cannot cross a channel).
     pub fn query_batch_with_scratch<'s>(
         &self,
         pairs: &[(VertexId, VertexId)],
@@ -189,19 +193,27 @@ impl SpcIndex {
     }
 
     /// Rank-space variant of [`SpcIndex::query_batch_with_scratch`] for
-    /// callers that translated vertex ids to ranks once up front (the
-    /// service engine translates a whole batch before sharding so workers
-    /// never touch the rank array).
+    /// callers that translated vertex ids to ranks once up front, reading
+    /// answers in place from the scratch.
     pub fn query_rank_batch_with_scratch<'s>(
         &self,
         rank_pairs: &[(u32, u32)],
         scratch: &'s mut BatchScratch,
     ) -> &'s [SpcAnswer] {
-        scratch.answers.clear();
-        scratch
-            .answers
-            .extend(rank_pairs.iter().map(|&(rs, rt)| self.query_ranks(rs, rt)));
+        self.query_rank_batch_into(rank_pairs, &mut scratch.answers);
         &scratch.answers
+    }
+
+    /// Rank-space batch evaluation into a **caller-owned** buffer.
+    ///
+    /// `out` is cleared and refilled, index-aligned with `rank_pairs`.
+    /// Unlike the scratch variants this ties no borrow to a worker-local
+    /// scratch, so a persistent pool worker can fill a buffer and ship it
+    /// to the submitter through a channel without an extra copy — the
+    /// pool-friendly lifetime the long-lived `pspc_service` workers need.
+    pub fn query_rank_batch_into(&self, rank_pairs: &[(u32, u32)], out: &mut Vec<SpcAnswer>) {
+        out.clear();
+        out.extend(rank_pairs.iter().map(|&(rs, rt)| self.query_ranks(rs, rt)));
     }
 }
 
@@ -357,6 +369,28 @@ mod tests {
         let pairs2 = vec![(1, 1)];
         let got2 = idx.query_batch_with_scratch(&pairs2, &mut scratch);
         assert_eq!(got2, &[SpcAnswer { dist: 0, count: 1 }]);
+    }
+
+    #[test]
+    fn rank_batch_into_reuses_owned_buffer() {
+        let order = VertexOrder::identity(3);
+        let idx = SpcIndex::new(
+            order,
+            vec![
+                ls(&[(0, 0, 1)]),
+                ls(&[(0, 1, 1), (1, 0, 1)]),
+                ls(&[(0, 1, 2), (2, 0, 1)]),
+            ],
+            None,
+            IndexStats::default(),
+        );
+        let mut out = Vec::new();
+        idx.query_rank_batch_into(&[(0, 1), (1, 2), (2, 2)], &mut out);
+        assert_eq!(out, idx.query_batch_sequential(&[(0, 1), (1, 2), (2, 2)]));
+        // A shorter refill through the same buffer must not keep stale
+        // tail entries.
+        idx.query_rank_batch_into(&[(1, 1)], &mut out);
+        assert_eq!(out, vec![SpcAnswer { dist: 0, count: 1 }]);
     }
 
     #[test]

@@ -1,12 +1,14 @@
-//! `pspc` — build, persist and serve shortest-path-counting indexes.
+//! `pspc` — build, persist, serve and remotely query
+//! shortest-path-counting indexes.
 //!
-//! See `pspc --help` or the crate docs of `pspc_service` for usage.
+//! See `pspc --help` or the crate docs of `pspc_server` /
+//! `pspc_service` for usage.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match pspc_service::cli::run(&args) {
+    match pspc_server::cli::run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

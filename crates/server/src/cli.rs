@@ -1,0 +1,184 @@
+//! The full `pspc` command-line surface: `serve` and remote `query` are
+//! handled here, everything else delegates to [`pspc_service::cli`]
+//! (`build`, local `query`, `bench`).
+
+use crate::client::RemoteClient;
+use crate::server::serve;
+use pspc_service::cli::{load_index, OutputFormat};
+use pspc_service::pairs::{read_pairs, write_answers, write_answers_json};
+use pspc_service::EngineConfig;
+
+const USAGE: &str = "usage: pspc serve <index> [--addr host:port] [--workers n] \
+[--queue-depth n] [--chunk n] [--no-sort] | pspc query --remote host:port \
+[--pairs <file|->] [--format tsv|json] [s t ...] | pspc build|query|bench ... \
+(see `pspc help` for the local subcommands)";
+
+/// Entry point of the `pspc` binary: dispatches `serve` and
+/// `query --remote`, falls through to the `pspc_service` subcommands.
+pub fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") if args.iter().any(|a| a == "--remote") => cmd_remote_query(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            pspc_service::cli::run(args)
+        }
+        _ => pspc_service::cli::run(args),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut index_path: Option<&str> = None;
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut cfg = EngineConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match a.as_str() {
+            "--addr" => addr = value("--addr")?.clone(),
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-depth: {e}"))?
+            }
+            "--chunk" => {
+                cfg.chunk_size = value("--chunk")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --chunk: {e}"))?
+                    .max(1)
+            }
+            "--no-sort" => cfg.sort_by_rank = false,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}\n{USAGE}")),
+            path => {
+                if index_path.is_some() {
+                    return Err(format!("unexpected positional argument {path}"));
+                }
+                index_path = Some(path);
+            }
+        }
+    }
+    let index_path = index_path.ok_or("serve: missing index path")?;
+    let index = load_index(index_path)?;
+    eprintln!(
+        "serving {index_path} ({} vertices) on {addr} ...",
+        index.num_vertices()
+    );
+    let handle = serve(index, &addr, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+    eprintln!(
+        "listening on {} (POST /query, GET /healthz, GET /metrics, POST /shutdown; \
+         binary protocol on the same port)",
+        handle.local_addr()
+    );
+    let final_metrics = handle.wait();
+    eprintln!(
+        "shut down after {:.1}s: {} requests served, {} rejected, {} bad",
+        final_metrics.uptime_secs,
+        final_metrics.served,
+        final_metrics.rejected,
+        final_metrics.client_errors
+    );
+    Ok(())
+}
+
+fn cmd_remote_query(args: &[String]) -> Result<(), String> {
+    let mut remote: Option<String> = None;
+    let mut pairs_src: Option<String> = None;
+    let mut format = OutputFormat::Tsv;
+    let mut inline: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match a.as_str() {
+            "--remote" => remote = Some(value("--remote")?.clone()),
+            "--pairs" => pairs_src = Some(value("--pairs")?.clone()),
+            "--format" => format = value("--format")?.parse()?,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}\n{USAGE}")),
+            other => inline.push(other.to_string()),
+        }
+    }
+    let remote = remote.ok_or("query: missing --remote host:port")?;
+
+    let pairs: Vec<(u32, u32)> = if let Some(src) = pairs_src {
+        if !inline.is_empty() {
+            return Err("query: give either --pairs or inline ids, not both".into());
+        }
+        if src == "-" {
+            read_pairs(std::io::stdin().lock())
+        } else {
+            let f = std::fs::File::open(&src).map_err(|e| format!("opening {src}: {e}"))?;
+            read_pairs(std::io::BufReader::new(f))
+        }
+        .map_err(|e| format!("reading pairs: {e}"))?
+    } else {
+        if inline.is_empty() || !inline.len().is_multiple_of(2) {
+            return Err("query: need --pairs <file|-> or an even number of vertex ids".into());
+        }
+        inline
+            .chunks_exact(2)
+            .map(|p| -> Result<(u32, u32), String> {
+                let s = p[0].parse().map_err(|e| format!("bad vertex: {e}"))?;
+                let t = p[1].parse().map_err(|e| format!("bad vertex: {e}"))?;
+                Ok((s, t))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let mut client =
+        RemoteClient::connect(&remote).map_err(|e| format!("connecting to {remote}: {e}"))?;
+    let t0 = std::time::Instant::now();
+    let answers = client
+        .query_batch(&pairs)
+        .map_err(|e| format!("querying {remote}: {e}"))?;
+    let secs = t0.elapsed().as_secs_f64();
+    let out = std::io::stdout().lock();
+    match format {
+        OutputFormat::Tsv => write_answers(&pairs, &answers, out),
+        OutputFormat::Json => write_answers_json(&pairs, &answers, out),
+    }
+    .map_err(|e| format!("writing answers: {e}"))?;
+    eprintln!(
+        "{} remote queries in {:.3}s ({:.0} queries/sec round-trip)",
+        pairs.len(),
+        secs,
+        pairs.len() as f64 / secs.max(1e-9)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn delegates_unknown_to_service_and_rejects_bad_flags() {
+        // Unknown commands fall through to the service CLI, which
+        // rejects them with its usage text.
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["serve"])).is_err()); // missing index
+        assert!(run(&s(&["serve", "i", "--bogus"])).is_err());
+        assert!(run(&s(&["query", "--remote"])).is_err()); // missing value
+        assert!(run(&s(&["query", "--remote", "x", "--bogus"])).is_err());
+        assert!(run(&s(&["query", "--remote", "x", "1"])).is_err()); // odd ids
+        assert!(run(&s(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn remote_query_to_unreachable_host_reports_connect_error() {
+        // Port 1 on localhost is essentially never listening.
+        let err = run(&s(&["query", "--remote", "127.0.0.1:1", "0", "1"])).unwrap_err();
+        assert!(err.contains("connecting"), "{err}");
+    }
+}

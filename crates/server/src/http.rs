@@ -1,0 +1,205 @@
+//! A hand-rolled HTTP/1.1 subset — just enough for the daemon's four
+//! endpoints and `curl`.
+//!
+//! The build environment has no crates.io access, so instead of an HTTP
+//! framework this module parses the request line, headers and a
+//! `Content-Length` body from a `BufRead`, and writes responses with
+//! explicit `Content-Length` (no chunked encoding). Keep-alive follows
+//! HTTP/1.1 defaults: connections persist unless the client sends
+//! `Connection: close`. Limits (header count, header size, body size)
+//! are enforced before allocation so a hostile peer cannot balloon the
+//! daemon.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Maximum accepted `Content-Length`, matching the binary protocol's
+/// payload cap (32 MiB).
+pub const MAX_BODY_BYTES: usize = 32 << 20;
+const MAX_HEADERS: usize = 64;
+const MAX_HEADER_LINE: usize = 8 << 10;
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string (`/query`).
+    pub path: String,
+    /// Raw query string after `?`, if any (`format=json`).
+    pub query: Option<String>,
+    /// `(lower-cased name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lower-cased) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Value of `key` in the query string (`?format=json`).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+            (k == key).then_some(v)
+        })
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one request. `Ok(None)` on a clean EOF before the request line
+/// (the client closed an idle keep-alive connection).
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if r.take(MAX_HEADER_LINE as u64).read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| invalid("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or_else(|| invalid("missing path"))?;
+    let version = parts.next().ok_or_else(|| invalid("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid(format!("unsupported version {version}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        if r.take(MAX_HEADER_LINE as u64).read_line(&mut h)? == 0 {
+            return Err(invalid("eof inside headers"));
+        }
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(invalid("too many headers"));
+        }
+        let (name, value) = h
+            .split_once(':')
+            .ok_or_else(|| invalid(format!("malformed header {h:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|e| invalid(format!("bad content-length: {e}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(invalid(format!(
+            "content-length {content_length} exceeds the {MAX_BODY_BYTES}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Writes one response with explicit `Content-Length`.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\n\
+         content-length: {}\r\nconnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body_query_and_headers() {
+        let wire = "POST /query?format=json&x HTTP/1.1\r\nHost: x\r\n\
+                    Content-Length: 4\r\nConnection: close\r\n\r\n0 1\n";
+        let req = read_request(&mut wire.as_bytes()).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.query_param("format"), Some("json"));
+        assert_eq!(req.query_param("x"), Some(""));
+        assert_eq!(req.query_param("absent"), None);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.wants_close());
+        assert_eq!(req.body, b"0 1\n");
+    }
+
+    #[test]
+    fn get_without_body_keeps_alive() {
+        let wire = "GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut wire.as_bytes()).unwrap().unwrap();
+        assert_eq!(
+            (req.method.as_str(), req.path.as_str()),
+            ("GET", "/healthz")
+        );
+        assert!(!req.wants_close());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn eof_and_malformed_inputs() {
+        assert_eq!(read_request(&mut "".as_bytes()).unwrap(), None);
+        assert!(read_request(&mut "BLURB\r\n\r\n".as_bytes()).is_err());
+        assert!(read_request(&mut "GET / SPDY/9\r\n\r\n".as_bytes()).is_err());
+        assert!(read_request(&mut "GET / HTTP/1.1\r\nbroken\r\n\r\n".as_bytes()).is_err());
+        let huge = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            1usize << 40
+        );
+        assert!(read_request(&mut huge.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_has_length_and_connection_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "text/plain", b"ok\n", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 3\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # pspc-server
+//!
+//! The network serving daemon over the PSPC shortest-path-counting
+//! index: a long-running process that owns a
+//! [`pspc_service::QueryEngine`] (persistent worker pool + bounded
+//! submission queue) and exposes it over TCP with admission control and
+//! live metrics — the "millions of users" front-end of the workspace.
+//!
+//! * [`server`] — the daemon: accept loop, per-connection handlers,
+//!   graceful shutdown ([`serve`] / [`ServerHandle`]);
+//! * [`proto`] — the framed binary wire protocol for low-overhead
+//!   clients (encode/decode shared by daemon and client);
+//! * [`http`] — a hand-rolled HTTP/1.1 subset (no crates.io access, so
+//!   no framework) behind `POST /query`, `GET /healthz`, `GET /metrics`
+//!   and `POST /shutdown`;
+//! * [`metrics`] — served/rejected/in-flight counters plus p50/p99
+//!   request latency from a ring buffer;
+//! * [`client`] — [`RemoteClient`], the binary-protocol client behind
+//!   `pspc query --remote`;
+//! * [`cli`] — the `pspc` binary: `serve` and remote `query` here,
+//!   `build`/local `query`/`bench` delegated to [`pspc_service::cli`].
+//!
+//! Both protocols share one port: connections opening with the bytes
+//! `"PSQ1"` speak the binary protocol, everything else is parsed as
+//! HTTP.
+//!
+//! # Quick start
+//!
+//! Build an index snapshot, start the daemon, and query it with `curl`
+//! (TSV by default, `?format=json` for structured output):
+//!
+//! ```text
+//! $ pspc build web-Google.txt -o web-Google.pspc --landmarks 100
+//! $ pspc serve web-Google.pspc --addr 127.0.0.1:7411 --workers 16 --queue-depth 4096 &
+//! $ curl -s http://127.0.0.1:7411/healthz
+//! ok
+//! $ printf '0 42\n7 99\n' | curl -s --data-binary @- http://127.0.0.1:7411/query
+//! 0       42      3       2
+//! 7       99      4       11
+//! $ curl -s http://127.0.0.1:7411/metrics | grep p99
+//! pspc_request_latency_p99_us 184.20
+//! $ pspc query --remote 127.0.0.1:7411 0 42          # binary protocol
+//! $ curl -s -X POST http://127.0.0.1:7411/shutdown   # graceful drain
+//! ```
+//!
+//! When the submission queue is full the daemon *sheds* requests (HTTP
+//! 503 / binary `Rejected`) rather than queueing unboundedly; shutdown
+//! drains in-flight batches before the worker pool exits. Answers over
+//! either protocol are bit-identical to
+//! [`pspc_core::SpcIndex::query_batch_sequential`] — the daemon
+//! integration test pins this, along with saturation rejection and
+//! graceful shutdown.
+//!
+//! Or embed the daemon:
+//!
+//! ```
+//! use pspc_core::{build_pspc, PspcConfig};
+//! use pspc_graph::generators::barabasi_albert;
+//! use pspc_server::{client::query_remote, server::serve};
+//! use pspc_service::EngineConfig;
+//!
+//! let g = barabasi_albert(300, 3, 42);
+//! let (index, _) = build_pspc(&g, &PspcConfig::default());
+//! let handle = serve(index, "127.0.0.1:0", EngineConfig::default()).unwrap();
+//! let answers = query_remote(&handle.local_addr().to_string(), &[(0, 299)]).unwrap();
+//! assert!(answers[0].is_reachable());
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use client::{query_remote, ClientError, RemoteClient};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use proto::Response;
+pub use server::{serve, ServerHandle};

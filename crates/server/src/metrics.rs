@@ -1,0 +1,240 @@
+//! Live daemon metrics: counters, gauges and a latency ring buffer.
+//!
+//! Counters are lock-free atomics bumped on every request; request
+//! service latencies go into a fixed-size ring buffer (the last
+//! [`RING_CAPACITY`] requests), from which `GET /metrics` derives p50/p99
+//! on demand. Sorting ≤4096 samples per scrape is microseconds of work,
+//! which keeps the request hot path free of any percentile bookkeeping.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Latency samples kept for percentile estimation.
+pub const RING_CAPACITY: usize = 4096;
+
+/// Fixed-size overwrite-oldest sample buffer.
+#[derive(Debug)]
+pub struct LatencyRing {
+    buf: Vec<u64>,
+    next: usize,
+    capacity: usize,
+}
+
+impl LatencyRing {
+    /// Ring holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        LatencyRing {
+            buf: Vec::with_capacity(capacity.max(1)),
+            next: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records one sample, evicting the oldest once full.
+    pub fn push(&mut self, v: u64) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(v);
+        } else {
+            self.buf[self.next] = v;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no samples were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Nearest-rank percentile (`q` in `0..=1`) of the held samples; 0 on
+    /// an empty ring. Shares the workspace percentile convention with
+    /// [`pspc_service::bench::percentile_nanos`].
+    pub fn percentile(&self, q: f64) -> u64 {
+        pspc_service::bench::percentile_nanos(&mut self.buf.clone(), q)
+    }
+}
+
+/// Shared live counters of one daemon.
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    served: AtomicU64,
+    queries: AtomicU64,
+    rejected: AtomicU64,
+    client_errors: AtomicU64,
+    in_flight: AtomicU64,
+    latency_ns: Mutex<LatencyRing>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            start: Instant::now(),
+            served: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            latency_ns: Mutex::new(LatencyRing::new(RING_CAPACITY)),
+        }
+    }
+}
+
+/// RAII in-flight marker: increments on creation, decrements on drop, so
+/// every early-return path of a handler stays balanced.
+pub struct InFlight<'a>(&'a Metrics);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics with the uptime clock starting now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a query request in flight for the guard's lifetime.
+    pub fn enter(&self) -> InFlight<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlight(self)
+    }
+
+    /// Records a successfully answered batch and its service latency.
+    pub fn record_served(&self, queries: usize, latency_ns: u64) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(queries as u64, Ordering::Relaxed);
+        self.latency_ns.lock().push(latency_ns);
+    }
+
+    /// Records an admission-control rejection.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a malformed request.
+    pub fn record_client_error(&self) {
+        self.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter (gauges are racy by nature).
+    pub fn snapshot(&self, queued_chunks: usize) -> MetricsSnapshot {
+        let ring = self.latency_ns.lock();
+        MetricsSnapshot {
+            uptime_secs: self.start.elapsed().as_secs_f64(),
+            served: self.served.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queued_chunks: queued_chunks as u64,
+            latency_samples: ring.len() as u64,
+            p50_us: ring.percentile(0.50) as f64 / 1e3,
+            p99_us: ring.percentile(0.99) as f64 / 1e3,
+        }
+    }
+}
+
+/// One scrape of the daemon's counters.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricsSnapshot {
+    /// Seconds since the daemon started.
+    pub uptime_secs: f64,
+    /// Query requests answered.
+    pub served: u64,
+    /// Individual queries answered.
+    pub queries: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Malformed requests.
+    pub client_errors: u64,
+    /// Requests currently executing.
+    pub in_flight: u64,
+    /// Work chunks waiting in the engine's submission queue.
+    pub queued_chunks: u64,
+    /// Latency samples in the ring.
+    pub latency_samples: u64,
+    /// Median request service latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request service latency, microseconds.
+    pub p99_us: f64,
+}
+
+impl MetricsSnapshot {
+    /// Prometheus-style text exposition (`GET /metrics`).
+    pub fn render(&self) -> String {
+        format!(
+            "pspc_uptime_seconds {:.3}\n\
+             pspc_requests_served_total {}\n\
+             pspc_queries_answered_total {}\n\
+             pspc_requests_rejected_total {}\n\
+             pspc_requests_bad_total {}\n\
+             pspc_requests_in_flight {}\n\
+             pspc_queue_chunks {}\n\
+             pspc_latency_samples {}\n\
+             pspc_request_latency_p50_us {:.2}\n\
+             pspc_request_latency_p99_us {:.2}\n",
+            self.uptime_secs,
+            self.served,
+            self.queries,
+            self.rejected,
+            self.client_errors,
+            self.in_flight,
+            self.queued_chunks,
+            self.latency_samples,
+            self.p50_us,
+            self.p99_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_percentiles() {
+        let mut r = LatencyRing::new(4);
+        assert!(r.is_empty());
+        assert_eq!(r.percentile(0.5), 0);
+        for v in [10, 20, 30, 40] {
+            r.push(v);
+        }
+        assert_eq!(r.percentile(0.50), 20);
+        assert_eq!(r.percentile(0.99), 40);
+        r.push(50); // evicts 10
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.percentile(0.25), 20);
+        assert_eq!(r.percentile(1.0), 50);
+    }
+
+    #[test]
+    fn counters_and_render() {
+        let m = Metrics::new();
+        {
+            let _g = m.enter();
+            assert_eq!(m.snapshot(0).in_flight, 1);
+            m.record_served(100, 5_000);
+        }
+        m.record_rejected();
+        m.record_client_error();
+        let s = m.snapshot(7);
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.served, 1);
+        assert_eq!(s.queries, 100);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.client_errors, 1);
+        assert_eq!(s.queued_chunks, 7);
+        assert_eq!(s.latency_samples, 1);
+        let text = s.render();
+        assert!(text.contains("pspc_requests_served_total 1"));
+        assert!(text.contains("pspc_request_latency_p50_us 5.00"));
+    }
+}

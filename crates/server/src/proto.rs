@@ -1,0 +1,272 @@
+//! The framed binary wire protocol for low-overhead clients.
+//!
+//! The daemon speaks two protocols on one port, told apart by the first
+//! four bytes of a connection: [`REQUEST_MAGIC`] opens the binary
+//! protocol, anything else is treated as HTTP/1.1. The binary framing is
+//! fixed-width little-endian throughout — no varints, no text — so a
+//! client can issue a 10k-pair batch with two `write` calls and parse
+//! the reply with zero allocation beyond the answer vector.
+//!
+//! # Frames
+//!
+//! Request (client → server), repeatable on one connection:
+//!
+//! ```text
+//! "PSQ1"  u32 n  n × { u32 s, u32 t }
+//! ```
+//!
+//! Response (server → client), one per request:
+//!
+//! ```text
+//! "PSR1"  u8 status  payload
+//!   status 0 (Ok):         u32 n  n × { u16 dist, u64 count }
+//!   status 1 (Rejected):   u16 len  len × utf-8   (admission control)
+//!   status 2 (BadRequest): u16 len  len × utf-8
+//! ```
+//!
+//! Unreachable pairs are encoded exactly as [`SpcAnswer::UNREACHABLE`]
+//! (`dist = u16::MAX`, `count = 0`); saturated counts travel as the raw
+//! `u64::MAX` sentinel. Requests above [`MAX_PAIRS`] pairs are refused
+//! before any allocation, bounding daemon memory against hostile
+//! headers. Round-trip fidelity (including those boundary encodings) is
+//! pinned by a property test in `tests/proptest_proto.rs`.
+
+use pspc_graph::SpcAnswer;
+use std::io::{self, Read, Write};
+
+/// First bytes of a binary-protocol request; also the protocol sniff the
+/// daemon uses to distinguish binary clients from HTTP ones.
+pub const REQUEST_MAGIC: [u8; 4] = *b"PSQ1";
+
+/// First bytes of every binary-protocol response.
+pub const RESPONSE_MAGIC: [u8; 4] = *b"PSR1";
+
+/// Hard cap on pairs per request frame (4 Mi pairs = 32 MiB of payload).
+pub const MAX_PAIRS: usize = 1 << 22;
+
+/// A decoded server reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The batch was answered; index-aligned with the request pairs.
+    Answers(Vec<SpcAnswer>),
+    /// Admission control shed the request; retry later.
+    Rejected(String),
+    /// The request was malformed (bad magic handled earlier; here: out
+    /// of range vertices or an oversized batch).
+    BadRequest(String),
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Encodes one request frame.
+pub fn write_request<W: Write>(w: &mut W, pairs: &[(u32, u32)]) -> io::Result<()> {
+    if pairs.len() > MAX_PAIRS {
+        return Err(invalid(format!(
+            "batch of {} pairs exceeds the protocol cap of {MAX_PAIRS}",
+            pairs.len()
+        )));
+    }
+    let mut buf = Vec::with_capacity(8 + pairs.len() * 8);
+    buf.extend_from_slice(&REQUEST_MAGIC);
+    buf.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for &(s, t) in pairs {
+        buf.extend_from_slice(&s.to_le_bytes());
+        buf.extend_from_slice(&t.to_le_bytes());
+    }
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Decodes one request frame. Returns `Ok(None)` on a clean end of
+/// stream (the client closed between requests).
+pub fn read_request<R: Read>(r: &mut R) -> io::Result<Option<Vec<(u32, u32)>>> {
+    let mut magic = [0u8; 4];
+    match read_exact_or_eof(r, &mut magic)? {
+        false => return Ok(None),
+        true if magic != REQUEST_MAGIC => {
+            return Err(invalid("bad request magic"));
+        }
+        true => {}
+    }
+    let n = read_u32(r)? as usize;
+    if n > MAX_PAIRS {
+        return Err(invalid(format!(
+            "request of {n} pairs exceeds the protocol cap of {MAX_PAIRS}"
+        )));
+    }
+    let mut body = vec![0u8; n * 8];
+    r.read_exact(&mut body)?;
+    Ok(Some(
+        body.chunks_exact(8)
+            .map(|c| {
+                (
+                    u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                    u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                )
+            })
+            .collect(),
+    ))
+}
+
+/// Encodes one response frame.
+pub fn write_response<W: Write>(w: &mut W, response: &Response) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(16);
+    buf.extend_from_slice(&RESPONSE_MAGIC);
+    match response {
+        Response::Answers(answers) => {
+            buf.push(0);
+            buf.extend_from_slice(&(answers.len() as u32).to_le_bytes());
+            buf.reserve(answers.len() * 10);
+            for a in answers {
+                buf.extend_from_slice(&a.dist.to_le_bytes());
+                buf.extend_from_slice(&a.count.to_le_bytes());
+            }
+        }
+        Response::Rejected(msg) | Response::BadRequest(msg) => {
+            buf.push(if matches!(response, Response::Rejected(_)) {
+                1
+            } else {
+                2
+            });
+            let bytes = msg.as_bytes();
+            let len = bytes.len().min(u16::MAX as usize);
+            buf.extend_from_slice(&(len as u16).to_le_bytes());
+            buf.extend_from_slice(&bytes[..len]);
+        }
+    }
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Decodes one response frame.
+pub fn read_response<R: Read>(r: &mut R) -> io::Result<Response> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != RESPONSE_MAGIC {
+        return Err(invalid("bad response magic"));
+    }
+    let mut status = [0u8; 1];
+    r.read_exact(&mut status)?;
+    match status[0] {
+        0 => {
+            let n = read_u32(r)? as usize;
+            if n > MAX_PAIRS {
+                return Err(invalid("oversized answer frame"));
+            }
+            let mut body = vec![0u8; n * 10];
+            r.read_exact(&mut body)?;
+            Ok(Response::Answers(
+                body.chunks_exact(10)
+                    .map(|c| SpcAnswer {
+                        dist: u16::from_le_bytes([c[0], c[1]]),
+                        count: u64::from_le_bytes([c[2], c[3], c[4], c[5], c[6], c[7], c[8], c[9]]),
+                    })
+                    .collect(),
+            ))
+        }
+        s @ (1 | 2) => {
+            let mut len = [0u8; 2];
+            r.read_exact(&mut len)?;
+            let mut msg = vec![0u8; u16::from_le_bytes(len) as usize];
+            r.read_exact(&mut msg)?;
+            let msg = String::from_utf8_lossy(&msg).into_owned();
+            Ok(if s == 1 {
+                Response::Rejected(msg)
+            } else {
+                Response::BadRequest(msg)
+            })
+        }
+        other => Err(invalid(format!("unknown response status {other}"))),
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// `read_exact` that reports a clean EOF *before the first byte* as
+/// `Ok(false)` instead of an error.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "mid-frame eof",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let pairs = vec![(0u32, 7), (u32::MAX, 3)];
+        let mut wire = Vec::new();
+        write_request(&mut wire, &pairs).unwrap();
+        let got = read_request(&mut wire.as_slice()).unwrap();
+        assert_eq!(got, Some(pairs));
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_mid_frame_eof_errors() {
+        assert_eq!(read_request(&mut [].as_slice()).unwrap(), None);
+        let mut wire = Vec::new();
+        write_request(&mut wire, &[(1, 2)]).unwrap();
+        wire.truncate(9);
+        assert!(read_request(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn response_round_trip_all_variants() {
+        for resp in [
+            Response::Answers(vec![
+                SpcAnswer { dist: 3, count: 9 },
+                SpcAnswer::UNREACHABLE,
+                SpcAnswer {
+                    dist: 0,
+                    count: u64::MAX,
+                },
+            ]),
+            Response::Answers(Vec::new()),
+            Response::Rejected("queue full".into()),
+            Response::BadRequest("vertex 99 out of range".into()),
+        ] {
+            let mut wire = Vec::new();
+            write_response(&mut wire, &resp).unwrap();
+            assert_eq!(read_response(&mut wire.as_slice()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_bad_status() {
+        assert!(read_request(&mut b"HTTP/1.1 nope".as_slice()).is_err());
+        assert!(read_response(&mut b"XXXX\x00".as_slice()).is_err());
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&RESPONSE_MAGIC);
+        wire.push(9);
+        assert!(read_response(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_request_header_is_refused_without_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&REQUEST_MAGIC);
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_request(&mut wire.as_slice()).is_err());
+    }
+}

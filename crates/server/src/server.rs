@@ -1,0 +1,433 @@
+//! The daemon: accept loop, protocol dispatch, request handlers and
+//! graceful shutdown.
+//!
+//! One `TcpListener` serves both protocols: each new connection is
+//! sniffed by peeking its first four bytes — [`crate::proto::REQUEST_MAGIC`]
+//! selects the framed binary protocol, anything else the HTTP/1.1
+//! endpoints. Connections get a handler thread each (the expensive work
+//! — answering batches — happens on the engine's persistent worker pool,
+//! so handler threads only parse, validate, submit and serialize).
+//!
+//! Query requests go through [`QueryEngine::try_run`]: when the
+//! submission queue cannot take a batch the daemon *sheds* it — HTTP 503
+//! / binary `Rejected` — instead of queueing unboundedly. `/metrics`
+//! exposes served/rejected/in-flight counters and p50/p99 request
+//! latency from a ring buffer.
+//!
+//! Shutdown (via [`ServerHandle::shutdown`], dropping the handle, or the
+//! `POST /shutdown` admin endpoint) is graceful: the accept loop stops,
+//! handler threads finish their in-flight request and close, and the
+//! engine pool drains its queue before its workers exit.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::{http, proto};
+use pspc_core::SpcIndex;
+use pspc_service::pairs::{read_pairs, write_answers, write_answers_json};
+use pspc_service::{EngineConfig, QueryEngine, SubmitError};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll interval for idle waits (next-request peek, shutdown checks).
+const IDLE_POLL: Duration = Duration::from_millis(100);
+/// How long `finish` waits for handler threads to drain.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(15);
+
+struct Shared {
+    engine: QueryEngine,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+    num_vertices: u32,
+}
+
+/// Decrements the live-connection gauge however the handler exits.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+/// `index` on a fresh engine configured by `engine_cfg`.
+///
+/// Returns immediately; the accept loop runs on a background thread
+/// until the handle shuts it down.
+pub fn serve(index: SpcIndex, addr: &str, engine_cfg: EngineConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let num_vertices = index.num_vertices() as u32;
+    let shared = Arc::new(Shared {
+        engine: QueryEngine::with_config(index, engine_cfg),
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        active_conns: AtomicUsize::new(0),
+        num_vertices,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("pspc-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else {
+                    // Transient accept errors (EMFILE under fd
+                    // exhaustion, ECONNABORTED) must not hot-spin the
+                    // accept thread while handlers hold the fds.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                };
+                accept_shared.active_conns.fetch_add(1, Ordering::Acquire);
+                let guard = ConnGuard(Arc::clone(&accept_shared));
+                let _ = std::thread::Builder::new()
+                    .name("pspc-conn".into())
+                    .spawn(move || {
+                        let _guard = guard;
+                        let _ = handle_connection(&_guard.0, stream);
+                    });
+            }
+        })?;
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+/// Control handle of a running daemon.
+///
+/// Dropping the handle shuts the daemon down gracefully; so does
+/// [`ServerHandle::shutdown`] (explicit) and [`ServerHandle::wait`]
+/// (after a remote `POST /shutdown`).
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A live metrics scrape (same numbers `GET /metrics` serves).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.shared.engine.queued_chunks())
+    }
+
+    /// Stops accepting, lets in-flight requests finish, drains the
+    /// engine and returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.trigger();
+        self.finish();
+        self.metrics()
+    }
+
+    /// Blocks until something else triggers shutdown (the
+    /// `POST /shutdown` endpoint), then drains like
+    /// [`ServerHandle::shutdown`]. This is `pspc serve`'s foreground
+    /// mode.
+    pub fn wait(mut self) -> MetricsSnapshot {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.finish();
+        self.metrics()
+    }
+
+    fn trigger(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    fn finish(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        while self.shared.active_conns.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The engine itself drains in `Shared`'s drop (here, unless a
+        // stuck handler still holds a reference past the deadline).
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.trigger();
+        self.finish();
+    }
+}
+
+/// Outcome of waiting for the next request on an idle connection.
+enum Wait {
+    /// At least `min` bytes are readable; the sniffed prefix is returned.
+    Ready([u8; 4]),
+    /// Clean EOF — the peer closed.
+    Eof,
+    /// The daemon is shutting down.
+    Shutdown,
+}
+
+/// Waits until `min` bytes can be peeked, EOF, or shutdown. The read
+/// timeout doubles as the shutdown poll interval, so idle keep-alive
+/// connections notice a shutdown within [`IDLE_POLL`].
+fn wait_for_bytes(stream: &TcpStream, shared: &Shared, min: usize) -> io::Result<Wait> {
+    debug_assert!(min <= 4);
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    let mut buf = [0u8; 4];
+    // Clock for a *partial* prefix, armed when the first short peek
+    // arrives — not at wait start, or a connection that idles before
+    // sending would get its first bytes sniffed prematurely.
+    let mut short_since: Option<Instant> = None;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Ok(Wait::Shutdown);
+        }
+        match stream.peek(&mut buf[..min.max(1)]) {
+            Ok(0) => return Ok(Wait::Eof),
+            Ok(k)
+                if k >= min
+                    || short_since.is_some_and(|t| t.elapsed() > Duration::from_secs(1)) =>
+            {
+                // Either enough bytes to dispatch, or a prefix shorter
+                // than the sniff window that stalled for a second (e.g.
+                // a peer that wrote 2 bytes and closed — peek keeps
+                // returning them, never 0): hand the bytes to the HTTP
+                // parser, which will reject them. Request bodies may
+                // trickle; give the actual reads a generous bound
+                // instead of the poll interval.
+                let _ = k;
+                stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+                return Ok(Wait::Ready(buf));
+            }
+            Ok(_) => {
+                short_since.get_or_insert_with(Instant::now);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let sniff = match wait_for_bytes(&stream, shared, 4)? {
+        Wait::Ready(b) => b,
+        Wait::Eof | Wait::Shutdown => return Ok(()),
+    };
+    if sniff == proto::REQUEST_MAGIC {
+        serve_binary(shared, stream)
+    } else {
+        serve_http(shared, stream)
+    }
+}
+
+/// Validates ids and answers one batch, mapping engine rejections to
+/// protocol-level responses.
+fn answer_batch(shared: &Shared, pairs: &[(u32, u32)]) -> proto::Response {
+    if pairs.len() > proto::MAX_PAIRS {
+        shared.metrics.record_client_error();
+        return proto::Response::BadRequest(format!(
+            "batch of {} pairs exceeds the {}-pair cap",
+            pairs.len(),
+            proto::MAX_PAIRS
+        ));
+    }
+    let n = shared.num_vertices;
+    if let Some(&(s, t)) = pairs.iter().find(|&&(s, t)| s >= n || t >= n) {
+        shared.metrics.record_client_error();
+        return proto::Response::BadRequest(format!(
+            "vertex out of range in ({s}, {t}): index has {n} vertices"
+        ));
+    }
+    let _in_flight = shared.metrics.enter();
+    let t0 = Instant::now();
+    match shared.engine.try_run(pairs) {
+        Ok((answers, _)) => {
+            shared
+                .metrics
+                .record_served(pairs.len(), t0.elapsed().as_nanos() as u64);
+            proto::Response::Answers(answers)
+        }
+        Err(e @ SubmitError::Saturated { .. }) => {
+            shared.metrics.record_rejected();
+            proto::Response::Rejected(e.to_string())
+        }
+        Err(e @ SubmitError::TooLarge { .. }) => {
+            shared.metrics.record_client_error();
+            proto::Response::BadRequest(e.to_string())
+        }
+    }
+}
+
+// ------------------------------------------------------------- binary
+
+fn serve_binary(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream.try_clone()?;
+    loop {
+        // Pipelined requests may already sit in the buffer; only hit the
+        // socket-level idle wait when it is empty.
+        if reader.buffer().is_empty() {
+            match wait_for_bytes(&stream, shared, 1)? {
+                Wait::Ready(_) => {}
+                Wait::Eof | Wait::Shutdown => return Ok(()),
+            }
+        }
+        let pairs = match proto::read_request(&mut reader) {
+            Ok(Some(pairs)) => pairs,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                shared.metrics.record_client_error();
+                proto::write_response(&mut writer, &proto::Response::BadRequest(e.to_string()))?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        proto::write_response(&mut writer, &answer_batch(shared, &pairs))?;
+    }
+}
+
+// --------------------------------------------------------------- http
+
+fn http_text<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    body: &str,
+    ka: bool,
+) -> io::Result<()> {
+    http::write_response(
+        w,
+        status,
+        reason,
+        "text/plain; charset=utf-8",
+        body.as_bytes(),
+        ka,
+    )
+}
+
+fn serve_http(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream.try_clone()?;
+    loop {
+        if reader.buffer().is_empty() {
+            match wait_for_bytes(&stream, shared, 1)? {
+                Wait::Ready(_) => {}
+                Wait::Eof | Wait::Shutdown => return Ok(()),
+            }
+        }
+        let req = match http::read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                shared.metrics.record_client_error();
+                http_text(&mut writer, 400, "Bad Request", &format!("{e}\n"), false)?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let keep_alive = !req.wants_close();
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => http_text(&mut writer, 200, "OK", "ok\n", keep_alive)?,
+            ("GET", "/metrics") => {
+                let body = shared
+                    .metrics
+                    .snapshot(shared.engine.queued_chunks())
+                    .render();
+                http_text(&mut writer, 200, "OK", &body, keep_alive)?;
+            }
+            ("POST", "/query") => {
+                let json = req.query_param("format") == Some("json");
+                match read_pairs(req.body.as_slice()) {
+                    Ok(pairs) => match answer_batch(shared, &pairs) {
+                        proto::Response::Answers(answers) => {
+                            let mut body = Vec::new();
+                            let (ctype, res) = if json {
+                                (
+                                    "application/json",
+                                    write_answers_json(&pairs, &answers, &mut body),
+                                )
+                            } else {
+                                (
+                                    "text/tab-separated-values",
+                                    write_answers(&pairs, &answers, &mut body),
+                                )
+                            };
+                            res.expect("writing to a Vec cannot fail");
+                            http::write_response(&mut writer, 200, "OK", ctype, &body, keep_alive)?;
+                        }
+                        proto::Response::Rejected(msg) => http_text(
+                            &mut writer,
+                            503,
+                            "Service Unavailable",
+                            &format!("{msg}\n"),
+                            keep_alive,
+                        )?,
+                        proto::Response::BadRequest(msg) => http_text(
+                            &mut writer,
+                            400,
+                            "Bad Request",
+                            &format!("{msg}\n"),
+                            keep_alive,
+                        )?,
+                    },
+                    Err(e) => {
+                        shared.metrics.record_client_error();
+                        http_text(
+                            &mut writer,
+                            400,
+                            "Bad Request",
+                            &format!("{e}\n"),
+                            keep_alive,
+                        )?;
+                    }
+                }
+            }
+            ("POST", "/shutdown") => {
+                http_text(&mut writer, 200, "OK", "shutting down\n", false)?;
+                shared.shutdown.store(true, Ordering::Release);
+                // Wake the accept loop so `wait` observes the flag.
+                if let Ok(addr) = stream.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                return Ok(());
+            }
+            ("GET" | "POST", _) => {
+                http_text(
+                    &mut writer,
+                    404,
+                    "Not Found",
+                    "no such endpoint\n",
+                    keep_alive,
+                )?;
+            }
+            _ => http_text(
+                &mut writer,
+                405,
+                "Method Not Allowed",
+                "unsupported method\n",
+                keep_alive,
+            )?,
+        }
+        if !keep_alive || shared.shutdown.load(Ordering::Acquire) {
+            return Ok(());
+        }
+    }
+}

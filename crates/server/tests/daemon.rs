@@ -1,0 +1,280 @@
+//! Daemon integration tests: boot a real server on an ephemeral port and
+//! drive it over real sockets.
+//!
+//! Pins the ISSUE's acceptance criteria: answers over TCP (both
+//! protocols) are bit-identical to `query_batch_sequential`, a saturated
+//! submission queue *rejects* new work instead of hanging, and shutdown
+//! drains in-flight batches.
+
+use pspc_core::{build_pspc, PspcConfig, SpcIndex};
+use pspc_graph::generators::barabasi_albert;
+use pspc_server::client::{ClientError, RemoteClient};
+use pspc_server::server::{serve, ServerHandle};
+use pspc_service::pairs::{parse_answers_json, write_answers};
+use pspc_service::EngineConfig;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn small_index() -> SpcIndex {
+    let g = barabasi_albert(300, 3, 7);
+    build_pspc(&g, &PspcConfig::default()).0
+}
+
+fn pairs(n: usize, modulo: u32, seed: u64) -> Vec<(u32, u32)> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % modulo as u64) as u32
+    };
+    (0..n).map(|_| (next(), next())).collect()
+}
+
+/// One HTTP exchange over a fresh connection; returns (status line, body).
+fn http_request(addr: &str, method: &str, path: &str, body: &[u8]) -> (String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete response headers");
+    let status =
+        String::from_utf8_lossy(&raw[..raw.iter().position(|&b| b == b'\r').unwrap()]).into_owned();
+    (status, raw[header_end + 4..].to_vec())
+}
+
+fn start(index: &SpcIndex, cfg: EngineConfig) -> (ServerHandle, String) {
+    let handle = serve(index.clone(), "127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = handle.local_addr().to_string();
+    (handle, addr)
+}
+
+#[test]
+fn mixed_http_and_binary_workload_matches_sequential() {
+    let index = small_index();
+    let (handle, addr) = start(
+        &index,
+        EngineConfig {
+            workers: 2,
+            chunk_size: 64,
+            ..EngineConfig::default()
+        },
+    );
+
+    // Health first.
+    let (status, body) = http_request(&addr, "GET", "/healthz", b"");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, b"ok\n");
+
+    // Concurrent clients: two binary (persistent connections, several
+    // batches each), one HTTP TSV, one HTTP JSON.
+    std::thread::scope(|s| {
+        for seed in [1u64, 2] {
+            let (index, addr) = (&index, &addr);
+            s.spawn(move || {
+                let mut client = RemoteClient::connect(addr).unwrap();
+                for round in 0..5 {
+                    let ps = pairs(200 + round * 31, 300, seed * 100 + round as u64);
+                    let got = client.query_batch(&ps).unwrap();
+                    assert_eq!(got, index.query_batch_sequential(&ps));
+                }
+            });
+        }
+        for seed in [11u64, 12] {
+            let (index, addr) = (&index, &addr);
+            s.spawn(move || {
+                let ps = pairs(150, 300, seed);
+                let workload: String = ps.iter().map(|(a, b)| format!("{a} {b}\n")).collect();
+                let expect = index.query_batch_sequential(&ps);
+                // TSV body must be byte-identical to the local writer.
+                let (status, body) = http_request(addr, "POST", "/query", workload.as_bytes());
+                assert!(status.contains("200"), "{status}");
+                let mut tsv = Vec::new();
+                write_answers(&ps, &expect, &mut tsv).unwrap();
+                assert_eq!(body, tsv);
+                // JSON round-trips to the same answers.
+                let (status, body) =
+                    http_request(addr, "POST", "/query?format=json", workload.as_bytes());
+                assert!(status.contains("200"), "{status}");
+                let rows = parse_answers_json(&String::from_utf8(body).unwrap()).unwrap();
+                assert_eq!(rows.len(), ps.len());
+                for ((got_pair, got), (&pair, want)) in rows.iter().zip(ps.iter().zip(&expect)) {
+                    assert_eq!(*got_pair, pair);
+                    assert_eq!(got, want);
+                }
+            });
+        }
+    });
+
+    // Metrics reflect the traffic.
+    let (status, body) = http_request(&addr, "GET", "/metrics", b"");
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(body).unwrap();
+    let served: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("pspc_requests_served_total "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(served >= 14, "served {served} of expected >= 14\n{text}");
+    assert!(text.contains("pspc_request_latency_p99_us"));
+    assert!(text.contains("pspc_uptime_seconds"));
+
+    let final_metrics = handle.shutdown();
+    assert_eq!(final_metrics.rejected, 0);
+    assert_eq!(final_metrics.in_flight, 0);
+}
+
+#[test]
+fn bad_requests_get_errors_not_hangs() {
+    let index = small_index();
+    let (handle, addr) = start(&index, EngineConfig::default());
+
+    // HTTP: unknown endpoint, garbage body, out-of-range vertex.
+    let (status, _) = http_request(&addr, "GET", "/nope", b"");
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = http_request(&addr, "POST", "/query", b"0 zebra\n");
+    assert!(status.contains("400"), "{status}");
+    let (status, body) = http_request(&addr, "POST", "/query", b"0 299999\n");
+    assert!(status.contains("400"), "{status}");
+    assert!(String::from_utf8_lossy(&body).contains("out of range"));
+    let (status, _) = http_request(&addr, "DELETE", "/query", b"");
+    assert!(status.contains("405"), "{status}");
+
+    // Binary: out-of-range vertex is a BadRequest response, and the
+    // connection stays usable afterwards.
+    let mut client = RemoteClient::connect(&addr).unwrap();
+    match client.query_batch(&[(0, 1_000_000)]) {
+        Err(ClientError::BadRequest(msg)) => assert!(msg.contains("out of range"), "{msg}"),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    let ps = pairs(50, 300, 5);
+    assert_eq!(
+        client.query_batch(&ps).unwrap(),
+        index.query_batch_sequential(&ps)
+    );
+
+    // Three of the above count as client errors (garbage body and the
+    // two out-of-range batches); 404/405 routing misses do not.
+    let m = handle.shutdown();
+    assert!(m.client_errors >= 3, "client_errors = {}", m.client_errors);
+}
+
+#[test]
+fn saturated_queue_rejects_new_work_instead_of_hanging() {
+    let index = small_index();
+    // One worker, a 4-chunk queue, 10k-query chunks: any two concurrent
+    // 30k-pair batches cannot both be admitted — the second sees >4
+    // queued chunks and must be shed.
+    let (handle, addr) = start(
+        &index,
+        EngineConfig {
+            workers: 1,
+            chunk_size: 10_000,
+            queue_depth: 4,
+            sort_by_rank: true,
+        },
+    );
+
+    let outcomes: Vec<Result<(), ()>> = std::thread::scope(|s| {
+        let threads: Vec<_> = (0..4u64)
+            .map(|seed| {
+                let (index, addr) = (&index, &addr);
+                s.spawn(move || {
+                    let mut client = RemoteClient::connect(addr).unwrap();
+                    let mut outcomes = Vec::new();
+                    for round in 0..3 {
+                        let ps = pairs(30_000, 300, seed * 10 + round + 1);
+                        match client.query_batch(&ps) {
+                            Ok(got) => {
+                                assert_eq!(got, index.query_batch_sequential(&ps));
+                                outcomes.push(Ok(()));
+                            }
+                            Err(ClientError::Rejected(msg)) => {
+                                assert!(msg.contains("saturated"), "{msg}");
+                                outcomes.push(Err(()));
+                            }
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect()
+    });
+
+    let accepted = outcomes.iter().filter(|o| o.is_ok()).count();
+    let rejected = outcomes.len() - accepted;
+    assert!(accepted >= 1, "someone must get through");
+    assert!(
+        rejected >= 1,
+        "4 concurrent 3-chunk batches against a 4-chunk queue and one worker \
+         must shed at least one request"
+    );
+    let m = handle.shutdown();
+    assert_eq!(m.rejected, rejected as u64);
+}
+
+#[test]
+fn shutdown_drains_in_flight_batches() {
+    let index = small_index();
+    let (handle, addr) = start(
+        &index,
+        EngineConfig {
+            workers: 1,
+            chunk_size: 4096,
+            ..EngineConfig::default()
+        },
+    );
+
+    // A hefty batch that is certainly still in flight when the main
+    // thread triggers shutdown.
+    let ps = pairs(120_000, 300, 99);
+    let expect = index.query_batch_sequential(&ps);
+    let answers = std::thread::scope(|s| {
+        let worker = s.spawn(|| RemoteClient::connect(&addr).unwrap().query_batch(&ps));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let m = handle.shutdown(); // must wait for the batch, not kill it
+        assert_eq!(m.in_flight, 0);
+        worker.join().unwrap()
+    });
+    assert_eq!(answers.expect("drained, not dropped"), expect);
+
+    // The listener is gone afterwards.
+    assert!(TcpStream::connect(&addr).is_err());
+}
+
+#[test]
+fn post_shutdown_endpoint_stops_a_waiting_server() {
+    let index = small_index();
+    let (handle, addr) = start(&index, EngineConfig::default());
+    let waiter = std::thread::spawn(move || handle.wait());
+    // Serve something first, then ask the daemon to stop, remotely.
+    let ps = pairs(100, 300, 3);
+    assert_eq!(
+        RemoteClient::connect(&addr)
+            .unwrap()
+            .query_batch(&ps)
+            .unwrap(),
+        index.query_batch_sequential(&ps)
+    );
+    let (status, body) = http_request(&addr, "POST", "/shutdown", b"");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, b"shutting down\n");
+    let m = waiter.join().unwrap();
+    assert_eq!(m.served, 1);
+    assert!(TcpStream::connect(&addr).is_err());
+}

@@ -1,0 +1,84 @@
+//! Property tests pinning the binary wire protocol: encode→decode is the
+//! identity for arbitrary request batches and answer sets — including
+//! the boundary encodings (unreachable pairs, saturated `u64::MAX`
+//! counts, empty batches, `u32::MAX` vertex ids).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use pspc_graph::SpcAnswer;
+use pspc_server::proto::{read_request, read_response, write_request, write_response, Response};
+
+fn arb_answer() -> impl Strategy<Value = SpcAnswer> {
+    (any::<bool>(), 0u16..u16::MAX, any::<bool>(), any::<u64>()).prop_map(
+        |(unreachable, dist, saturated, count)| {
+            if unreachable {
+                SpcAnswer::UNREACHABLE
+            } else {
+                SpcAnswer {
+                    dist,
+                    count: if saturated { u64::MAX } else { count },
+                }
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_frames_round_trip(
+        pairs in vec((any::<u32>(), any::<u32>()), 0..300),
+    ) {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &pairs).unwrap();
+        let got = read_request(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(got, Some(pairs));
+        // Back-to-back frames on one stream decode in order, then EOF.
+        let mut twice = Vec::new();
+        write_request(&mut twice, &[(1, 2)]).unwrap();
+        write_request(&mut twice, &[(3, 4)]).unwrap();
+        let mut r = twice.as_slice();
+        prop_assert_eq!(read_request(&mut r).unwrap(), Some(vec![(1, 2)]));
+        prop_assert_eq!(read_request(&mut r).unwrap(), Some(vec![(3, 4)]));
+        prop_assert_eq!(read_request(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn answer_frames_round_trip(answers in vec(arb_answer(), 0..300)) {
+        let resp = Response::Answers(answers);
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        prop_assert_eq!(read_response(&mut wire.as_slice()).unwrap(), resp);
+    }
+
+    #[test]
+    fn error_frames_round_trip(msg in vec(0u8..128, 0..200), rejected in any::<bool>()) {
+        let msg = String::from_utf8_lossy(&msg).into_owned();
+        let resp = if rejected {
+            Response::Rejected(msg)
+        } else {
+            Response::BadRequest(msg)
+        };
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        prop_assert_eq!(read_response(&mut wire.as_slice()).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_hanging_or_panicking(
+        pairs in vec((any::<u32>(), any::<u32>()), 1..50),
+        cut_num in 1usize..1000,
+    ) {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &pairs).unwrap();
+        let cut = 1 + cut_num % (wire.len() - 1);
+        prop_assert!(read_request(&mut wire[..cut].as_ref()).is_err());
+
+        let resp = Response::Answers(vec![SpcAnswer { dist: 1, count: 2 }]);
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let cut = 1 + cut_num % (wire.len() - 1);
+        prop_assert!(read_response(&mut wire[..cut].as_ref()).is_err());
+    }
+}

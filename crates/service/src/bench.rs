@@ -151,6 +151,7 @@ mod tests {
                 workers: 2,
                 chunk_size: 256,
                 sort_by_rank: true,
+                ..EngineConfig::default()
             },
         );
         let pairs = random_pairs(200, 5000, 42);

@@ -29,8 +29,30 @@ use pspc_order::OrderingStrategy;
 
 const USAGE: &str = "usage: pspc build <edges> -o <index> [--order o] [--landmarks k] \
 [--threads t] [--push] [--static] [--no-cache] | pspc query <index> [--pairs <file|->] \
-[--workers n] [--chunk n] [--no-sort] [s t ...] | pspc bench <index> [--count n] \
-[--seed s] [--workers n] [--chunk n] [--no-sort] [--compare]";
+[--workers n] [--chunk n] [--no-sort] [--format tsv|json] [s t ...] | pspc bench <index> \
+[--count n] [--seed s] [--workers n] [--chunk n] [--no-sort] [--compare]";
+
+/// Answer output encodings of `pspc query` (and the HTTP front-end).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// `s\tt\tdist\tcount` lines ([`write_answers`]).
+    #[default]
+    Tsv,
+    /// A JSON array of answer objects ([`crate::pairs::write_answers_json`]).
+    Json,
+}
+
+impl std::str::FromStr for OutputFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "tsv" => Ok(OutputFormat::Tsv),
+            "json" => Ok(OutputFormat::Json),
+            other => Err(format!("unknown format {other} (tsv|json)")),
+        }
+    }
+}
 
 /// Entry point shared by `main` and the tests.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -137,7 +159,9 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn load_index(path: &str) -> Result<SpcIndex, String> {
+/// Reads an index snapshot from disk (shared with `pspc_server`'s
+/// `serve` subcommand).
+pub fn load_index(path: &str) -> Result<SpcIndex, String> {
     let data = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     index_from_binary(Bytes::from(data)).map_err(|e| format!("loading {path}: {e}"))
 }
@@ -190,9 +214,14 @@ fn parse_engine_flags(
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut pairs_src: Option<String> = None;
+    let mut format = OutputFormat::Tsv;
     let flags = parse_engine_flags(args, &mut |flag, it| match flag {
         "--pairs" => {
             pairs_src = Some(it.next().ok_or("missing --pairs value")?.clone());
+            Ok(true)
+        }
+        "--format" => {
+            format = it.next().ok_or("missing --format value")?.parse()?;
             Ok(true)
         }
         f if f.starts_with("--") => Err(format!("unknown flag {f}")),
@@ -238,8 +267,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
     let engine = QueryEngine::with_config(index, flags.cfg);
     let (answers, report) = engine.run_with_report(&pairs);
-    write_answers(&pairs, &answers, std::io::stdout().lock())
-        .map_err(|e| format!("writing answers: {e}"))?;
+    let out = std::io::stdout().lock();
+    match format {
+        OutputFormat::Tsv => write_answers(&pairs, &answers, out),
+        OutputFormat::Json => crate::pairs::write_answers_json(&pairs, &answers, out),
+    }
+    .map_err(|e| format!("writing answers: {e}"))?;
     eprintln!(
         "{} queries on {} workers in {:.3}s ({:.0} queries/sec)",
         report.queries,
@@ -361,6 +394,8 @@ mod tests {
         ]))
         .unwrap();
         run(&s(&["query", i, "--pairs", q, "--no-sort"])).unwrap();
+        run(&s(&["query", i, "--format", "json", "0", "3"])).unwrap();
+        assert!(run(&s(&["query", i, "--format", "yaml", "0", "3"])).is_err());
 
         // Bench with the sequential comparison.
         run(&s(&[

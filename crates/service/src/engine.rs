@@ -1,27 +1,51 @@
-//! The batch query engine: a fixed worker pool over `std::thread::scope`,
-//! per-worker reusable scratch, chunked work dispensing and input-order
-//! answer merging.
+//! The batch query engine: a **persistent worker pool** fed by a bounded
+//! MPMC submission queue, with admission control and graceful
+//! drain-on-shutdown.
 //!
 //! # Execution model
 //!
-//! A batch of `(s, t)` pairs is turned into a *processing order* — either
-//! the input order, or (default) the input indices sorted by the source
-//! vertex's rank so that consecutive queries touch neighboring label sets
-//! and the big label arrays stay warm in cache. The order is cut into
-//! fixed-size chunks which a pool of `workers` scoped threads pulls off a
-//! shared atomic cursor (dynamic load balancing: a chunk of hub-heavy
-//! queries does not stall the other workers). Each worker owns one
-//! [`BatchScratch`] and a gather buffer for the whole batch, so the
-//! steady state allocates only the per-chunk answer copies pushed to the
-//! shared result buffer. After the scope joins, answers are scattered
-//! back to input positions — callers always see answers index-aligned
-//! with their input, whatever the processing order was.
+//! Constructing a [`QueryEngine`] spawns `workers` long-lived OS threads,
+//! all `recv`ing from one bounded [`crossbeam::channel`] of work chunks —
+//! the MPMC queue replaces the per-batch `std::thread::scope` spawns of
+//! the original engine, so a daemon serving many small batches pays no
+//! thread-spawn latency per request.
+//!
+//! A batch of `(s, t)` pairs is rank-translated once, put into a
+//! *processing order* — either the input order, or (default) sorted by
+//! the source vertex's rank so consecutive queries touch neighboring
+//! label sets — and cut into fixed-size chunks. Each chunk is one queue
+//! message; workers pull chunks as they free up (dynamic load balancing:
+//! a chunk of hub-heavy queries does not stall the other workers), answer
+//! them into an owned buffer ([`pspc_core::SpcIndex::query_rank_batch_into`])
+//! and ship it back through a per-batch reply channel. The submitter
+//! reassembles answers index-aligned with its input.
+//!
+//! # Admission control
+//!
+//! The submission queue holds at most [`EngineConfig::queue_depth`]
+//! chunks. [`QueryEngine::try_run`] *rejects* a batch (with
+//! [`SubmitError::Saturated`]) instead of queueing it when the queue
+//! cannot take all of its chunks — the daemon front-end uses this to shed
+//! load instead of building an unbounded backlog. The blocking paths
+//! ([`QueryEngine::run`] etc.) apply backpressure instead: they wait for
+//! queue slots, which is what a CLI batch job wants.
+//!
+//! # Shutdown
+//!
+//! Dropping the engine (or calling [`QueryEngine::into_index`]) closes
+//! the queue and joins the workers. Closing is graceful by construction:
+//! the channel hands out every queued chunk before reporting disconnect,
+//! so in-flight batches complete and only then do workers exit.
 
-use pspc_core::{BatchScratch, SpcIndex};
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use pspc_core::SpcIndex;
 use pspc_graph::{SpcAnswer, VertexId};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Default bound of the submission queue, in chunks.
+pub const DEFAULT_QUEUE_DEPTH: usize = 4096;
 
 /// Tuning knobs for [`QueryEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -36,6 +60,10 @@ pub struct EngineConfig {
     /// instead of input order. Answers are merged back to input order
     /// either way.
     pub sort_by_rank: bool,
+    /// Submission-queue bound in chunks (0 = [`DEFAULT_QUEUE_DEPTH`]).
+    /// [`QueryEngine::try_run`] rejects batches that do not fit; the
+    /// blocking paths wait for free slots instead.
+    pub queue_depth: usize,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +72,7 @@ impl Default for EngineConfig {
             workers: 0,
             chunk_size: 1024,
             sort_by_rank: true,
+            queue_depth: 0,
         }
     }
 }
@@ -53,7 +82,8 @@ impl Default for EngineConfig {
 pub struct BatchReport {
     /// Number of queries answered.
     pub queries: usize,
-    /// Worker threads used.
+    /// Worker threads that can have participated (pool size clamped to
+    /// the chunk count).
     pub workers: usize,
     /// Work chunks dispensed.
     pub chunks: usize,
@@ -74,25 +104,142 @@ impl BatchReport {
     }
 }
 
-/// A throughput-oriented batch query engine owning a built [`SpcIndex`].
+/// Admission-control rejection from [`QueryEngine::try_run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The submission queue cannot take the batch right now; retry later
+    /// or shed the request.
+    Saturated {
+        /// Chunks currently queued.
+        queued: usize,
+        /// Queue bound in chunks.
+        capacity: usize,
+    },
+    /// The batch has more chunks than the whole queue holds, so it could
+    /// never be admitted; split it or raise `queue_depth`/`chunk_size`.
+    TooLarge {
+        /// Chunks the batch would occupy.
+        chunks: usize,
+        /// Queue bound in chunks.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SubmitError::Saturated { queued, capacity } => write!(
+                f,
+                "submission queue saturated ({queued}/{capacity} chunks queued)"
+            ),
+            SubmitError::TooLarge { chunks, capacity } => write!(
+                f,
+                "batch of {chunks} chunks exceeds the queue bound of {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One queued unit of work: a chunk of some batch's gathered rank pairs.
+struct Task {
+    /// The whole batch's rank pairs, in processing order.
+    batch: Arc<Vec<(u32, u32)>>,
+    /// Chunk bounds within `batch`.
+    lo: usize,
+    hi: usize,
+    /// Chunk index (for the input-order merge).
+    chunk: usize,
+    /// Record per-query latencies.
+    time_queries: bool,
+    /// Per-batch reply queue.
+    reply: Sender<Part>,
+}
+
+/// `(chunk index, answers, per-query nanoseconds)`.
+type Part = (usize, Vec<SpcAnswer>, Vec<u64>);
+
+fn worker_loop(index: Arc<SpcIndex>, rx: Receiver<Task>) {
+    // recv() drains every queued chunk before reporting disconnect, so a
+    // shutdown never drops admitted work.
+    while let Ok(task) = rx.recv() {
+        let slice = &task.batch[task.lo..task.hi];
+        let mut out = Vec::with_capacity(slice.len());
+        let mut lat = Vec::new();
+        if task.time_queries {
+            lat.reserve(slice.len());
+            for &(rs, rt) in slice {
+                let q0 = Instant::now();
+                out.push(index.query_ranks(rs, rt));
+                lat.push(q0.elapsed().as_nanos() as u64);
+            }
+        } else {
+            index.query_rank_batch_into(slice, &mut out);
+        }
+        // A submitter that vanished (disconnected reply) is not an error
+        // for the pool; the work is simply discarded.
+        let _ = task.reply.send((task.chunk, out, lat));
+    }
+}
+
+/// A throughput-oriented batch query engine owning a built [`SpcIndex`]
+/// and a persistent pool of worker threads.
 ///
 /// See the [module docs](self) for the execution model and the crate docs
-/// for a quick start.
+/// for a quick start. The engine is `Sync`: a server shares one behind an
+/// `Arc` across connection handler threads, each submitting batches
+/// concurrently.
 pub struct QueryEngine {
-    index: SpcIndex,
+    index: Arc<SpcIndex>,
     cfg: EngineConfig,
+    /// `None` only during teardown.
+    tx: Option<Sender<Task>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes admission decisions so a capacity check and the
+    /// subsequent multi-chunk enqueue are atomic against other admitted
+    /// submitters.
+    submit_lock: Mutex<()>,
 }
 
 impl QueryEngine {
     /// Engine with default configuration (all cores, 1024-query chunks,
-    /// rank-sorted sharding).
+    /// rank-sorted sharding, default queue depth).
     pub fn new(index: SpcIndex) -> Self {
         Self::with_config(index, EngineConfig::default())
     }
 
-    /// Engine with explicit configuration.
+    /// Engine with explicit configuration. Spawns the worker pool.
     pub fn with_config(index: SpcIndex, cfg: EngineConfig) -> Self {
-        QueryEngine { index, cfg }
+        let index = Arc::new(index);
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            cfg.workers
+        };
+        let depth = if cfg.queue_depth == 0 {
+            DEFAULT_QUEUE_DEPTH
+        } else {
+            cfg.queue_depth
+        };
+        let (tx, rx) = channel::bounded::<Task>(depth);
+        let handles = (0..workers)
+            .map(|i| {
+                let index = Arc::clone(&index);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("pspc-worker-{i}"))
+                    .spawn(move || worker_loop(index, rx))
+                    .expect("spawning engine worker")
+            })
+            .collect();
+        QueryEngine {
+            index,
+            cfg,
+            tx: Some(tx),
+            handles,
+            submit_lock: Mutex::new(()),
+        }
     }
 
     /// The index being served.
@@ -100,9 +247,14 @@ impl QueryEngine {
         &self.index
     }
 
-    /// Recovers the index (e.g. to rebuild the engine with a new config).
-    pub fn into_index(self) -> SpcIndex {
-        self.index
+    /// Shuts the pool down (draining queued work) and recovers the index
+    /// (e.g. to rebuild the engine with a new config).
+    pub fn into_index(mut self) -> SpcIndex {
+        self.shutdown();
+        let arc = Arc::clone(&self.index);
+        drop(self);
+        // Workers are joined, so this is the last reference.
+        Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone())
     }
 
     /// The configuration in effect.
@@ -110,24 +262,50 @@ impl QueryEngine {
         &self.cfg
     }
 
-    /// Resolved worker count (`workers == 0` ⇒ available parallelism).
+    /// Worker threads in the pool.
     pub fn workers(&self) -> usize {
-        if self.cfg.workers == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+        self.handles.len().max(1)
+    }
+
+    /// The submission-queue bound, in chunks.
+    pub fn queue_depth(&self) -> usize {
+        if self.cfg.queue_depth == 0 {
+            DEFAULT_QUEUE_DEPTH
         } else {
-            self.cfg.workers
+            self.cfg.queue_depth
         }
     }
 
-    /// Answers a batch; answers are index-aligned with `pairs`.
+    /// Chunks currently waiting in the submission queue (a live gauge for
+    /// metrics endpoints; racy by nature).
+    pub fn queued_chunks(&self) -> usize {
+        self.tx.as_ref().map_or(0, Sender::len)
+    }
+
+    /// Answers a batch; answers are index-aligned with `pairs`. Blocks
+    /// for queue slots when the pool is saturated (backpressure).
     pub fn run(&self, pairs: &[(VertexId, VertexId)]) -> Vec<SpcAnswer> {
         self.run_with_report(pairs).0
     }
 
     /// Answers a batch and reports wall-clock facts.
     pub fn run_with_report(&self, pairs: &[(VertexId, VertexId)]) -> (Vec<SpcAnswer>, BatchReport) {
-        let (answers, report, _) = self.execute(pairs, false);
+        let (answers, report, _) = self
+            .execute(pairs, false, false)
+            .expect("blocking submission cannot be rejected");
         (answers, report)
+    }
+
+    /// Admission-controlled batch execution: **rejects** instead of
+    /// queueing when the submission queue cannot take the whole batch.
+    /// This is the entry point for network front-ends that must shed load
+    /// when saturated rather than hang clients.
+    pub fn try_run(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Result<(Vec<SpcAnswer>, BatchReport), SubmitError> {
+        let (answers, report, _) = self.execute(pairs, false, true)?;
+        Ok((answers, report))
     }
 
     /// Answers a batch, additionally timing every query individually
@@ -139,14 +317,25 @@ impl QueryEngine {
         &self,
         pairs: &[(VertexId, VertexId)],
     ) -> (Vec<SpcAnswer>, BatchReport, Vec<u64>) {
-        self.execute(pairs, true)
+        self.execute(pairs, true, false)
+            .expect("blocking submission cannot be rejected")
+    }
+
+    /// Closes the submission queue and joins the workers after they drain
+    /// it. Idempotent; also performed on drop.
+    fn shutdown(&mut self) {
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 
     fn execute(
         &self,
         pairs: &[(VertexId, VertexId)],
         time_queries: bool,
-    ) -> (Vec<SpcAnswer>, BatchReport, Vec<u64>) {
+        admission: bool,
+    ) -> Result<(Vec<SpcAnswer>, BatchReport, Vec<u64>), SubmitError> {
         let n = pairs.len();
         let chunk = self.cfg.chunk_size.max(1);
         let t0 = Instant::now();
@@ -158,12 +347,12 @@ impl QueryEngine {
                 wall_secs: t0.elapsed().as_secs_f64(),
                 reachable: 0,
             };
-            return (Vec::new(), report, Vec::new());
+            return Ok((Vec::new(), report, Vec::new()));
         }
 
         // Translate vertex ids to ranks once — the sort key and the
         // queries both live in rank space, so workers never touch the
-        // rank array again.
+        // rank array.
         let vorder = self.index.order();
         let ranked: Vec<(u32, u32)> = pairs
             .iter()
@@ -176,110 +365,92 @@ impl QueryEngine {
         if self.cfg.sort_by_rank {
             order.sort_unstable_by_key(|&i| ranked[i as usize]);
         }
+        // Gather once so workers index straight into the shared batch.
+        let batch: Arc<Vec<(u32, u32)>> = Arc::new(
+            order
+                .iter()
+                .map(|&i| ranked[i as usize])
+                .collect::<Vec<_>>(),
+        );
 
         let num_chunks = n.div_ceil(chunk);
-        let workers = self.workers().min(num_chunks).max(1);
-        let mut answers = vec![SpcAnswer::UNREACHABLE; n];
-        let mut latencies = Vec::new();
+        let tx = self.tx.as_ref().expect("engine pool is running");
+        let (reply_tx, reply_rx) = channel::unbounded::<Part>();
+        let make_task = |c: usize| Task {
+            batch: Arc::clone(&batch),
+            lo: c * chunk,
+            hi: (c * chunk + chunk).min(n),
+            chunk: c,
+            time_queries,
+            reply: reply_tx.clone(),
+        };
 
-        if workers == 1 {
-            // Degenerate pool: same chunked scratch-reusing loop, no
-            // threads, answers written straight to their input slots.
-            let mut scratch = BatchScratch::new();
-            let mut gather: Vec<(u32, u32)> = Vec::with_capacity(chunk);
-            if time_queries {
-                latencies.reserve(n);
+        if admission {
+            let _admit = self.submit_lock.lock();
+            let capacity = self.queue_depth();
+            if num_chunks > capacity {
+                return Err(SubmitError::TooLarge {
+                    chunks: num_chunks,
+                    capacity,
+                });
             }
-            for c in order.chunks(chunk) {
-                gather.clear();
-                gather.extend(c.iter().map(|&i| ranked[i as usize]));
-                if time_queries {
-                    for (&i, &(rs, rt)) in c.iter().zip(&gather) {
-                        let q0 = Instant::now();
-                        let a = self.index.query_ranks(rs, rt);
-                        latencies.push(q0.elapsed().as_nanos() as u64);
-                        answers[i as usize] = a;
-                    }
-                } else {
-                    let out = self
-                        .index
-                        .query_rank_batch_with_scratch(&gather, &mut scratch);
-                    for (&i, &a) in c.iter().zip(out) {
-                        answers[i as usize] = a;
-                    }
-                }
+            let queued = tx.len();
+            if queued + num_chunks > capacity {
+                return Err(SubmitError::Saturated { queued, capacity });
+            }
+            // Capacity is reserved under the lock; these sends cannot
+            // block against other admitted submitters (blocking-path
+            // submitters racing in can momentarily overfill, which only
+            // means a short backpressure wait here).
+            for c in 0..num_chunks {
+                tx.send(make_task(c)).expect("engine workers alive");
             }
         } else {
-            // Shared chunk cursor + result buffer; workers pull, compute
-            // with private scratch, push `(chunk, answers, latencies)`.
-            let cursor = AtomicUsize::new(0);
-            type Part = (usize, Vec<SpcAnswer>, Vec<u64>);
-            let parts: Mutex<Vec<Part>> = Mutex::new(Vec::with_capacity(num_chunks));
-            let order = &order;
-            let ranked = &ranked;
-            let index = &self.index;
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| {
-                        let mut scratch = BatchScratch::new();
-                        let mut gather: Vec<(u32, u32)> = Vec::with_capacity(chunk);
-                        loop {
-                            let c = cursor.fetch_add(1, Ordering::Relaxed);
-                            if c >= num_chunks {
-                                return;
-                            }
-                            let lo = c * chunk;
-                            let hi = (lo + chunk).min(n);
-                            gather.clear();
-                            gather.extend(order[lo..hi].iter().map(|&i| ranked[i as usize]));
-                            let mut lat = Vec::new();
-                            let out: Vec<SpcAnswer> = if time_queries {
-                                lat.reserve(hi - lo);
-                                gather
-                                    .iter()
-                                    .map(|&(rs, rt)| {
-                                        let q0 = Instant::now();
-                                        let a = index.query_ranks(rs, rt);
-                                        lat.push(q0.elapsed().as_nanos() as u64);
-                                        a
-                                    })
-                                    .collect()
-                            } else {
-                                index
-                                    .query_rank_batch_with_scratch(&gather, &mut scratch)
-                                    .to_vec()
-                            };
-                            parts
-                                .lock()
-                                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                                .push((c, out, lat));
-                        }
-                    });
-                }
-            });
-            let mut parts = parts.into_inner().unwrap_or_else(|e| e.into_inner());
-            debug_assert_eq!(parts.len(), num_chunks);
-            // Chunk order, not completion order: keeps the answer scatter
-            // cache-friendly and the latency vector deterministic (aligned
-            // with the processing order, as documented).
-            parts.sort_unstable_by_key(|&(c, _, _)| c);
-            for (c, out, lat) in parts {
-                let lo = c * chunk;
-                for (k, &a) in out.iter().enumerate() {
-                    answers[order[lo + k] as usize] = a;
-                }
-                latencies.extend(lat);
+            for c in 0..num_chunks {
+                // Backpressure: waits for queue slots when saturated.
+                tx.send(make_task(c)).expect("engine workers alive");
             }
+        }
+        drop(reply_tx);
+
+        // Collect every chunk's part, then merge in chunk order: keeps
+        // the answer scatter cache-friendly and the latency vector
+        // deterministic (aligned with the processing order).
+        let mut parts: Vec<Part> = Vec::with_capacity(num_chunks);
+        while parts.len() < num_chunks {
+            match reply_rx.recv() {
+                Ok(p) => parts.push(p),
+                Err(_) => panic!("engine worker terminated with a batch in flight"),
+            }
+        }
+        parts.sort_unstable_by_key(|&(c, _, _)| c);
+        let mut answers = vec![SpcAnswer::UNREACHABLE; n];
+        let mut latencies = Vec::new();
+        if time_queries {
+            latencies.reserve(n);
+        }
+        for (c, out, lat) in parts {
+            let lo = c * chunk;
+            for (k, &a) in out.iter().enumerate() {
+                answers[order[lo + k] as usize] = a;
+            }
+            latencies.extend(lat);
         }
 
         let report = BatchReport {
             queries: n,
-            workers,
+            workers: self.workers().min(num_chunks),
             chunks: num_chunks,
             wall_secs: t0.elapsed().as_secs_f64(),
             reachable: answers.iter().filter(|a| a.is_reachable()).count(),
         };
-        (answers, report, latencies)
+        Ok((answers, report, latencies))
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -315,6 +486,7 @@ mod tests {
                         workers,
                         chunk_size,
                         sort_by_rank,
+                        ..EngineConfig::default()
                     });
                     let ps = pairs(513, 300, 0xFEED);
                     let expect = e.index().query_batch_sequential(&ps);
@@ -343,6 +515,7 @@ mod tests {
             workers: 2,
             chunk_size: 100,
             sort_by_rank: true,
+            ..EngineConfig::default()
         });
         let ps = pairs(250, 300, 3);
         let (answers, report) = e.run_with_report(&ps);
@@ -361,6 +534,7 @@ mod tests {
             workers: 2,
             chunk_size: 64,
             sort_by_rank: true,
+            ..EngineConfig::default()
         });
         let ps = pairs(333, 300, 5);
         let (answers, _, lat) = e.run_with_latencies(&ps);
@@ -374,9 +548,93 @@ mod tests {
             workers: 64,
             chunk_size: 1000,
             sort_by_rank: false,
+            ..EngineConfig::default()
         });
         let ps = pairs(10, 300, 9);
         let (_, report) = e.run_with_report(&ps);
         assert_eq!(report.workers, 1);
+    }
+
+    #[test]
+    fn pool_survives_many_batches_and_reuse() {
+        // A persistent pool must answer batch after batch without
+        // respawning; interleave sizes to exercise queue reuse.
+        let e = engine(EngineConfig {
+            workers: 3,
+            chunk_size: 32,
+            sort_by_rank: true,
+            ..EngineConfig::default()
+        });
+        for round in 0..20 {
+            let ps = pairs(1 + round * 37, 300, round as u64 + 1);
+            assert_eq!(e.run(&ps), e.index().query_batch_sequential(&ps));
+        }
+    }
+
+    #[test]
+    fn try_run_accepts_when_idle_and_rejects_oversized() {
+        let e = engine(EngineConfig {
+            workers: 2,
+            chunk_size: 16,
+            sort_by_rank: true,
+            queue_depth: 4,
+        });
+        let ps = pairs(60, 300, 7); // 4 chunks: exactly fits
+        let (answers, _) = e.try_run(&ps).expect("fits the queue");
+        assert_eq!(answers, e.index().query_batch_sequential(&ps));
+        let big = pairs(200, 300, 8); // 13 chunks: can never fit
+        assert_eq!(
+            e.try_run(&big).map(|_| ()),
+            Err(SubmitError::TooLarge {
+                chunks: 13,
+                capacity: 4
+            })
+        );
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let e = engine(EngineConfig {
+            workers: 4,
+            chunk_size: 64,
+            sort_by_rank: true,
+            ..EngineConfig::default()
+        });
+        std::thread::scope(|s| {
+            for seed in 1..=6u64 {
+                let e = &e;
+                s.spawn(move || {
+                    let ps = pairs(400, 300, seed);
+                    assert_eq!(e.run(&ps), e.index().query_batch_sequential(&ps));
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn into_index_drains_and_recovers() {
+        let e = engine(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        let ps = pairs(100, 300, 4);
+        let expect = e.index().query_batch_sequential(&ps);
+        assert_eq!(e.run(&ps), expect);
+        let index = e.into_index();
+        assert_eq!(index.query_batch_sequential(&ps), expect);
+    }
+
+    #[test]
+    fn submit_error_messages() {
+        let s = SubmitError::Saturated {
+            queued: 9,
+            capacity: 10,
+        };
+        assert!(s.to_string().contains("saturated"));
+        let t = SubmitError::TooLarge {
+            chunks: 99,
+            capacity: 10,
+        };
+        assert!(t.to_string().contains("exceeds"));
     }
 }

@@ -5,14 +5,19 @@
 //! microsecond point queries into a front-end that can saturate every
 //! core of a query server.
 //!
-//! * [`engine`] — [`QueryEngine`]: a fixed worker pool over
-//!   `std::thread::scope`, per-worker reusable scratch
-//!   ([`pspc_core::BatchScratch`]), cache-friendly chunk sharding
-//!   (optionally sorted by source rank) and input-order answer merging;
+//! * [`engine`] — [`QueryEngine`]: a **persistent worker pool** fed by a
+//!   bounded MPMC submission queue (long-lived threads, no per-batch
+//!   spawns), cache-friendly chunk sharding (optionally sorted by source
+//!   rank), input-order answer merging, and admission control
+//!   ([`QueryEngine::try_run`] rejects with [`SubmitError::Saturated`]
+//!   instead of queueing unboundedly — the load-shedding primitive the
+//!   `pspc_server` daemon builds on);
 //! * [`bench`] — sustained-throughput measurement (queries/sec, p50/p99
 //!   latency) and the sequential baseline comparison;
-//! * [`pairs`] — text I/O for query workloads;
-//! * [`cli`] — the `pspc` binary: `build`, `query`, `bench`.
+//! * [`pairs`] — text and JSON I/O for query workloads;
+//! * [`cli`] — the `build`/`query`/`bench` subcommands of the `pspc`
+//!   binary (which lives in `pspc_server`, where `serve` and
+//!   `query --remote` are added on top).
 //!
 //! # Quick start
 //!
@@ -22,7 +27,9 @@
 //! ```text
 //! $ pspc build web-Google.txt -o web-Google.pspc --landmarks 100
 //! $ pspc query web-Google.pspc --pairs workload.txt --workers 16 > answers.tsv
+//! $ pspc query web-Google.pspc --format json 0 42 > answers.json
 //! $ pspc bench web-Google.pspc --count 1000000 --compare
+//! $ pspc serve web-Google.pspc --addr 0.0.0.0:7411 --workers 16   # see pspc_server
 //! ```
 //!
 //! Or drive the engine as a library:
@@ -57,4 +64,4 @@ pub mod engine;
 pub mod pairs;
 
 pub use bench::{run_bench, BenchReport};
-pub use engine::{BatchReport, EngineConfig, QueryEngine};
+pub use engine::{BatchReport, EngineConfig, QueryEngine, SubmitError, DEFAULT_QUEUE_DEPTH};

@@ -1,11 +1,17 @@
-//! Query-pair I/O for the CLI: SNAP-style text in, tab-separated answers
-//! out.
+//! Query-pair I/O for the CLI and the HTTP front-end: SNAP-style text
+//! in, tab-separated or JSON answers out.
 //!
 //! The pair format mirrors the edge-list reader in `pspc_graph::io`: one
 //! `s t` pair per line, `#`/`%` comments, blank lines skipped, extra
 //! columns ignored. Answers are written as `s\tt\tdist\tcount`, with
 //! `unreachable` in the distance column (and 0 paths) for disconnected
-//! pairs.
+//! pairs — or, for structured clients, as a JSON array of
+//! `{"s":..,"t":..,"dist":..,"count":..}` objects
+//! ([`write_answers_json`]) where an unreachable pair carries
+//! `"dist":null`. [`parse_answers_json`] round-trips that exact shape
+//! (counts are parsed as full-precision `u64`, so even saturated
+//! `u64::MAX` counts survive; JavaScript consumers should treat `count`
+//! as a big integer).
 
 use pspc_graph::{SpcAnswer, VertexId};
 use std::io::{self, BufRead, Write};
@@ -66,6 +72,86 @@ pub fn write_answers<W: Write>(
     w.flush()
 }
 
+/// Writes the batch as a JSON array, one object per query:
+/// `{"s":0,"t":3,"dist":2,"count":4}`; unreachable pairs carry
+/// `"dist":null` and `"count":0`.
+pub fn write_answers_json<W: Write>(
+    pairs: &[(VertexId, VertexId)],
+    answers: &[SpcAnswer],
+    mut w: W,
+) -> io::Result<()> {
+    debug_assert_eq!(pairs.len(), answers.len());
+    writeln!(w, "[")?;
+    for (i, (&(s, t), a)) in pairs.iter().zip(answers).enumerate() {
+        let sep = if i + 1 == pairs.len() { "" } else { "," };
+        if a.is_reachable() {
+            writeln!(
+                w,
+                "{{\"s\":{s},\"t\":{t},\"dist\":{},\"count\":{}}}{sep}",
+                a.dist, a.count
+            )?;
+        } else {
+            writeln!(w, "{{\"s\":{s},\"t\":{t},\"dist\":null,\"count\":0}}{sep}")?;
+        }
+    }
+    writeln!(w, "]")?;
+    w.flush()
+}
+
+/// One parsed JSON answer row: the queried `(s, t)` pair and its answer.
+pub type AnswerRow = ((VertexId, VertexId), SpcAnswer);
+
+/// Parses the exact JSON shape [`write_answers_json`] emits back into
+/// `((s, t), answer)` rows. Intentionally minimal — it understands this
+/// workspace's answer arrays, not arbitrary JSON.
+pub fn parse_answers_json(text: &str) -> Result<Vec<AnswerRow>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('[')
+        .and_then(|b| b.strip_suffix(']'))
+        .ok_or("expected a JSON array")?;
+    let mut rows = Vec::new();
+    let mut rest = body;
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..].find('}').ok_or("unterminated object")? + open;
+        rows.push(parse_answer_object(&rest[open + 1..close])?);
+        rest = &rest[close + 1..];
+    }
+    Ok(rows)
+}
+
+fn parse_answer_object(fields: &str) -> Result<AnswerRow, String> {
+    let (mut s, mut t, mut count) = (None, None, None);
+    let mut dist: Option<Option<u16>> = None;
+    for field in fields.split(',') {
+        let (k, v) = field
+            .split_once(':')
+            .ok_or_else(|| format!("bad field {field:?}"))?;
+        let (k, v) = (k.trim().trim_matches('"'), v.trim());
+        let bad = |e| format!("bad {k} value {v:?}: {e}");
+        match k {
+            "s" => s = Some(v.parse::<VertexId>().map_err(bad)?),
+            "t" => t = Some(v.parse::<VertexId>().map_err(bad)?),
+            "dist" => {
+                dist = Some(if v == "null" {
+                    None
+                } else {
+                    Some(v.parse::<u16>().map_err(bad)?)
+                })
+            }
+            "count" => count = Some(v.parse::<u64>().map_err(bad)?),
+            other => return Err(format!("unknown key {other:?}")),
+        }
+    }
+    let (s, t) = (s.ok_or("missing s")?, t.ok_or("missing t")?);
+    let count = count.ok_or("missing count")?;
+    let answer = match dist.ok_or("missing dist")? {
+        Some(d) => SpcAnswer { dist: d, count },
+        None => SpcAnswer::UNREACHABLE,
+    };
+    Ok(((s, t), answer))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +179,44 @@ mod tests {
             String::from_utf8(out).unwrap(),
             "0\t1\t2\t4\n2\t3\tunreachable\t0\n"
         );
+    }
+
+    #[test]
+    fn json_round_trips_including_saturated_and_unreachable() {
+        let pairs = vec![(0, 1), (2, 3), (7, 7)];
+        let answers = vec![
+            SpcAnswer { dist: 2, count: 4 },
+            SpcAnswer::UNREACHABLE,
+            SpcAnswer {
+                dist: 0,
+                count: u64::MAX, // the documented saturation sentinel
+            },
+        ];
+        let mut out = Vec::new();
+        write_answers_json(&pairs, &answers, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"dist\":null"));
+        let rows = parse_answers_json(&text).unwrap();
+        assert_eq!(rows.len(), 3);
+        for (((s, t), a), (&(es, et), ea)) in rows.iter().zip(pairs.iter().zip(&answers)) {
+            assert_eq!((s, t), (&es, &et));
+            assert_eq!(a, ea);
+        }
+    }
+
+    #[test]
+    fn json_empty_batch_is_an_empty_array() {
+        let mut out = Vec::new();
+        write_answers_json(&[], &[], &mut out).unwrap();
+        let rows = parse_answers_json(&String::from_utf8(out).unwrap()).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(parse_answers_json("not json").is_err());
+        assert!(parse_answers_json("[{\"s\":1}]").is_err());
+        assert!(parse_answers_json("[{\"s\":1,\"t\":2,\"dist\":x,\"count\":0}]").is_err());
+        assert!(parse_answers_json("[{\"q\":1}]").is_err());
     }
 }

@@ -35,7 +35,7 @@ proptest! {
         for workers in [1usize, 2, 4] {
             let engine = QueryEngine::with_config(
                 index.clone(),
-                EngineConfig { workers, chunk_size, sort_by_rank },
+                EngineConfig { workers, chunk_size, sort_by_rank, ..EngineConfig::default() },
             );
             prop_assert_eq!(
                 engine.run(&pairs),

@@ -1,9 +1,19 @@
 //! Offline stand-in for the [`crossbeam`](https://docs.rs/crossbeam)
-//! crate's scoped threads, implemented over `std::thread::scope` (which
-//! has provided the same borrow-the-stack semantics since Rust 1.63).
-//! Unlike the rayon shim this one is genuinely parallel: the static
-//! scheduling path of the PSPC builder really does run one OS thread per
-//! vertex range.
+//! crate's scoped threads and MPMC channels.
+//!
+//! * [`thread`] — scoped threads over `std::thread::scope` (which has
+//!   provided the same borrow-the-stack semantics since Rust 1.63).
+//!   Genuinely parallel: the static scheduling path of the PSPC builder
+//!   really does run one OS thread per vertex range.
+//! * [`channel`] — multi-producer **multi-consumer** channels (std's
+//!   `mpsc` is single-consumer) over a `Mutex<VecDeque>` + two condvars.
+//!   [`channel::bounded`] is the submission queue of the
+//!   `pspc_service` persistent worker pool: `try_send` on a full queue
+//!   returns [`channel::TrySendError::Full`], which is exactly the
+//!   admission-control "reject, don't hang" signal the query daemon
+//!   needs. Disconnect semantics match the real crate: receivers drain
+//!   every queued message before seeing `Disconnected`, so dropping the
+//!   last sender performs a graceful drain, not an abort.
 
 /// Scoped threads (mirrors `crossbeam::thread`).
 pub mod thread {
@@ -41,6 +51,432 @@ pub mod thread {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             std::thread::scope(|s| f(&Scope { inner: s }))
         }))
+    }
+}
+
+/// MPMC channels (mirrors `crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+    use std::time::{Duration, Instant};
+
+    /// Shared channel state: the queue plus liveness counters.
+    struct State<T> {
+        queue: VecDeque<T>,
+        /// Live [`Sender`] clones; 0 ⇒ the channel is disconnected for
+        /// receivers once the queue drains.
+        senders: usize,
+        /// Live [`Receiver`] clones; 0 ⇒ sends fail immediately.
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
+        /// Signalled when a message is pushed or all senders vanish.
+        not_empty: Condvar,
+        /// Signalled when a message is popped or all receivers vanish.
+        not_full: Condvar,
+    }
+
+    fn lock<T>(inner: &Inner<T>) -> MutexGuard<'_, State<T>> {
+        inner.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Error from [`Sender::send`]: every receiver is gone; the message
+    /// comes back to the caller.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug without a `T: Debug` bound, so channels
+    // of non-Debug payloads still compose with `expect`/`unwrap`.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error from [`Sender::try_send`].
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity (the admission-control signal).
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the rejected message.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(t) | TrySendError::Disconnected(t) => t,
+            }
+        }
+
+        /// Whether the error is the queue-full rejection.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    /// Error from [`Receiver::recv`]: all senders gone and the queue is
+    /// empty.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue momentarily empty (senders still live).
+        Empty,
+        /// All senders gone and the queue is empty.
+        Disconnected,
+    }
+
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the deadline.
+        Timeout,
+        /// All senders gone and the queue is empty.
+        Disconnected,
+    }
+
+    /// The sending half. Clonable; the channel disconnects for receivers
+    /// when the last clone drops and the queue drains.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half. Clonable — this is what makes the channel
+    /// MPMC: every worker thread of a pool holds one clone and `recv`s
+    /// from the same queue.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, blocking while the queue is at capacity
+        /// (backpressure). Fails only when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.inner);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.inner.capacity {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self
+                            .inner
+                            .not_full
+                            .wait(st)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues `msg` without blocking: [`TrySendError::Full`] when
+        /// the queue is at capacity.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = lock(&self.inner);
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.inner.capacity {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The queue bound (`None` = unbounded).
+        pub fn capacity(&self) -> Option<usize> {
+            self.inner.capacity
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the oldest message, blocking until one arrives.
+        /// Returns `Err` only when all senders are gone **and** the queue
+        /// is empty — queued work is always drained first.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.inner);
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .inner
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = lock(&self.inner);
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Dequeues, waiting at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = lock(&self.inner);
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.inner).senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.inner).receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.inner);
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake every blocked receiver so they observe disconnect.
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.inner);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// A bounded MPMC channel holding at most `cap` messages. `cap = 0`
+    /// (a rendezvous channel in real crossbeam) is approximated with
+    /// capacity 1 — no caller in this workspace uses it.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::channel::{self, RecvTimeoutError, TryRecvError, TrySendError};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_len() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert!(!rx.is_empty());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_try_send_rejects_when_full() {
+        let (tx, rx) = channel::bounded(2);
+        assert_eq!(tx.capacity(), Some(2));
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        let err = tx.try_send(3).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 3);
+        // Draining one slot re-admits.
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn drop_last_sender_drains_then_disconnects() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(7).unwrap();
+        tx.send(8).unwrap();
+        drop(tx);
+        // Queued messages survive the disconnect...
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Ok(8));
+        // ...and only then does the receiver see it.
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+    }
+
+    #[test]
+    fn mpmc_workers_share_one_queue() {
+        let (tx, rx) = channel::bounded::<u64>(64);
+        let total: u64 = std::thread::scope(|s| {
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut sum = 0u64;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            drop(rx);
+            for v in 1..=100u64 {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+            consumers.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // Every message consumed exactly once, by some worker.
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity_frees() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Blocks until the main thread drains a slot.
+                tx.send(2).unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        });
     }
 }
 

@@ -26,12 +26,19 @@
 //! execution stays on the calling thread with zero spawns, so unit tests
 //! on small inputs pay no overhead.
 //!
-//! Still sequential: `par_sort_unstable*` (std's pdqsort is plenty fast
-//! and the sorts are not on the critical path) and closures passed to
-//! `filter`/`flat_map` (cheap at every call site). Nested parallelism
-//! inside a worker thread runs sequentially rather than oversubscribing.
-//! Swapping the workspace dependency back to the real crate remains a
-//! one-line change: call sites keep rayon's `Send`/`Sync` obligations.
+//! `par_sort_unstable`/`par_sort_unstable_by`/`par_sort_unstable_by_key`
+//! are parallel too: the slice is cut into one run per thread, the runs
+//! are sorted concurrently (disjoint `&mut` chunks over scoped threads),
+//! and a k-way merge computes the output permutation which is then
+//! applied in place by cycle-following swaps — no `T: Clone` bound and
+//! no unsafe. Below a size cutoff (or under a 1-thread budget) they
+//! defer to std's pdqsort.
+//!
+//! Still sequential: closures passed to `filter`/`flat_map` (cheap at
+//! every call site). Nested parallelism inside a worker thread runs
+//! sequentially rather than oversubscribing. Swapping the workspace
+//! dependency back to the real crate remains a one-line change: call
+//! sites keep rayon's `Send`/`Sync` obligations.
 
 use std::cell::Cell;
 use std::sync::{Mutex, MutexGuard};
@@ -430,22 +437,101 @@ impl<T: Sync> ParallelSlice<T> for [T] {
     }
 }
 
+/// Sequential cutoff for the parallel sorts: below this, std's pdqsort
+/// wins outright and spawning threads is pure overhead.
+const PAR_SORT_MIN_LEN: usize = 4096;
+
+/// Parallel unstable sort: cut into one run per thread, sort runs
+/// concurrently (disjoint `&mut` chunks), k-way merge into a permutation,
+/// apply it in place with cycle-following swaps.
+fn par_sort_by_impl<T, F>(v: &mut [T], compare: &F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    let n = v.len();
+    let threads = current_num_threads();
+    if threads <= 1 || n < PAR_SORT_MIN_LEN {
+        v.sort_unstable_by(compare);
+        return;
+    }
+    let runs = threads.min(n.div_ceil(PAR_SORT_MIN_LEN / 2)).max(2);
+    let run_len = n.div_ceil(runs);
+
+    // Phase 1: sort each run in its own scoped thread. `chunks_mut` hands
+    // out disjoint borrows, so this is race-free by construction.
+    std::thread::scope(|s| {
+        for run in v.chunks_mut(run_len) {
+            s.spawn(move || {
+                POOL_OVERRIDE.with(|c| c.set(Some(1)));
+                run.sort_unstable_by(compare);
+            });
+        }
+    });
+
+    // Phase 2: k-way merge of the sorted runs into an output permutation
+    // (`perm[out] = src`). k is at most the thread count, so a linear
+    // scan over the run heads per output element is cheap.
+    let mut cursors: Vec<(usize, usize)> = (0..runs)
+        .map(|r| (r * run_len, ((r + 1) * run_len).min(n)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect();
+    let mut perm: Vec<usize> = Vec::with_capacity(n);
+    while !cursors.is_empty() {
+        let mut best = 0;
+        for c in 1..cursors.len() {
+            if compare(&v[cursors[c].0], &v[cursors[best].0]) == std::cmp::Ordering::Less {
+                best = c;
+            }
+        }
+        perm.push(cursors[best].0);
+        cursors[best].0 += 1;
+        if cursors[best].0 == cursors[best].1 {
+            cursors.swap_remove(best);
+        }
+    }
+    debug_assert_eq!(perm.len(), n);
+
+    // Phase 3: apply the permutation in place. Follow each cycle with
+    // swaps, consuming `perm` (usize::MAX marks visited positions).
+    for start in 0..n {
+        if perm[start] == usize::MAX || perm[start] == start {
+            continue;
+        }
+        let mut cur = start;
+        loop {
+            let src = perm[cur];
+            perm[cur] = usize::MAX;
+            if src == start {
+                break;
+            }
+            v.swap(cur, src);
+            cur = src;
+        }
+    }
+}
+
 /// Parallel operations on exclusive slices.
 pub trait ParallelSliceMut<T: Send> {
     /// Chunked mutable iteration — chunks are disjoint, so a parallel
     /// `for_each` over them is race-free by construction.
     fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
 
-    /// Unstable sort (sequential in this shim).
+    /// Parallel unstable sort.
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
 
-    /// Unstable sort by key (sequential in this shim).
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    /// Parallel unstable sort by key.
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
 
-    /// Unstable sort by comparator (sequential in this shim).
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    /// Parallel unstable sort by comparator.
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
@@ -457,15 +543,22 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     where
         T: Ord,
     {
-        self.sort_unstable()
+        par_sort_by_impl(self, &T::cmp)
     }
 
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
-        self.sort_unstable_by_key(f)
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        par_sort_by_impl(self, &|a, b| f(a).cmp(&f(b)))
     }
 
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
-        self.sort_unstable_by(compare)
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        par_sort_by_impl(self, &compare)
     }
 }
 
@@ -608,6 +701,69 @@ mod tests {
             .enumerate()
             .for_each(|(i, c)| c.fill(i as u32));
         assert_eq!(w, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    /// Deterministic xorshift stream for the sort tests.
+    fn xorshift_vec(n: usize, mut state: u64) -> Vec<u64> {
+        state |= 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect()
+    }
+
+    #[test]
+    fn par_sort_unstable_matches_std_on_random_inputs() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        // Sizes straddling the sequential cutoff, plus duplicates-heavy
+        // and pre-sorted/reversed adversaries.
+        for (n, seed) in [(0, 1), (1, 2), (1000, 3), (4096, 4), (50_000, 5)] {
+            let mut a = xorshift_vec(n, seed);
+            let mut b = a.clone();
+            pool.install(|| a.par_sort_unstable());
+            b.sort_unstable();
+            assert_eq!(a, b, "n={n}");
+        }
+        let mut dups: Vec<u64> = xorshift_vec(30_000, 9).iter().map(|x| x % 17).collect();
+        let mut expect = dups.clone();
+        pool.install(|| dups.par_sort_unstable());
+        expect.sort_unstable();
+        assert_eq!(dups, expect);
+        let mut rev: Vec<u64> = (0..20_000u64).rev().collect();
+        pool.install(|| rev.par_sort_unstable());
+        assert!(rev.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn par_sort_by_key_and_by_comparator_match_std() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        // Unique keys, so by-key output is fully determined and must be
+        // identical to std's.
+        let mut a: Vec<(u64, u64)> = xorshift_vec(40_000, 11)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| (x ^ i as u64, i as u64))
+            .collect();
+        let mut b = a.clone();
+        pool.install(|| a.par_sort_unstable_by_key(|&(k, _)| k));
+        b.sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(a, b);
+
+        let mut c = xorshift_vec(40_000, 13);
+        let mut d = c.clone();
+        pool.install(|| c.par_sort_unstable_by(|x, y| y.cmp(x)));
+        d.sort_unstable_by(|x, y| y.cmp(x));
+        assert_eq!(c, d);
     }
 
     #[test]

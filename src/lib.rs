@@ -15,8 +15,11 @@
 //! * [`core`] ([`pspc_core`]) — the ESPC index, the sequential HP-SPC
 //!   baseline, the parallel PSPC builder, reductions and serialization;
 //! * [`service`] ([`pspc_service`]) — the throughput-oriented batch
-//!   query engine (worker pool, chunked sharding, reusable scratch) and
-//!   the `pspc` CLI (`build`/`query`/`bench`).
+//!   query engine (persistent worker pool, bounded submission queue,
+//!   chunked sharding, admission control);
+//! * [`server`] ([`pspc_server`]) — the network serving daemon (HTTP +
+//!   framed binary protocol on one port, load shedding, live metrics)
+//!   and the `pspc` CLI (`build`/`query`/`bench`/`serve`).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +40,7 @@ pub mod applications;
 pub use pspc_core as core;
 pub use pspc_graph as graph;
 pub use pspc_order as order;
+pub use pspc_server as server;
 pub use pspc_service as service;
 
 pub use pspc_core::{
@@ -45,6 +49,7 @@ pub use pspc_core::{
 };
 pub use pspc_graph::{Graph, GraphBuilder, GraphStats, SpcAnswer, VertexId};
 pub use pspc_order::{OrderingStrategy, VertexOrder};
+pub use pspc_server::{RemoteClient, ServerHandle};
 pub use pspc_service::{EngineConfig, QueryEngine};
 
 /// Convenient glob-import surface for applications.

@@ -1,0 +1,10 @@
+//! Exp 12: snapshot format v2 bulk load vs legacy v1 parse, and flat-arena
+//! vs per-vertex label storage query latency. Emits `[exp12-json]` lines
+//! for trajectory tracking.
+
+use pspc_bench::experiments::exp12_snapshot;
+use pspc_bench::ExpOptions;
+
+fn main() {
+    exp12_snapshot(&ExpOptions::from_args());
+}

@@ -28,5 +28,6 @@ fn main() {
     exp9_breakdown(&opt);
     exp10_service_throughput(&opt);
     exp11_daemon_throughput(&opt);
+    exp12_snapshot(&opt);
     eprintln!("full evaluation complete");
 }

@@ -380,7 +380,11 @@ mod tests {
 
     fn assert_same_index(a: &SpcIndex, b: &SpcIndex, what: &str) {
         assert_eq!(a.order(), b.order(), "{what}: orders differ");
-        assert_eq!(a.label_sets(), b.label_sets(), "{what}: label sets differ");
+        assert_eq!(
+            a.label_arena(),
+            b.label_arena(),
+            "{what}: label sets differ"
+        );
     }
 
     #[test]
@@ -460,12 +464,7 @@ mod tests {
     fn iterations_track_max_label_distance() {
         let g = perturbed_grid(5, 9, 0.0, 0.0, 0); // plain grid, diameter 12
         let (idx, stats) = build_pspc(&g, &PspcConfig::default());
-        let max_label_dist = idx
-            .label_sets()
-            .iter()
-            .flat_map(|ls| ls.dists().iter().copied())
-            .max()
-            .unwrap() as usize;
+        let max_label_dist = idx.label_arena().dists().iter().copied().max().unwrap() as usize;
         // The loop stops one iteration after the last productive one.
         assert_eq!(stats.iterations, max_label_dist + 1);
         assert_eq!(*stats.entries_per_iteration.last().unwrap(), 0);
@@ -507,7 +506,7 @@ mod tests {
         };
         let (a, _) = build_pspc_with_order(&g, o.clone(), None, &table);
         let (b, _) = build_pspc_with_order(&g, o, None, &bitset);
-        assert_eq!(a.label_sets(), b.label_sets());
+        assert_eq!(a.label_arena(), b.label_arena());
     }
 
     #[test]

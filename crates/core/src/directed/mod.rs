@@ -21,19 +21,21 @@
 pub mod hpspc;
 pub mod pspc;
 
-use crate::label::{IndexStats, LabelSet};
+use crate::label::{IndexStats, LabelArena, LabelSet, LabelView};
 use crate::query::query_label_sets;
 use pspc_graph::digraph::DiGraph;
 use pspc_graph::{SpcAnswer, VertexId};
 use pspc_order::VertexOrder;
 use serde::{Deserialize, Serialize};
 
-/// A directed ESPC index: per-rank in- and out-label sets.
+/// A directed ESPC index: per-rank in- and out-labels, each direction
+/// stored in one flat CSR [`LabelArena`] (same layout as the undirected
+/// [`crate::SpcIndex`]).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DiSpcIndex {
     order: VertexOrder,
-    lin: Vec<LabelSet>,
-    lout: Vec<LabelSet>,
+    lin: LabelArena,
+    lout: LabelArena,
     stats: IndexStats,
 }
 
@@ -46,18 +48,20 @@ impl DiSpcIndex {
     ) -> Self {
         assert_eq!(order.len(), lin.len());
         assert_eq!(order.len(), lout.len());
-        stats.total_entries = lin.iter().chain(&lout).map(LabelSet::len).sum();
-        stats.label_bytes = lin.iter().chain(&lout).map(LabelSet::size_bytes).sum();
+        let lin = LabelArena::from_label_sets(lin);
+        let lout = LabelArena::from_label_sets(lout);
+        stats.total_entries = lin.num_entries() + lout.num_entries();
+        stats.label_bytes = lin.size_bytes() + lout.size_bytes();
         stats.max_label_size = lin
-            .iter()
-            .chain(&lout)
-            .map(LabelSet::len)
+            .views()
+            .chain(lout.views())
+            .map(|v| v.len())
             .max()
             .unwrap_or(0);
-        stats.avg_label_size = if lin.is_empty() {
+        stats.avg_label_size = if lin.num_vertices() == 0 {
             0.0
         } else {
-            stats.total_entries as f64 / (2 * lin.len()) as f64
+            stats.total_entries as f64 / (2 * lin.num_vertices()) as f64
         };
         DiSpcIndex {
             order,
@@ -69,7 +73,7 @@ impl DiSpcIndex {
 
     /// Number of vertices covered.
     pub fn num_vertices(&self) -> usize {
-        self.lin.len()
+        self.lin.num_vertices()
     }
 
     /// The vertex order.
@@ -78,22 +82,22 @@ impl DiSpcIndex {
     }
 
     /// In-label of the vertex at `rank`.
-    pub fn lin_of_rank(&self, rank: u32) -> &LabelSet {
-        &self.lin[rank as usize]
+    pub fn lin_of_rank(&self, rank: u32) -> LabelView<'_> {
+        self.lin.view(rank)
     }
 
     /// Out-label of the vertex at `rank`.
-    pub fn lout_of_rank(&self, rank: u32) -> &LabelSet {
-        &self.lout[rank as usize]
+    pub fn lout_of_rank(&self, rank: u32) -> LabelView<'_> {
+        self.lout.view(rank)
     }
 
-    /// All in-label sets (rank-indexed).
-    pub fn lin_sets(&self) -> &[LabelSet] {
+    /// The in-label arena (rank-indexed CSR rows).
+    pub fn lin_arena(&self) -> &LabelArena {
         &self.lin
     }
 
-    /// All out-label sets (rank-indexed).
-    pub fn lout_sets(&self) -> &[LabelSet] {
+    /// The out-label arena (rank-indexed CSR rows).
+    pub fn lout_arena(&self) -> &LabelArena {
         &self.lout
     }
 
@@ -114,13 +118,7 @@ impl DiSpcIndex {
         }
         let rs = self.order.rank_of(s);
         let rt = self.order.rank_of(t);
-        query_label_sets(
-            &self.lout[rs as usize],
-            &self.lin[rt as usize],
-            rs,
-            rt,
-            None,
-        )
+        query_label_sets(self.lout.view(rs), self.lin.view(rt), rs, rt, None)
     }
 
     /// Directed distance only.

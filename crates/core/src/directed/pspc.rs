@@ -301,13 +301,13 @@ mod tests {
                 };
                 let par = build_di_pspc_with_order(&g, order.clone(), &cfg);
                 assert_eq!(
-                    seq.lin_sets(),
-                    par.lin_sets(),
+                    seq.lin_arena(),
+                    par.lin_arena(),
                     "lin seed={seed} lm={landmarks}"
                 );
                 assert_eq!(
-                    seq.lout_sets(),
-                    par.lout_sets(),
+                    seq.lout_arena(),
+                    par.lout_arena(),
                     "lout seed={seed} lm={landmarks}"
                 );
             }
@@ -354,8 +354,8 @@ mod tests {
                 ..DiPspcConfig::default()
             },
         );
-        assert_eq!(a.lin_sets(), b.lin_sets());
-        assert_eq!(a.lout_sets(), b.lout_sets());
+        assert_eq!(a.lin_arena(), b.lin_arena());
+        assert_eq!(a.lout_arena(), b.lout_arena());
     }
 
     #[test]

@@ -12,6 +12,18 @@
 //! Everything is stored in **rank space**: vertex ids inside the index are
 //! ranks (0 = highest). Hub comparisons become integer `<` and label arrays
 //! are kept sorted by hub rank for merge-style queries.
+//!
+//! # Storage layout
+//!
+//! Builders stage per-vertex labels in [`LabelSet`] (one
+//! structure-of-arrays triple per vertex), but a finished [`SpcIndex`]
+//! holds a single flat [`LabelArena`]: one CSR `offsets` array plus three
+//! contiguous global arrays (`hubs`/`dists`/`counts`) shared by all
+//! vertices. A million-vertex index is four allocations instead of ~3
+//! million, queries read two cache-linear slices instead of pointer
+//! chasing per-vertex `Vec`s, and snapshots can persist the arrays
+//! verbatim ([`crate::serialize`] format v2). The borrowed [`LabelView`]
+//! is the query-path handle into the arena.
 
 use pspc_graph::VertexId;
 use pspc_order::VertexOrder;
@@ -39,6 +51,11 @@ pub struct LabelEntry {
 
 /// The label set of a single vertex, sorted by hub rank (structure of
 /// arrays for cache-friendly merging).
+///
+/// This is the **builder-side staging type**: construction code
+/// accumulates one `LabelSet` per vertex, and [`SpcIndex::new`] packs
+/// them into the flat [`LabelArena`] exactly once. Query code never
+/// touches `LabelSet` — it works on borrowed [`LabelView`]s.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LabelSet {
     hubs: Vec<u32>,
@@ -116,6 +133,16 @@ impl LabelSet {
         &self.counts
     }
 
+    /// Borrowed view with the same shape the query path uses.
+    #[inline]
+    pub fn as_view(&self) -> LabelView<'_> {
+        LabelView {
+            hubs: &self.hubs,
+            dists: &self.dists,
+            counts: &self.counts,
+        }
+    }
+
     /// Entry view at position `i`.
     #[inline]
     pub fn entry(&self, i: usize) -> LabelEntry {
@@ -137,6 +164,220 @@ impl LabelSet {
     }
 
     /// Heap bytes of this label set.
+    pub fn size_bytes(&self) -> usize {
+        self.hubs.len() * 4 + self.dists.len() * 2 + self.counts.len() * 8
+    }
+}
+
+/// A borrowed, zero-copy view of one vertex's labels inside a
+/// [`LabelArena`] (or a staged [`LabelSet`], via [`LabelSet::as_view`]).
+///
+/// `Copy`, two words per array — this is what the query merge operates
+/// on, so the hot path carries slices, not owning containers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabelView<'a> {
+    hubs: &'a [u32],
+    dists: &'a [u16],
+    counts: &'a [Count],
+}
+
+impl<'a> LabelView<'a> {
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hubs.is_empty()
+    }
+
+    /// Hub ranks, ascending.
+    #[inline]
+    pub fn hubs(&self) -> &'a [u32] {
+        self.hubs
+    }
+
+    /// Distances, parallel to [`LabelView::hubs`].
+    #[inline]
+    pub fn dists(&self) -> &'a [u16] {
+        self.dists
+    }
+
+    /// Counts, parallel to [`LabelView::hubs`].
+    #[inline]
+    pub fn counts(&self) -> &'a [Count] {
+        self.counts
+    }
+
+    /// Entry at position `i`.
+    #[inline]
+    pub fn entry(&self, i: usize) -> LabelEntry {
+        LabelEntry {
+            hub: self.hubs[i],
+            dist: self.dists[i],
+            count: self.counts[i],
+        }
+    }
+
+    /// Iterator over entries in hub order.
+    pub fn iter(&self) -> impl Iterator<Item = LabelEntry> + 'a {
+        let (hubs, dists, counts) = (self.hubs, self.dists, self.counts);
+        (0..hubs.len()).map(move |i| LabelEntry {
+            hub: hubs[i],
+            dist: dists[i],
+            count: counts[i],
+        })
+    }
+
+    /// The distance recorded for `hub`, if present. `O(log len)`.
+    pub fn dist_to(&self, hub: u32) -> Option<u16> {
+        self.hubs.binary_search(&hub).ok().map(|i| self.dists[i])
+    }
+
+    /// Materializes the view as an owned staging [`LabelSet`].
+    pub fn to_label_set(&self) -> LabelSet {
+        LabelSet {
+            hubs: self.hubs.to_vec(),
+            dists: self.dists.to_vec(),
+            counts: self.counts.to_vec(),
+        }
+    }
+}
+
+/// Flat CSR arena holding the labels of **all** vertices.
+///
+/// `offsets` has `n + 1` entries; vertex (rank) `r`'s labels are the
+/// half-open range `offsets[r]..offsets[r + 1]` of the three parallel
+/// global arrays. Four allocations total, independent of the vertex
+/// count; rows are contiguous and rank-adjacent rows are cache-adjacent.
+/// The snapshot format v2 persists these arrays verbatim
+/// ([`crate::serialize`]).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LabelArena {
+    /// CSR row starts (`n + 1` entries, `offsets[0] == 0`).
+    offsets: Vec<u64>,
+    /// Hub ranks, ascending within each row.
+    hubs: Vec<u32>,
+    /// Distances, parallel to `hubs`.
+    dists: Vec<u16>,
+    /// Trough counts, parallel to `hubs`.
+    counts: Vec<Count>,
+}
+
+impl LabelArena {
+    /// Packs staged per-vertex label sets into one contiguous arena.
+    pub fn from_label_sets(sets: Vec<LabelSet>) -> Self {
+        let total: usize = sets.iter().map(LabelSet::len).sum();
+        let mut arena = LabelArena {
+            offsets: Vec::with_capacity(sets.len() + 1),
+            hubs: Vec::with_capacity(total),
+            dists: Vec::with_capacity(total),
+            counts: Vec::with_capacity(total),
+        };
+        arena.offsets.push(0);
+        for s in &sets {
+            arena.hubs.extend_from_slice(s.hubs());
+            arena.dists.extend_from_slice(s.dists());
+            arena.counts.extend_from_slice(s.counts());
+            arena.offsets.push(arena.hubs.len() as u64);
+        }
+        arena
+    }
+
+    /// Reassembles an arena from raw CSR arrays (the snapshot v2 load
+    /// path). Validates the structural invariants that indexing relies
+    /// on — corrupt input must error here, never panic later.
+    pub fn from_raw(
+        offsets: Vec<u64>,
+        hubs: Vec<u32>,
+        dists: Vec<u16>,
+        counts: Vec<Count>,
+    ) -> Result<Self, String> {
+        let m = hubs.len();
+        if dists.len() != m || counts.len() != m {
+            return Err("label arrays disagree in length".into());
+        }
+        match (offsets.first(), offsets.last()) {
+            (Some(&0), Some(&last)) if last == m as u64 => {}
+            _ => return Err("offsets must start at 0 and end at the entry count".into()),
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets not monotonically nondecreasing".into());
+        }
+        Ok(LabelArena {
+            offsets,
+            hubs,
+            dists,
+            counts,
+        })
+    }
+
+    /// Number of vertices (CSR rows).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total label entries across all vertices.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// Entries of the vertex holding `rank`.
+    #[inline]
+    pub fn len_of(&self, rank: u32) -> usize {
+        let r = rank as usize;
+        (self.offsets[r + 1] - self.offsets[r]) as usize
+    }
+
+    /// Borrowed label view of the vertex holding `rank`.
+    #[inline]
+    pub fn view(&self, rank: u32) -> LabelView<'_> {
+        let r = rank as usize;
+        let (lo, hi) = (self.offsets[r] as usize, self.offsets[r + 1] as usize);
+        LabelView {
+            hubs: &self.hubs[lo..hi],
+            dists: &self.dists[lo..hi],
+            counts: &self.counts[lo..hi],
+        }
+    }
+
+    /// Iterator over every vertex's view, in rank order.
+    pub fn views(&self) -> impl Iterator<Item = LabelView<'_>> {
+        (0..self.num_vertices() as u32).map(move |r| self.view(r))
+    }
+
+    /// CSR row starts (`n + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Global hub array.
+    #[inline]
+    pub fn hubs(&self) -> &[u32] {
+        &self.hubs
+    }
+
+    /// Global distance array.
+    #[inline]
+    pub fn dists(&self) -> &[u16] {
+        &self.dists
+    }
+
+    /// Global count array.
+    #[inline]
+    pub fn counts(&self) -> &[Count] {
+        &self.counts
+    }
+
+    /// Heap bytes of the entry payload (4 + 2 + 8 per entry, matching
+    /// the paper's index-size accounting; the CSR offsets add
+    /// `8 * (n + 1)` on top).
     pub fn size_bytes(&self) -> usize {
         self.hubs.len() * 4 + self.dists.len() * 2 + self.counts.len() * 8
     }
@@ -177,8 +418,8 @@ impl IndexStats {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SpcIndex {
     order: VertexOrder,
-    /// Label sets indexed by rank.
-    labels: Vec<LabelSet>,
+    /// All labels, rank-indexed rows in one flat CSR arena.
+    labels: LabelArena,
     /// Vertex multiplicities by rank (`None` ⇒ all 1). Used by the
     /// neighborhood-equivalence reduction (paper §IV.B).
     weights: Option<Vec<Count>>,
@@ -186,24 +427,44 @@ pub struct SpcIndex {
 }
 
 impl SpcIndex {
-    /// Assembles an index from rank-space label sets.
+    /// Assembles an index from rank-space staged label sets, packing
+    /// them into the flat arena exactly once.
     pub fn new(
         order: VertexOrder,
         labels: Vec<LabelSet>,
         weights: Option<Vec<Count>>,
-        mut stats: IndexStats,
+        stats: IndexStats,
     ) -> Self {
         assert_eq!(order.len(), labels.len(), "one label set per vertex");
+        Self::from_arena(order, LabelArena::from_label_sets(labels), weights, stats)
+    }
+
+    /// Assembles an index from an already-flat arena (the snapshot v2
+    /// load path; builders go through [`SpcIndex::new`]).
+    pub fn from_arena(
+        order: VertexOrder,
+        labels: LabelArena,
+        weights: Option<Vec<Count>>,
+        mut stats: IndexStats,
+    ) -> Self {
+        assert_eq!(
+            order.len(),
+            labels.num_vertices(),
+            "one label row per vertex"
+        );
         if let Some(w) = &weights {
-            assert_eq!(w.len(), labels.len(), "one weight per vertex");
+            assert_eq!(w.len(), labels.num_vertices(), "one weight per vertex");
         }
-        stats.total_entries = labels.iter().map(LabelSet::len).sum();
-        stats.label_bytes = labels.iter().map(LabelSet::size_bytes).sum();
-        stats.max_label_size = labels.iter().map(LabelSet::len).max().unwrap_or(0);
-        stats.avg_label_size = if labels.is_empty() {
+        stats.total_entries = labels.num_entries();
+        stats.label_bytes = labels.size_bytes();
+        stats.max_label_size = (0..labels.num_vertices() as u32)
+            .map(|r| labels.len_of(r))
+            .max()
+            .unwrap_or(0);
+        stats.avg_label_size = if labels.num_vertices() == 0 {
             0.0
         } else {
-            stats.total_entries as f64 / labels.len() as f64
+            stats.total_entries as f64 / labels.num_vertices() as f64
         };
         SpcIndex {
             order,
@@ -215,7 +476,7 @@ impl SpcIndex {
 
     /// Number of vertices covered.
     pub fn num_vertices(&self) -> usize {
-        self.labels.len()
+        self.labels.num_vertices()
     }
 
     /// The vertex order the index was built under.
@@ -223,15 +484,15 @@ impl SpcIndex {
         &self.order
     }
 
-    /// Label set of the vertex holding `rank`.
+    /// Label view of the vertex holding `rank`.
     #[inline]
-    pub fn labels_of_rank(&self, rank: u32) -> &LabelSet {
-        &self.labels[rank as usize]
+    pub fn labels_of_rank(&self, rank: u32) -> LabelView<'_> {
+        self.labels.view(rank)
     }
 
-    /// Label set of original vertex `v`.
-    pub fn labels_of_vertex(&self, v: VertexId) -> &LabelSet {
-        &self.labels[self.order.rank_of(v) as usize]
+    /// Label view of original vertex `v`.
+    pub fn labels_of_vertex(&self, v: VertexId) -> LabelView<'_> {
+        self.labels.view(self.order.rank_of(v))
     }
 
     /// Vertex multiplicities by rank, if the index is weighted.
@@ -249,15 +510,15 @@ impl SpcIndex {
         &mut self.stats
     }
 
-    /// All label sets, rank-indexed.
-    pub fn label_sets(&self) -> &[LabelSet] {
+    /// The flat label arena (rank-indexed CSR rows).
+    pub fn label_arena(&self) -> &LabelArena {
         &self.labels
     }
 
     /// Structural sanity check: hub order sorted, hubs ranked above owner,
     /// self-label present with `(rank, 0, 1)`.
     pub fn validate(&self) -> Result<(), String> {
-        for (r, ls) in self.labels.iter().enumerate() {
+        for (r, ls) in self.labels.views().enumerate() {
             let r = r as u32;
             if ls.hubs().windows(2).any(|w| w[0] >= w[1]) {
                 return Err(format!("rank {r}: hubs not strictly sorted"));
@@ -336,5 +597,58 @@ mod tests {
         let v: Vec<_> = ls.iter().collect();
         assert_eq!(v.len(), 2);
         assert_eq!(v[0], entry(0, 1, 2));
+    }
+
+    #[test]
+    fn arena_packs_rows_contiguously() {
+        let sets = vec![
+            LabelSet::from_entries(vec![entry(0, 0, 1)]),
+            LabelSet::from_entries(vec![entry(0, 1, 2), entry(1, 0, 1)]),
+            LabelSet::default(),
+            LabelSet::from_entries(vec![entry(2, 3, 4)]),
+        ];
+        let arena = LabelArena::from_label_sets(sets.clone());
+        assert_eq!(arena.num_vertices(), 4);
+        assert_eq!(arena.num_entries(), 4);
+        assert_eq!(arena.offsets(), &[0, 1, 3, 3, 4]);
+        for (r, s) in sets.iter().enumerate() {
+            let v = arena.view(r as u32);
+            assert_eq!(v.hubs(), s.hubs(), "row {r}");
+            assert_eq!(v.dists(), s.dists(), "row {r}");
+            assert_eq!(v.counts(), s.counts(), "row {r}");
+            assert_eq!(v.len(), arena.len_of(r as u32));
+        }
+        assert_eq!(arena.view(2).len(), 0);
+        assert!(arena.view(2).is_empty());
+        assert_eq!(arena.size_bytes(), 4 * 14);
+    }
+
+    #[test]
+    fn arena_from_raw_validates() {
+        let ok = LabelArena::from_raw(vec![0, 1], vec![0], vec![0], vec![1]);
+        assert!(ok.is_ok());
+        // Length mismatch.
+        assert!(LabelArena::from_raw(vec![0, 1], vec![0], vec![], vec![1]).is_err());
+        // Bad first/last offset.
+        assert!(LabelArena::from_raw(vec![1, 1], vec![0], vec![0], vec![1]).is_err());
+        assert!(LabelArena::from_raw(vec![0, 2], vec![0], vec![0], vec![1]).is_err());
+        assert!(LabelArena::from_raw(vec![], vec![], vec![], vec![]).is_err());
+        // Non-monotonic offsets.
+        assert!(
+            LabelArena::from_raw(vec![0, 2, 1, 2], (0..2).collect(), vec![0; 2], vec![1; 2])
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn view_round_trips_and_probes() {
+        let ls = LabelSet::from_entries(vec![entry(1, 1, 3), entry(5, 2, 1)]);
+        let v = ls.as_view();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.dist_to(5), Some(2));
+        assert_eq!(v.dist_to(4), None);
+        assert_eq!(v.entry(0), entry(1, 1, 3));
+        assert_eq!(v.iter().collect::<Vec<_>>(), ls.iter().collect::<Vec<_>>());
+        assert_eq!(v.to_label_set(), ls);
     }
 }

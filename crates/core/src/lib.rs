@@ -41,7 +41,7 @@ pub mod serialize;
 
 pub use builder::{build_pspc, Paradigm, PspcBuildStats, PspcConfig, SchedulePlan};
 pub use hpspc::build_hpspc;
-pub use label::{Count, IndexStats, LabelEntry, LabelSet, SpcIndex};
+pub use label::{Count, IndexStats, LabelArena, LabelEntry, LabelSet, LabelView, SpcIndex};
 pub use query::BatchScratch;
 pub use reduce::ReducedIndex;
-pub use serialize::{index_from_binary, index_to_binary};
+pub use serialize::{index_from_binary, index_to_binary, index_to_binary_v1, snapshot_size};

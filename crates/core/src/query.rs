@@ -7,6 +7,19 @@
 //! additionally contributes its multiplicity factor `w(h)`, because `h` is
 //! an internal vertex of the recombined path.
 //!
+//! # Merge strategy
+//!
+//! The common case — two label sets of comparable size — runs a
+//! branch-reduced linear merge: the advance of both cursors is computed
+//! arithmetically from the comparison, so the only data-dependent branch
+//! in the loop is the (rare) equal-hub hit. When one set is much larger
+//! than the other (`≥ GALLOP_RATIO×`), the merge instead *gallops*: it
+//! walks the smaller set and advances through the larger one by
+//! exponential search, turning `O(|A| + |B|)` into `O(|A| · log |B|)` —
+//! the classic skewed-intersection trick. Both paths visit common hubs
+//! in ascending order, so answers are bit-identical regardless of which
+//! path ran (pinned by tests).
+//!
 //! # Count overflow policy
 //!
 //! Shortest-path counts are [`Count`] (`u64`) and **saturate** at
@@ -23,59 +36,184 @@
 //! "unreachable"). Boundary behavior is pinned by the
 //! `overflow_policy_*` tests in this module.
 
-use crate::label::{Count, LabelSet, SpcIndex};
+use crate::label::{Count, LabelView, SpcIndex};
 use pspc_graph::{SpcAnswer, VertexId};
 use rayon::prelude::*;
 
-/// Merge-based query over two rank-space label sets.
+/// Size ratio beyond which the merge gallops through the larger set
+/// instead of scanning it linearly.
+const GALLOP_RATIO: usize = 8;
+
+/// Running minimum-distance / tie-sum accumulator of the merge.
+struct MergeAcc {
+    best: u32,
+    acc: Count,
+}
+
+impl MergeAcc {
+    #[inline]
+    fn new() -> Self {
+        MergeAcc {
+            best: u32::MAX,
+            acc: 0,
+        }
+    }
+
+    /// Folds in one common hub at combined distance `d`; `count` is only
+    /// evaluated when the hub ties the current best distance, so losing
+    /// hubs never pay for the (possibly weighted) product.
+    #[inline]
+    fn hit(&mut self, d: u32, count: impl FnOnce() -> Count) {
+        if d < self.best {
+            self.best = d;
+            self.acc = 0;
+        }
+        if d == self.best {
+            self.acc = self.acc.saturating_add(count());
+        }
+    }
+
+    #[inline]
+    fn finish(self) -> SpcAnswer {
+        if self.best == u32::MAX {
+            SpcAnswer::UNREACHABLE
+        } else {
+            SpcAnswer {
+                dist: self.best.min(u16::MAX as u32) as u16,
+                count: self.acc,
+            }
+        }
+    }
+}
+
+/// Merge-based query over two rank-space label views.
 ///
 /// `sa`/`sb` are the ranks of the two endpoints (needed to suppress the
 /// weight factor when the common hub *is* an endpoint); `weights` are the
 /// rank-indexed vertex multiplicities, if any.
 pub fn query_label_sets(
-    a: &LabelSet,
-    b: &LabelSet,
+    a: LabelView<'_>,
+    b: LabelView<'_>,
+    sa: u32,
+    sb: u32,
+    weights: Option<&[Count]>,
+) -> SpcAnswer {
+    // Walk the smaller set; the answer is symmetric in (a, sa) ↔ (b, sb).
+    let (a, b, sa, sb) = if a.len() <= b.len() {
+        (a, b, sa, sb)
+    } else {
+        (b, a, sb, sa)
+    };
+    if b.len() >= GALLOP_RATIO * a.len().max(1) {
+        merge_gallop(a, b, sa, sb, weights)
+    } else {
+        merge_linear(a, b, sa, sb, weights)
+    }
+}
+
+/// Branch-reduced linear merge: both cursor advances are computed from
+/// the three-way comparison without a jump, so mispredictions are paid
+/// only on the equal-hub hits.
+fn merge_linear(
+    a: LabelView<'_>,
+    b: LabelView<'_>,
     sa: u32,
     sb: u32,
     weights: Option<&[Count]>,
 ) -> SpcAnswer {
     let (ha, hb) = (a.hubs(), b.hubs());
     let (mut i, mut j) = (0usize, 0usize);
-    let mut best: u32 = u32::MAX;
-    let mut acc: Count = 0;
+    let mut m = MergeAcc::new();
     while i < ha.len() && j < hb.len() {
-        match ha[i].cmp(&hb[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                let h = ha[i];
-                let d = a.dists()[i] as u32 + b.dists()[j] as u32;
-                if d < best {
-                    best = d;
-                    acc = 0;
-                }
-                if d == best {
-                    let mut c = mul_sat(a.counts()[i], b.counts()[j]);
-                    if let Some(w) = weights {
-                        if h != sa && h != sb {
-                            c = mul_sat(c, w[h as usize]);
-                        }
-                    }
-                    acc = acc.saturating_add(c);
-                }
-                i += 1;
-                j += 1;
+        let (x, y) = (ha[i], hb[j]);
+        if x == y {
+            m.hit(a.dists()[i] as u32 + b.dists()[j] as u32, || {
+                hub_contribution(a, b, i, j, sa, sb, weights)
+            });
+        }
+        i += (x <= y) as usize;
+        j += (y <= x) as usize;
+    }
+    m.finish()
+}
+
+/// `c(s,h)·c(h,t)` (times the multiplicity of an internal hub) for the
+/// common hub at positions `i`/`j`.
+#[inline]
+fn hub_contribution(
+    a: LabelView<'_>,
+    b: LabelView<'_>,
+    i: usize,
+    j: usize,
+    sa: u32,
+    sb: u32,
+    weights: Option<&[Count]>,
+) -> Count {
+    let c = mul_sat(a.counts()[i], b.counts()[j]);
+    match weights {
+        Some(w) => {
+            let h = a.hubs()[i];
+            if h != sa && h != sb {
+                mul_sat(c, w[h as usize])
+            } else {
+                c
             }
         }
+        None => c,
     }
-    if best == u32::MAX {
-        SpcAnswer::UNREACHABLE
-    } else {
-        SpcAnswer {
-            dist: best.min(u16::MAX as u32) as u16,
-            count: acc,
+}
+
+/// Skewed merge: for each hub of the small set `a`, advance through the
+/// large set `b` by exponential search from the current cursor.
+fn merge_gallop(
+    a: LabelView<'_>,
+    b: LabelView<'_>,
+    sa: u32,
+    sb: u32,
+    weights: Option<&[Count]>,
+) -> SpcAnswer {
+    let (ha, hb) = (a.hubs(), b.hubs());
+    let mut j = 0usize;
+    let mut m = MergeAcc::new();
+    for (i, &h) in ha.iter().enumerate() {
+        j = gallop_to(hb, j, h);
+        if j == hb.len() {
+            break;
+        }
+        if hb[j] == h {
+            m.hit(a.dists()[i] as u32 + b.dists()[j] as u32, || {
+                hub_contribution(a, b, i, j, sa, sb, weights)
+            });
+            j += 1;
         }
     }
+    m.finish()
+}
+
+/// First index `>= lo` with `hb[idx] >= target` (== `hb.len()` if none),
+/// found by doubling steps from `lo` then a binary search over the
+/// bracketed window.
+#[inline]
+fn gallop_to(hb: &[u32], lo: usize, target: u32) -> usize {
+    if lo >= hb.len() || hb[lo] >= target {
+        return lo;
+    }
+    // Invariant: hb[base] < target; probe at base + step.
+    let mut base = lo;
+    let mut step = 1usize;
+    loop {
+        let probe = base + step;
+        if probe >= hb.len() {
+            break;
+        }
+        if hb[probe] >= target {
+            // Bracketed: answer in (base, probe].
+            return base + 1 + hb[base + 1..probe].partition_point(|&x| x < target);
+        }
+        base = probe;
+        step <<= 1;
+    }
+    base + 1 + hb[base + 1..].partition_point(|&x| x < target)
 }
 
 #[inline]
@@ -96,8 +234,9 @@ fn mul_sat(a: Count, b: Count) -> Count {
 /// `BatchScratch` amortizes them across its owner's lifetime. Used by
 /// [`SpcIndex::query_batch_with_scratch`]. (The `pspc_service` worker
 /// pool instead fills owned buffers via
-/// [`SpcIndex::query_rank_batch_into`], because its answers are shipped
-/// to the submitting thread through a channel.)
+/// [`SpcIndex::query_rank_batch_into`] and recycles them through its
+/// engine-wide buffer pool, because its answers are shipped to the
+/// submitting thread through a channel.)
 #[derive(Debug, Default)]
 pub struct BatchScratch {
     /// Rank-space pairs of the current chunk.
@@ -166,7 +305,7 @@ impl SpcIndex {
     ///
     /// Answers land in `scratch` (also returned as a slice), index-aligned
     /// with `pairs`. Rank translation happens once per pair up front, so
-    /// the hot loop touches only rank-space label sets. This is the entry
+    /// the hot loop touches only rank-space label views. This is the entry
     /// point for embedders that evaluate chunk after chunk on one thread
     /// and read answers in place; workers that must *ship* answers to
     /// another thread use [`SpcIndex::query_rank_batch_into`] instead
@@ -220,7 +359,7 @@ impl SpcIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::label::{IndexStats, LabelEntry};
+    use crate::label::{IndexStats, LabelEntry, LabelSet};
     use pspc_order::VertexOrder;
 
     fn ls(entries: &[(u32, u16, Count)]) -> LabelSet {
@@ -232,12 +371,64 @@ mod tests {
         )
     }
 
+    fn q(a: &LabelSet, b: &LabelSet, sa: u32, sb: u32, w: Option<&[Count]>) -> SpcAnswer {
+        query_label_sets(a.as_view(), b.as_view(), sa, sb, w)
+    }
+
+    /// Reference merge (the original unoptimized three-way loop) used to
+    /// pin the optimized paths.
+    fn reference_merge(
+        a: &LabelSet,
+        b: &LabelSet,
+        sa: u32,
+        sb: u32,
+        weights: Option<&[Count]>,
+    ) -> SpcAnswer {
+        let (ha, hb) = (a.hubs(), b.hubs());
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut best: u32 = u32::MAX;
+        let mut acc: Count = 0;
+        while i < ha.len() && j < hb.len() {
+            match ha[i].cmp(&hb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let h = ha[i];
+                    let d = a.dists()[i] as u32 + b.dists()[j] as u32;
+                    if d < best {
+                        best = d;
+                        acc = 0;
+                    }
+                    if d == best {
+                        let mut c = mul_sat(a.counts()[i], b.counts()[j]);
+                        if let Some(w) = weights {
+                            if h != sa && h != sb {
+                                c = mul_sat(c, w[h as usize]);
+                            }
+                        }
+                        acc = acc.saturating_add(c);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if best == u32::MAX {
+            SpcAnswer::UNREACHABLE
+        } else {
+            SpcAnswer {
+                dist: best.min(u16::MAX as u32) as u16,
+                count: acc,
+            }
+        }
+    }
+
     #[test]
     fn merge_picks_min_distance_hubs() {
         // Hub 0 gives dist 4 count 2, hub 1 gives dist 3 count 6.
         let a = ls(&[(0, 2, 2), (1, 1, 2)]);
         let b = ls(&[(0, 2, 1), (1, 2, 3)]);
-        let ans = query_label_sets(&a, &b, 8, 9, None);
+        let ans = q(&a, &b, 8, 9, None);
         assert_eq!(ans, SpcAnswer { dist: 3, count: 6 });
     }
 
@@ -246,7 +437,7 @@ mod tests {
         let a = ls(&[(0, 1, 2), (1, 2, 5)]);
         let b = ls(&[(0, 2, 3), (1, 1, 1)]);
         // both hubs give dist 3: 2*3 + 5*1 = 11
-        let ans = query_label_sets(&a, &b, 8, 9, None);
+        let ans = q(&a, &b, 8, 9, None);
         assert_eq!(ans, SpcAnswer { dist: 3, count: 11 });
     }
 
@@ -254,7 +445,7 @@ mod tests {
     fn disjoint_hub_sets_unreachable() {
         let a = ls(&[(0, 1, 1)]);
         let b = ls(&[(1, 1, 1)]);
-        assert_eq!(query_label_sets(&a, &b, 2, 3, None), SpcAnswer::UNREACHABLE);
+        assert_eq!(q(&a, &b, 2, 3, None), SpcAnswer::UNREACHABLE);
     }
 
     #[test]
@@ -263,22 +454,16 @@ mod tests {
         let a = ls(&[(0, 1, 1)]);
         let b = ls(&[(0, 1, 1)]);
         // hub 0 internal: factor 7
-        assert_eq!(
-            query_label_sets(&a, &b, 2, 3, Some(&w)),
-            SpcAnswer { dist: 2, count: 7 }
-        );
+        assert_eq!(q(&a, &b, 2, 3, Some(&w)), SpcAnswer { dist: 2, count: 7 });
         // hub 0 == endpoint sa: no factor
-        assert_eq!(
-            query_label_sets(&a, &b, 0, 3, Some(&w)),
-            SpcAnswer { dist: 2, count: 1 }
-        );
+        assert_eq!(q(&a, &b, 0, 3, Some(&w)), SpcAnswer { dist: 2, count: 1 });
     }
 
     #[test]
     fn saturating_multiplication() {
         let a = ls(&[(0, 1, Count::MAX / 2)]);
         let b = ls(&[(0, 1, 4)]);
-        let ans = query_label_sets(&a, &b, 1, 2, None);
+        let ans = q(&a, &b, 1, 2, None);
         assert_eq!(ans.count, Count::MAX);
     }
 
@@ -326,7 +511,7 @@ mod tests {
         // accumulation must saturate as well.
         let a = ls(&[(0, 1, Count::MAX - 1), (1, 1, Count::MAX - 1)]);
         let b = ls(&[(0, 1, 1), (1, 1, 1)]);
-        let ans = query_label_sets(&a, &b, 8, 9, None);
+        let ans = q(&a, &b, 8, 9, None);
         assert_eq!(
             ans,
             SpcAnswer {
@@ -343,7 +528,78 @@ mod tests {
         let w = vec![Count::MAX, 1];
         let a = ls(&[(0, 1, 2)]);
         let b = ls(&[(0, 1, 2)]);
-        assert_eq!(query_label_sets(&a, &b, 1, 1, Some(&w)).count, Count::MAX);
+        assert_eq!(q(&a, &b, 1, 1, Some(&w)).count, Count::MAX);
+    }
+
+    #[test]
+    fn gallop_to_finds_lower_bounds() {
+        let hb: Vec<u32> = vec![2, 4, 6, 8, 100, 101, 102, 200];
+        for lo in 0..hb.len() {
+            for target in [0u32, 2, 3, 8, 99, 100, 150, 200, 201] {
+                let want = lo + hb[lo..].partition_point(|&x| x < target);
+                assert_eq!(gallop_to(&hb, lo, target), want, "lo={lo} target={target}");
+            }
+        }
+        assert_eq!(gallop_to(&[], 0, 5), 0);
+    }
+
+    /// Both optimized paths must be bit-identical to the reference merge
+    /// on skewed, weighted and tied workloads — including the asymmetric
+    /// case that triggers galloping in either argument order.
+    #[test]
+    fn gallop_and_linear_match_reference() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let weights: Vec<Count> = (0..4096).map(|i| 1 + (i as u64 % 5)).collect();
+        for round in 0..200 {
+            // Sizes span the gallop threshold in both directions.
+            let (la, lb) = match round % 4 {
+                0 => (1 + (next() % 4) as usize, 200 + (next() % 200) as usize),
+                1 => (200 + (next() % 200) as usize, 1 + (next() % 4) as usize),
+                2 => (next() as usize % 50, next() as usize % 50),
+                _ => (next() as usize % 12, 100 + (next() % 100) as usize),
+            };
+            let gen = |len: usize, next: &mut dyn FnMut() -> u64| {
+                let mut hubs: Vec<u32> = (0..len).map(|_| (next() % 4000) as u32).collect();
+                hubs.sort_unstable();
+                hubs.dedup();
+                let entries = hubs
+                    .into_iter()
+                    .map(|h| LabelEntry {
+                        hub: h,
+                        dist: (next() % 7) as u16,
+                        count: 1 + next() % 9,
+                    })
+                    .collect();
+                LabelSet::from_entries(entries)
+            };
+            let a = gen(la, &mut next);
+            let b = gen(lb, &mut next);
+            let sa = (next() % 4000) as u32;
+            let sb = (next() % 4000) as u32;
+            for w in [None, Some(&weights[..])] {
+                let want = reference_merge(&a, &b, sa, sb, w);
+                assert_eq!(q(&a, &b, sa, sb, w), want, "round {round}");
+                // Symmetry: swapping arguments must not change the answer.
+                assert_eq!(q(&b, &a, sb, sa, w), want, "round {round} swapped");
+                // Pin both internal paths directly, not just the dispatch.
+                assert_eq!(
+                    merge_linear(a.as_view(), b.as_view(), sa, sb, w),
+                    want,
+                    "round {round} linear"
+                );
+                assert_eq!(
+                    merge_gallop(a.as_view(), b.as_view(), sa, sb, w),
+                    want,
+                    "round {round} gallop"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,58 @@
-//! Binary snapshot format for [`SpcIndex`].
+//! Binary snapshot formats for [`SpcIndex`].
 //!
 //! Building the index is the expensive step (minutes for large graphs);
-//! persisting it makes query services restartable. The format is a simple
-//! little-endian layout: magic, vertex order, optional weights, then one
-//! length-prefixed label set per rank.
+//! persisting it makes query services restartable. Two formats exist:
+//!
+//! * **v2 (`PSPCIDX2`)** — the current format, written by
+//!   [`index_to_binary`]. A fixed header with a section table, followed by
+//!   the [`crate::label::LabelArena`] arrays **verbatim**: deserialization
+//!   is a handful of bulk section copies (O(sections) `memcpy`s on
+//!   little-endian targets) instead of per-entry parsing, and every
+//!   section start is naturally aligned so the layout is mmap-ready.
+//! * **v1 (`PSPCIDX1`)** — the legacy per-entry format. Still *read* by
+//!   [`index_from_binary`] for back-compat; [`index_to_binary_v1`] keeps a
+//!   writer around for migration tests and the `exp12_snapshot` load
+//!   benchmark. Convert old files with `pspc migrate <old> <new>`.
+//!
+//! # v2 format specification
+//!
+//! All integers are **little-endian**. The file is a fixed 80-byte header
+//! followed by six data sections, in file order, with no padding:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 8    | magic `"PSPCIDX2"` |
+//! | 8      | 8    | `n` — vertex count (`u64`, must fit `u32`) |
+//! | 16     | 8    | `m` — total label entries (`u64`) |
+//! | 24     | 8    | `flags` (`u64`; bit 0 = weights section present) |
+//! | 32     | 48   | section table: six `u64` byte lengths |
+//! | 80     | —    | section data |
+//!
+//! The section table entries and the sections they describe, in order:
+//!
+//! | # | section   | element | length (bytes)           |
+//! |--:|-----------|---------|--------------------------|
+//! | 0 | `offsets` | `u64`   | `(n + 1) * 8`            |
+//! | 1 | `weights` | `u64`   | `n * 8` if flag bit 0, else 0 |
+//! | 2 | `counts`  | `u64`   | `m * 8`                  |
+//! | 3 | `order`   | `u32`   | `n * 4` (`order[rank] = vertex`) |
+//! | 4 | `hubs`    | `u32`   | `m * 4`                  |
+//! | 5 | `dists`   | `u16`   | `m * 2`                  |
+//!
+//! Sections are sorted by descending element alignment (8-byte sections
+//! first, then 4, then 2) and the header is 80 bytes (a multiple of 8),
+//! so in a page-aligned mapping every section starts at a naturally
+//! aligned address — a future mmap loader can cast sections in place.
+//! The section lengths are fully determined by `n`, `m` and `flags`; the
+//! reader verifies the table against them and rejects any mismatch, any
+//! truncation, and any trailing bytes. Loaded data then passes the same
+//! structural validation as v1 ([`SpcIndex::validate`] plus CSR offset
+//! checks), so corrupt input errors — it never panics.
+//!
+//! [`index_to_binary`] computes the exact byte size up front and
+//! serializes into a single pre-sized allocation (no reallocation).
 
-use crate::label::{IndexStats, LabelEntry, LabelSet, SpcIndex};
+use crate::label::{IndexStats, LabelArena, LabelEntry, LabelSet, SpcIndex};
 use bytes::{Buf, BufMut, BytesMut};
 // Re-exported so downstream users of the snapshot API don't need a direct
 // `bytes` dependency.
@@ -13,13 +60,219 @@ pub use bytes::Bytes;
 use pspc_order::VertexOrder;
 use std::io;
 
-const MAGIC: &[u8; 8] = b"PSPCIDX1";
+const MAGIC_V1: &[u8; 8] = b"PSPCIDX1";
+const MAGIC_V2: &[u8; 8] = b"PSPCIDX2";
+/// Bytes before the first v2 section: magic + n + m + flags + 6 lengths.
+const V2_HEADER_BYTES: usize = 8 + 8 + 8 + 8 + 6 * 8;
 
-/// Serializes the index into a binary snapshot.
-pub fn index_to_binary(idx: &SpcIndex) -> Bytes {
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+// ---------------------------------------------------------------- bulk I/O
+//
+// On little-endian targets (every supported deployment platform) the
+// in-memory arrays already have the wire layout, so sections move with a
+// single memcpy in each direction. The big-endian fallback converts per
+// element; it exists for correctness, not speed.
+
+macro_rules! bulk_codec {
+    ($put:ident, $get:ident, $ty:ty, $width:expr) => {
+        fn $put(out: &mut Vec<u8>, vals: &[$ty]) {
+            #[cfg(target_endian = "little")]
+            // SAFETY: any initialized $ty slice is readable as bytes; the
+            // length in bytes cannot overflow because the slice exists.
+            out.extend_from_slice(unsafe {
+                std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), vals.len() * $width)
+            });
+            #[cfg(not(target_endian = "little"))]
+            for &v in vals {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+
+        /// Decodes a whole section. `src.len()` must be a multiple of the
+        /// element width (the caller has already validated section sizes).
+        fn $get(src: &[u8]) -> Vec<$ty> {
+            debug_assert_eq!(src.len() % $width, 0);
+            let n = src.len() / $width;
+            let mut v: Vec<$ty> = Vec::with_capacity(n);
+            #[cfg(target_endian = "little")]
+            // SAFETY: the destination allocation holds `n * $width` bytes,
+            // the copy fills exactly that many, and every byte pattern is
+            // a valid $ty.
+            unsafe {
+                std::ptr::copy_nonoverlapping(src.as_ptr(), v.as_mut_ptr().cast::<u8>(), src.len());
+                v.set_len(n);
+            }
+            #[cfg(not(target_endian = "little"))]
+            v.extend(
+                src.chunks_exact($width)
+                    .map(|c| <$ty>::from_le_bytes(c.try_into().unwrap())),
+            );
+            v
+        }
+    };
+}
+
+bulk_codec!(put_u64s, get_u64s, u64, 8);
+bulk_codec!(put_u32s, get_u32s, u32, 4);
+bulk_codec!(put_u16s, get_u16s, u16, 2);
+
+// ---------------------------------------------------------------------- v2
+
+/// Exact v2 snapshot size in bytes for `idx` — header plus the six
+/// sections of the format spec ([module docs](self)).
+pub fn snapshot_size(idx: &SpcIndex) -> usize {
     let n = idx.num_vertices();
-    let mut buf = BytesMut::with_capacity(32 + n * 8 + idx.stats().label_bytes * 2);
-    buf.put_slice(MAGIC);
+    let m = idx.label_arena().num_entries();
+    let weights = if idx.weights().is_some() { n * 8 } else { 0 };
+    V2_HEADER_BYTES + (n + 1) * 8 + weights + m * 8 + n * 4 + m * 4 + m * 2
+}
+
+/// Serializes the index into a binary snapshot (format v2).
+///
+/// The output buffer is allocated at the exact final size up front
+/// ([`snapshot_size`]) and filled with bulk section writes — no
+/// reallocation, no per-entry encoding.
+pub fn index_to_binary(idx: &SpcIndex) -> Bytes {
+    let arena = idx.label_arena();
+    let n = idx.num_vertices();
+    let m = arena.num_entries();
+    let total = snapshot_size(idx);
+    let mut buf: Vec<u8> = Vec::with_capacity(total);
+    #[cfg(debug_assertions)]
+    let initial_capacity = buf.capacity();
+    buf.put_slice(MAGIC_V2);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m as u64);
+    buf.put_u64_le(u64::from(idx.weights().is_some()));
+    // Section table.
+    buf.put_u64_le((n as u64 + 1) * 8);
+    buf.put_u64_le(if idx.weights().is_some() {
+        n as u64 * 8
+    } else {
+        0
+    });
+    buf.put_u64_le(m as u64 * 8);
+    buf.put_u64_le(n as u64 * 4);
+    buf.put_u64_le(m as u64 * 4);
+    buf.put_u64_le(m as u64 * 2);
+    // Sections, descending alignment.
+    put_u64s(&mut buf, arena.offsets());
+    if let Some(w) = idx.weights() {
+        put_u64s(&mut buf, w);
+    }
+    put_u64s(&mut buf, arena.counts());
+    put_u32s(&mut buf, idx.order().order());
+    put_u32s(&mut buf, arena.hubs());
+    put_u16s(&mut buf, arena.dists());
+    debug_assert_eq!(buf.len(), total, "v2 size accounting must be exact");
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        buf.capacity(),
+        initial_capacity,
+        "v2 serialize must not reallocate"
+    );
+    Bytes::from(buf)
+}
+
+fn index_from_binary_v2(data: Bytes) -> io::Result<SpcIndex> {
+    if data.len() < V2_HEADER_BYTES {
+        return Err(bad("truncated v2 header"));
+    }
+    let mut hdr = data.slice(8..V2_HEADER_BYTES);
+    let n64 = hdr.get_u64_le();
+    let m64 = hdr.get_u64_le();
+    let flags = hdr.get_u64_le();
+    if flags > 1 {
+        return Err(bad("unknown v2 flags"));
+    }
+    if n64 > u32::MAX as u64 + 1 {
+        return Err(bad("vertex count exceeds rank space"));
+    }
+    let has_weights = flags & 1 == 1;
+    // Expected section lengths from (n, m, flags) in u128: a corrupt
+    // header can claim any counts, and the arithmetic must not overflow.
+    let (n, m) = (n64 as u128, m64 as u128);
+    let expect: [u128; 6] = [
+        (n + 1) * 8,
+        if has_weights { n * 8 } else { 0 },
+        m * 8,
+        n * 4,
+        m * 4,
+        m * 2,
+    ];
+    let mut total = V2_HEADER_BYTES as u128;
+    for (i, &want) in expect.iter().enumerate() {
+        let got = hdr.get_u64_le() as u128;
+        if got != want {
+            return Err(bad(&format!("section {i} length disagrees with header")));
+        }
+        total += want;
+    }
+    if data.len() as u128 != total {
+        return Err(bad(if (data.len() as u128) < total {
+            "truncated v2 section data"
+        } else {
+            "trailing bytes after v2 sections"
+        }));
+    }
+    // Bulk-read each section (lengths are now trusted and fit usize,
+    // since they sum to data.len()).
+    let mut at = V2_HEADER_BYTES;
+    let mut section = |len: u128| {
+        let lo = at;
+        at += len as usize;
+        data.slice(lo..at)
+    };
+    let offsets = get_u64s(&section(expect[0]));
+    let weights = has_weights.then(|| get_u64s(&section(expect[1])));
+    let counts = get_u64s(&section(expect[2]));
+    let order_vec = get_u32s(&section(expect[3]));
+    let hubs = get_u32s(&section(expect[4]));
+    let dists = get_u16s(&section(expect[5]));
+
+    let order = validate_order(order_vec)?;
+    let arena = LabelArena::from_raw(offsets, hubs, dists, counts)
+        .map_err(|e| bad(&format!("bad label arena: {e}")))?;
+    let idx = SpcIndex::from_arena(order, arena, weights, IndexStats::default());
+    idx.validate()
+        .map_err(|e| bad(&format!("snapshot fails validation: {e}")))?;
+    Ok(idx)
+}
+
+/// Checks `order[rank] = vertex` is a permutation and wraps it.
+fn validate_order(order: Vec<u32>) -> io::Result<VertexOrder> {
+    let n = order.len();
+    let mut seen = vec![false; n];
+    for &v in &order {
+        if (v as usize) >= n {
+            return Err(bad("order entry out of range"));
+        }
+        if std::mem::replace(&mut seen[v as usize], true) {
+            return Err(bad("order is not a permutation"));
+        }
+    }
+    Ok(VertexOrder::from_order(order))
+}
+
+// ---------------------------------------------------------------------- v1
+
+/// Serializes the index in the **legacy v1** per-entry format.
+///
+/// New snapshots should use [`index_to_binary`] (v2); this writer exists
+/// so migration round-trips and the v1-parse baseline of
+/// `exp12_snapshot` stay testable against real v1 bytes.
+pub fn index_to_binary_v1(idx: &SpcIndex) -> Bytes {
+    let n = idx.num_vertices();
+    let m = idx.label_arena().num_entries();
+    // Exact: magic + n + order + weights flag (+ weights) + per-rank
+    // length prefix + 14-byte entries.
+    let exact =
+        8 + 8 + n * 4 + 1 + if idx.weights().is_some() { n * 8 } else { 0 } + n * 4 + m * 14;
+    let mut buf = BytesMut::with_capacity(exact);
+    buf.put_slice(MAGIC_V1);
     buf.put_u64_le(n as u64);
     for r in 0..n as u32 {
         buf.put_u32_le(idx.order().vertex_at(r));
@@ -33,7 +286,7 @@ pub fn index_to_binary(idx: &SpcIndex) -> Bytes {
         }
         None => buf.put_u8(0),
     }
-    for ls in idx.label_sets() {
+    for ls in idx.label_arena().views() {
         buf.put_u32_le(ls.len() as u32);
         for e in ls.iter() {
             buf.put_u32_le(e.hub);
@@ -41,13 +294,12 @@ pub fn index_to_binary(idx: &SpcIndex) -> Bytes {
             buf.put_u64_le(e.count);
         }
     }
+    debug_assert_eq!(buf.len(), exact, "v1 size accounting must be exact");
     buf.freeze()
 }
 
-/// Deserializes a snapshot produced by [`index_to_binary`].
-pub fn index_from_binary(mut data: Bytes) -> io::Result<SpcIndex> {
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    if data.len() < 17 || &data[..8] != MAGIC {
+fn index_from_binary_v1(mut data: Bytes) -> io::Result<SpcIndex> {
+    if data.len() < 17 || &data[..8] != MAGIC_V1 {
         return Err(bad("not a PSPC index snapshot"));
     }
     data.advance(8);
@@ -59,21 +311,9 @@ pub fn index_from_binary(mut data: Bytes) -> io::Result<SpcIndex> {
     }
     let mut order = Vec::with_capacity(n);
     for _ in 0..n {
-        let v = data.get_u32_le();
-        if v as usize >= n {
-            return Err(bad("order entry out of range"));
-        }
-        order.push(v);
+        order.push(data.get_u32_le());
     }
-    let order = {
-        let mut seen = vec![false; n];
-        for &v in &order {
-            if std::mem::replace(&mut seen[v as usize], true) {
-                return Err(bad("order is not a permutation"));
-            }
-        }
-        VertexOrder::from_order(order)
-    };
+    let order = validate_order(order)?;
     let weights = match data.get_u8() {
         0 => None,
         1 => {
@@ -118,19 +358,43 @@ pub fn index_from_binary(mut data: Bytes) -> io::Result<SpcIndex> {
     Ok(idx)
 }
 
+/// Deserializes a snapshot in either format, dispatching on the magic:
+/// current v2 files take the bulk-section load path, legacy v1 files the
+/// per-entry parse.
+pub fn index_from_binary(data: Bytes) -> io::Result<SpcIndex> {
+    if data.len() >= 8 && &data[..8] == MAGIC_V2 {
+        index_from_binary_v2(data)
+    } else {
+        index_from_binary_v1(data)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::{build_pspc, PspcConfig};
     use pspc_graph::generators::barabasi_albert;
 
+    fn build(n: usize, seed: u64) -> SpcIndex {
+        let g = barabasi_albert(n, 2, seed);
+        build_pspc(&g, &PspcConfig::default()).0
+    }
+
+    fn build_weighted(n: usize, seed: u64) -> SpcIndex {
+        use crate::builder::build_pspc_with_order;
+        use pspc_order::OrderingStrategy;
+        let g = barabasi_albert(n, 2, seed);
+        let w: Vec<u64> = (0..n as u64).map(|i| 1 + i % 4).collect();
+        let o = OrderingStrategy::Degree.compute(&g);
+        build_pspc_with_order(&g, o, Some(&w), &PspcConfig::default()).0
+    }
+
     #[test]
     fn round_trip_preserves_queries() {
-        let g = barabasi_albert(120, 2, 13);
-        let (idx, _) = build_pspc(&g, &PspcConfig::default());
+        let idx = build(120, 13);
         let restored = index_from_binary(index_to_binary(&idx)).unwrap();
         assert_eq!(idx.order(), restored.order());
-        assert_eq!(idx.label_sets(), restored.label_sets());
+        assert_eq!(idx.label_arena(), restored.label_arena());
         for (s, t) in [(0u32, 119u32), (3, 99), (50, 51)] {
             assert_eq!(idx.query(s, t), restored.query(s, t));
         }
@@ -138,66 +402,126 @@ mod tests {
 
     #[test]
     fn round_trip_weighted() {
-        use crate::builder::build_pspc_with_order;
-        use pspc_order::OrderingStrategy;
-        let g = barabasi_albert(40, 2, 1);
-        let w: Vec<u64> = (0..40).map(|i| 1 + i % 4).collect();
-        let o = OrderingStrategy::Degree.compute(&g);
-        let (idx, _) = build_pspc_with_order(&g, o, Some(&w), &PspcConfig::default());
+        let idx = build_weighted(40, 1);
         let restored = index_from_binary(index_to_binary(&idx)).unwrap();
         assert_eq!(idx.weights(), restored.weights());
         assert_eq!(idx.query(7, 31), restored.query(7, 31));
     }
 
     #[test]
+    fn v1_round_trip_and_cross_format_equality() {
+        for idx in [build(80, 7), build_weighted(48, 3)] {
+            let from_v1 = index_from_binary(index_to_binary_v1(&idx)).unwrap();
+            let from_v2 = index_from_binary(index_to_binary(&idx)).unwrap();
+            assert_eq!(from_v1, from_v2, "formats must load identical indexes");
+            assert_eq!(idx.order(), from_v1.order());
+            assert_eq!(idx.label_arena(), from_v1.label_arena());
+            assert_eq!(idx.weights(), from_v1.weights());
+        }
+    }
+
+    #[test]
+    fn v2_size_is_exact() {
+        for idx in [build(60, 4), build_weighted(36, 9)] {
+            let bytes = index_to_binary(&idx);
+            assert_eq!(bytes.len(), snapshot_size(&idx));
+        }
+    }
+
+    #[test]
     fn rejects_corruption() {
-        let g = barabasi_albert(30, 2, 2);
-        let (idx, _) = build_pspc(&g, &PspcConfig::default());
+        let idx = build(30, 2);
         let bin = index_to_binary(&idx);
         assert!(index_from_binary(bin.slice(..16)).is_err());
         let mut tampered = bin.to_vec();
         tampered[3] = b'!';
         assert!(index_from_binary(Bytes::from(tampered)).is_err());
-        // Truncate mid-labels.
+        // Truncate mid-sections.
         assert!(index_from_binary(bin.slice(..bin.len() - 5)).is_err());
+        // Trailing junk is rejected too (v2 is exact-length).
+        let mut extended = bin.to_vec();
+        extended.push(0);
+        assert!(index_from_binary(Bytes::from(extended)).is_err());
     }
 
     #[test]
-    fn every_truncation_errors_without_panic() {
-        let g = barabasi_albert(40, 2, 5);
-        let w: Vec<u64> = (0..40).map(|i| 1 + i % 3).collect();
-        let o = pspc_order::OrderingStrategy::Degree.compute(&g);
-        let (idx, _) =
-            crate::builder::build_pspc_with_order(&g, o, Some(&w), &PspcConfig::default());
-        let bin = index_to_binary(&idx);
-        // Every strict prefix must be rejected with an error — no length
-        // may panic or be accepted as a shorter valid snapshot.
-        for len in 0..bin.len() {
-            assert!(
-                index_from_binary(bin.slice(..len)).is_err(),
-                "prefix of {len} bytes accepted"
-            );
+    fn every_truncation_errors_without_panic_both_formats() {
+        let idx = build_weighted(40, 5);
+        for bin in [index_to_binary(&idx), index_to_binary_v1(&idx)] {
+            // Every strict prefix must be rejected with an error — no
+            // length may panic or be accepted as a shorter valid snapshot.
+            for len in 0..bin.len() {
+                assert!(
+                    index_from_binary(bin.slice(..len)).is_err(),
+                    "prefix of {len} bytes accepted"
+                );
+            }
+            assert!(index_from_binary(bin).is_ok());
         }
-        assert!(index_from_binary(bin).is_ok());
     }
 
     #[test]
     fn huge_header_counts_error_not_panic() {
         // A corrupt vertex count near usize::MAX must not overflow the
-        // size checks or trigger a giant allocation.
+        // size checks or trigger a giant allocation — in either format.
+        for magic in [MAGIC_V1, MAGIC_V2] {
+            let mut buf = bytes::BytesMut::new();
+            buf.put_slice(magic);
+            buf.put_u64_le(u64::MAX);
+            buf.put_u8(0);
+            assert!(index_from_binary(buf.freeze()).is_err());
+        }
+        // A v2 header whose section table overflows any usize arithmetic.
         let mut buf = bytes::BytesMut::new();
-        buf.put_slice(MAGIC);
-        buf.put_u64_le(u64::MAX);
-        buf.put_u8(0);
+        buf.put_slice(MAGIC_V2);
+        buf.put_u64_le(u32::MAX as u64); // n
+        buf.put_u64_le(u64::MAX / 2); // m
+        buf.put_u64_le(0); // flags
+        for _ in 0..6 {
+            buf.put_u64_le(u64::MAX);
+        }
         assert!(index_from_binary(buf.freeze()).is_err());
     }
 
     #[test]
+    fn v2_rejects_bad_flags_and_section_lengths() {
+        let idx = build(20, 6);
+        let good = index_to_binary(&idx).to_vec();
+        // Unknown flag bit.
+        let mut tampered = good.clone();
+        tampered[24] = 2;
+        assert!(index_from_binary(Bytes::from(tampered)).is_err());
+        // Section-table entry disagreeing with (n, m, flags).
+        let mut tampered = good.clone();
+        tampered[32] ^= 0xFF;
+        assert!(index_from_binary(Bytes::from(tampered)).is_err());
+        // Vertex count past rank space.
+        let mut tampered = good;
+        tampered[8..16].copy_from_slice(&(u32::MAX as u64 + 2).to_le_bytes());
+        assert!(index_from_binary(Bytes::from(tampered)).is_err());
+    }
+
+    #[test]
+    fn v2_rejects_bad_offsets() {
+        let idx = build(20, 8);
+        let good = index_to_binary(&idx).to_vec();
+        // First offset must be 0.
+        let mut tampered = good.clone();
+        tampered[V2_HEADER_BYTES..V2_HEADER_BYTES + 8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(index_from_binary(Bytes::from(tampered)).is_err());
+        // Non-monotonic interior offset.
+        let mut tampered = good;
+        let second = V2_HEADER_BYTES + 8;
+        tampered[second..second + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(index_from_binary(Bytes::from(tampered)).is_err());
+    }
+
+    #[test]
     fn huge_label_count_errors_not_panic() {
-        // Valid empty-ish snapshot whose first label set claims u32::MAX
-        // entries.
+        // Valid empty-ish v1 snapshot whose first label set claims
+        // u32::MAX entries.
         let mut buf = bytes::BytesMut::new();
-        buf.put_slice(MAGIC);
+        buf.put_slice(MAGIC_V1);
         buf.put_u64_le(1);
         buf.put_u32_le(0); // order: single vertex 0
         buf.put_u8(0); // no weights
@@ -208,7 +532,7 @@ mod tests {
     #[test]
     fn bad_weights_flag_errors() {
         let mut buf = bytes::BytesMut::new();
-        buf.put_slice(MAGIC);
+        buf.put_slice(MAGIC_V1);
         buf.put_u64_le(1);
         buf.put_u32_le(0);
         buf.put_u8(9); // flag must be 0 or 1
@@ -220,7 +544,7 @@ mod tests {
         // Two entries for the same hub pass the hub <= rank check but
         // would trip LabelSet::from_entries' assert; must error instead.
         let mut buf = bytes::BytesMut::new();
-        buf.put_slice(MAGIC);
+        buf.put_slice(MAGIC_V1);
         buf.put_u64_le(1);
         buf.put_u32_le(0); // order: single vertex 0
         buf.put_u8(0); // no weights
@@ -236,7 +560,7 @@ mod tests {
     #[test]
     fn hub_ranked_below_owner_errors() {
         let mut buf = bytes::BytesMut::new();
-        buf.put_slice(MAGIC);
+        buf.put_slice(MAGIC_V1);
         buf.put_u64_le(2);
         buf.put_u32_le(0);
         buf.put_u32_le(1);
@@ -252,7 +576,7 @@ mod tests {
     #[test]
     fn rejects_bad_permutation() {
         let mut buf = bytes::BytesMut::new();
-        buf.put_slice(MAGIC);
+        buf.put_slice(MAGIC_V1);
         buf.put_u64_le(2);
         buf.put_u32_le(0);
         buf.put_u32_le(0); // duplicate

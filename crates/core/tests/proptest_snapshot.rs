@@ -1,0 +1,128 @@
+//! Property-based coverage of the snapshot formats ([`pspc_core::serialize`]):
+//! v2 round-trip identity, v1 ↔ v2 cross-format equality, and — the part
+//! hand-written cases tend to miss — that truncating or corrupting a
+//! snapshot at *arbitrary* positions (including every section boundary)
+//! errors instead of panicking or loading garbage.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use pspc_core::builder::build_pspc_with_order;
+use pspc_core::serialize::{index_from_binary, index_to_binary, index_to_binary_v1, Bytes};
+use pspc_core::{PspcConfig, SpcIndex};
+use pspc_graph::{Graph, GraphBuilder};
+use pspc_order::OrderingStrategy;
+
+/// Strategy: an arbitrary simple graph with up to `max_n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| GraphBuilder::new().num_vertices(n).edges(edges).build())
+    })
+}
+
+/// Builds a (possibly weighted) index for snapshot testing.
+fn build_index(g: &Graph, weighted: bool) -> SpcIndex {
+    let n = g.num_vertices();
+    let weights: Option<Vec<u64>> = weighted.then(|| (0..n as u64).map(|i| 1 + i % 3).collect());
+    let order = OrderingStrategy::Degree.compute(g);
+    build_pspc_with_order(g, order, weights.as_deref(), &PspcConfig::default()).0
+}
+
+/// The v2 header plus prefix sums of its six sections — every boundary a
+/// reader could mis-handle.
+fn v2_section_boundaries(idx: &SpcIndex) -> Vec<usize> {
+    let n = idx.num_vertices();
+    let m = idx.label_arena().num_entries();
+    let w = if idx.weights().is_some() { n * 8 } else { 0 };
+    let mut at = 80; // fixed header
+    let mut cuts = vec![0, 8, 32, at];
+    for len in [(n + 1) * 8, w, m * 8, n * 4, m * 4, m * 2] {
+        at += len;
+        cuts.push(at);
+    }
+    cuts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// v2 snapshots restore the order, arena and weights bit for bit.
+    #[test]
+    fn v2_round_trip_identity(g in arb_graph(36, 100), weighted in any::<bool>()) {
+        let idx = build_index(&g, weighted);
+        let restored = index_from_binary(index_to_binary(&idx)).unwrap();
+        prop_assert_eq!(idx.order(), restored.order());
+        prop_assert_eq!(idx.label_arena(), restored.label_arena());
+        prop_assert_eq!(idx.weights(), restored.weights());
+    }
+
+    /// A v1 snapshot and a v2 snapshot of the same index load to equal
+    /// indexes (and queries agree with the original).
+    #[test]
+    fn v1_v2_cross_format_equality(g in arb_graph(32, 90), weighted in any::<bool>()) {
+        let idx = build_index(&g, weighted);
+        let from_v1 = index_from_binary(index_to_binary_v1(&idx)).unwrap();
+        let from_v2 = index_from_binary(index_to_binary(&idx)).unwrap();
+        prop_assert_eq!(&from_v1, &from_v2);
+        let n = g.num_vertices() as u32;
+        for s in 0..n.min(8) {
+            for t in 0..n {
+                prop_assert_eq!(idx.query(s, t), from_v2.query(s, t));
+            }
+        }
+    }
+
+    /// Truncating a v2 snapshot anywhere — in particular at and around
+    /// every header/section boundary — errors, never panics, and never
+    /// loads as a shorter valid snapshot.
+    #[test]
+    fn v2_truncation_errors_at_every_boundary(
+        g in arb_graph(28, 70),
+        weighted in any::<bool>(),
+        jitter in 0usize..4,
+    ) {
+        let idx = build_index(&g, weighted);
+        let bin = index_to_binary(&idx);
+        for cut in v2_section_boundaries(&idx) {
+            for len in cut.saturating_sub(jitter)..=(cut + jitter).min(bin.len()) {
+                if len == bin.len() {
+                    continue;
+                }
+                prop_assert!(
+                    index_from_binary(bin.slice(..len)).is_err(),
+                    "truncation to {} bytes of {} accepted", len, bin.len()
+                );
+            }
+        }
+        // Extending past the exact length must be rejected too.
+        let mut extended = bin.to_vec();
+        extended.extend_from_slice(&[0; 3]);
+        prop_assert!(index_from_binary(Bytes::from(extended)).is_err());
+        prop_assert!(index_from_binary(bin).is_ok());
+    }
+
+    /// Flipping an arbitrary byte of either format must not panic: the
+    /// load either errors or yields an index that still passes full
+    /// structural validation (e.g. a flipped count byte is a different
+    /// but well-formed snapshot).
+    #[test]
+    fn corruption_never_panics(
+        g in arb_graph(24, 60),
+        weighted in any::<bool>(),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let idx = build_index(&g, weighted);
+        for bin in [index_to_binary(&idx), index_to_binary_v1(&idx)] {
+            let mut tampered = bin.to_vec();
+            let pos = (pos_seed % tampered.len() as u64) as usize;
+            tampered[pos] ^= flip;
+            if let Ok(loaded) = index_from_binary(Bytes::from(tampered)) {
+                prop_assert!(
+                    loaded.validate().is_ok(),
+                    "corrupt snapshot loaded without passing validation"
+                );
+            }
+        }
+    }
+}

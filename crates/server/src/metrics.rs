@@ -68,6 +68,11 @@ pub struct Metrics {
     rejected: AtomicU64,
     client_errors: AtomicU64,
     in_flight: AtomicU64,
+    /// Milliseconds spent loading the served snapshot (f64 bit pattern;
+    /// 0 until the loader records it).
+    index_load_ms: AtomicU64,
+    /// Label bytes of the served index.
+    label_bytes: AtomicU64,
     latency_ns: Mutex<LatencyRing>,
 }
 
@@ -80,6 +85,8 @@ impl Default for Metrics {
             rejected: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            index_load_ms: AtomicU64::new(0f64.to_bits()),
+            label_bytes: AtomicU64::new(0),
             latency_ns: Mutex::new(LatencyRing::new(RING_CAPACITY)),
         }
     }
@@ -124,6 +131,18 @@ impl Metrics {
         self.client_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records how long the served snapshot took to load (gauge; the
+    /// daemon sets `label_bytes` itself at startup, the CLI records the
+    /// wall-clock load it measured before handing the index over).
+    pub fn set_index_load_ms(&self, ms: f64) {
+        self.index_load_ms.store(ms.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records the label payload size of the served index (gauge).
+    pub fn set_label_bytes(&self, bytes: u64) {
+        self.label_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of every counter (gauges are racy by nature).
     pub fn snapshot(&self, queued_chunks: usize) -> MetricsSnapshot {
         let ring = self.latency_ns.lock();
@@ -135,6 +154,8 @@ impl Metrics {
             client_errors: self.client_errors.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             queued_chunks: queued_chunks as u64,
+            index_load_ms: f64::from_bits(self.index_load_ms.load(Ordering::Relaxed)),
+            label_bytes: self.label_bytes.load(Ordering::Relaxed),
             latency_samples: ring.len() as u64,
             p50_us: ring.percentile(0.50) as f64 / 1e3,
             p99_us: ring.percentile(0.99) as f64 / 1e3,
@@ -159,6 +180,10 @@ pub struct MetricsSnapshot {
     pub in_flight: u64,
     /// Work chunks waiting in the engine's submission queue.
     pub queued_chunks: u64,
+    /// Milliseconds the served snapshot took to load (0 if unrecorded).
+    pub index_load_ms: f64,
+    /// Label payload bytes of the served index.
+    pub label_bytes: u64,
     /// Latency samples in the ring.
     pub latency_samples: u64,
     /// Median request service latency, microseconds.
@@ -178,6 +203,8 @@ impl MetricsSnapshot {
              pspc_requests_bad_total {}\n\
              pspc_requests_in_flight {}\n\
              pspc_queue_chunks {}\n\
+             pspc_index_load_ms {:.2}\n\
+             pspc_index_label_bytes {}\n\
              pspc_latency_samples {}\n\
              pspc_request_latency_p50_us {:.2}\n\
              pspc_request_latency_p99_us {:.2}\n",
@@ -188,6 +215,8 @@ impl MetricsSnapshot {
             self.client_errors,
             self.in_flight,
             self.queued_chunks,
+            self.index_load_ms,
+            self.label_bytes,
             self.latency_samples,
             self.p50_us,
             self.p99_us,
@@ -225,6 +254,8 @@ mod tests {
         }
         m.record_rejected();
         m.record_client_error();
+        m.set_index_load_ms(12.5);
+        m.set_label_bytes(1234);
         let s = m.snapshot(7);
         assert_eq!(s.in_flight, 0);
         assert_eq!(s.served, 1);
@@ -232,9 +263,13 @@ mod tests {
         assert_eq!(s.rejected, 1);
         assert_eq!(s.client_errors, 1);
         assert_eq!(s.queued_chunks, 7);
+        assert_eq!(s.index_load_ms, 12.5);
+        assert_eq!(s.label_bytes, 1234);
         assert_eq!(s.latency_samples, 1);
         let text = s.render();
         assert!(text.contains("pspc_requests_served_total 1"));
+        assert!(text.contains("pspc_index_load_ms 12.50"));
+        assert!(text.contains("pspc_index_label_bytes 1234"));
         assert!(text.contains("pspc_request_latency_p50_us 5.00"));
     }
 }

@@ -61,9 +61,11 @@ pub fn serve(index: SpcIndex, addr: &str, engine_cfg: EngineConfig) -> io::Resul
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let num_vertices = index.num_vertices() as u32;
+    let metrics = Metrics::new();
+    metrics.set_label_bytes(index.stats().label_bytes as u64);
     let shared = Arc::new(Shared {
         engine: QueryEngine::with_config(index, engine_cfg),
-        metrics: Metrics::new(),
+        metrics,
         shutdown: AtomicBool::new(false),
         active_conns: AtomicUsize::new(0),
         num_vertices,
@@ -122,6 +124,13 @@ impl ServerHandle {
         self.shared
             .metrics
             .snapshot(self.shared.engine.queued_chunks())
+    }
+
+    /// Records how long the served snapshot took to load, surfacing it
+    /// as the `pspc_index_load_ms` gauge. The loader (e.g. `pspc serve`)
+    /// calls this right after [`serve`] with the wall-clock it measured.
+    pub fn record_index_load_ms(&self, ms: f64) {
+        self.shared.metrics.set_index_load_ms(ms);
     }
 
     /// Stops accepting, lets in-flight requests finish, drains the

@@ -160,14 +160,53 @@ struct Task {
 /// `(chunk index, answers, per-query nanoseconds)`.
 type Part = (usize, Vec<SpcAnswer>, Vec<u64>);
 
-fn worker_loop(index: Arc<SpcIndex>, rx: Receiver<Task>) {
+/// Recycler for the answer buffers that shuttle between workers and
+/// submitters.
+///
+/// Workers fill an owned `Vec<SpcAnswer>` per chunk and ship it through
+/// the reply channel; without reuse every chunk of every batch is a
+/// fresh allocation. The pool threads those buffers back through the
+/// batch path: the submitter returns each part's buffer after scattering
+/// its answers, and workers check buffers out (capacity intact) instead
+/// of allocating. Bounded so a burst of huge batches cannot pin memory
+/// forever.
+struct BufferPool {
+    free: Mutex<Vec<Vec<SpcAnswer>>>,
+    max: usize,
+}
+
+impl BufferPool {
+    fn new(max: usize) -> Self {
+        BufferPool {
+            free: Mutex::new(Vec::new()),
+            max,
+        }
+    }
+
+    /// Checks out an empty buffer, keeping whatever capacity it grew to.
+    fn take(&self) -> Vec<SpcAnswer> {
+        self.free.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer for reuse (dropped if the pool is full).
+    fn put(&self, mut buf: Vec<SpcAnswer>) {
+        buf.clear();
+        let mut free = self.free.lock();
+        if free.len() < self.max {
+            free.push(buf);
+        }
+    }
+}
+
+fn worker_loop(index: Arc<SpcIndex>, rx: Receiver<Task>, buffers: Arc<BufferPool>) {
     // recv() drains every queued chunk before reporting disconnect, so a
     // shutdown never drops admitted work.
     while let Ok(task) = rx.recv() {
         let slice = &task.batch[task.lo..task.hi];
-        let mut out = Vec::with_capacity(slice.len());
+        let mut out = buffers.take();
         let mut lat = Vec::new();
         if task.time_queries {
+            out.reserve(slice.len());
             lat.reserve(slice.len());
             for &(rs, rt) in slice {
                 let q0 = Instant::now();
@@ -200,6 +239,8 @@ pub struct QueryEngine {
     /// subsequent multi-chunk enqueue are atomic against other admitted
     /// submitters.
     submit_lock: Mutex<()>,
+    /// Recycled answer buffers shared by workers and submitters.
+    buffers: Arc<BufferPool>,
 }
 
 impl QueryEngine {
@@ -223,13 +264,18 @@ impl QueryEngine {
             cfg.queue_depth
         };
         let (tx, rx) = channel::bounded::<Task>(depth);
+        // Enough pooled buffers for every worker to hold one in flight
+        // plus a healthy margin of parts awaiting their submitter's
+        // scatter; beyond that, returns are dropped rather than hoarded.
+        let buffers = Arc::new(BufferPool::new(4 * workers + 16));
         let handles = (0..workers)
             .map(|i| {
                 let index = Arc::clone(&index);
                 let rx = rx.clone();
+                let buffers = Arc::clone(&buffers);
                 std::thread::Builder::new()
                     .name(format!("pspc-worker-{i}"))
-                    .spawn(move || worker_loop(index, rx))
+                    .spawn(move || worker_loop(index, rx, buffers))
                     .expect("spawning engine worker")
             })
             .collect();
@@ -239,6 +285,7 @@ impl QueryEngine {
             tx: Some(tx),
             handles,
             submit_lock: Mutex::new(()),
+            buffers,
         }
     }
 
@@ -434,6 +481,8 @@ impl QueryEngine {
             for (k, &a) in out.iter().enumerate() {
                 answers[order[lo + k] as usize] = a;
             }
+            // Thread the drained buffer back to the workers.
+            self.buffers.put(out);
             latencies.extend(lat);
         }
 
@@ -553,6 +602,23 @@ mod tests {
         let ps = pairs(10, 300, 9);
         let (_, report) = e.run_with_report(&ps);
         assert_eq!(report.workers, 1);
+    }
+
+    #[test]
+    fn buffer_pool_recycles_capacity_and_stays_bounded() {
+        let pool = BufferPool::new(2);
+        let mut b = pool.take();
+        b.reserve(100);
+        let cap = b.capacity();
+        b.push(SpcAnswer::UNREACHABLE);
+        pool.put(b);
+        let b2 = pool.take();
+        assert!(b2.is_empty(), "returned buffers must come back cleared");
+        assert!(b2.capacity() >= cap, "capacity must survive recycling");
+        for _ in 0..3 {
+            pool.put(Vec::with_capacity(1));
+        }
+        assert_eq!(pool.free.lock().len(), 2, "pool must stay bounded");
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn main() {
             match &reference {
                 None => reference = Some(idx),
                 Some(r) => {
-                    assert_eq!(r.label_sets(), idx.label_sets());
+                    assert_eq!(r.label_arena(), idx.label_arena());
                     println!("threads={threads} {paradigm:?}: identical index ✓");
                 }
             }

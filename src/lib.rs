@@ -44,8 +44,8 @@ pub use pspc_server as server;
 pub use pspc_service as service;
 
 pub use pspc_core::{
-    build_hpspc, build_pspc, BatchScratch, Count, IndexStats, LabelEntry, LabelSet, Paradigm,
-    PspcBuildStats, PspcConfig, ReducedIndex, SchedulePlan, SpcIndex,
+    build_hpspc, build_pspc, BatchScratch, Count, IndexStats, LabelArena, LabelEntry, LabelSet,
+    LabelView, Paradigm, PspcBuildStats, PspcConfig, ReducedIndex, SchedulePlan, SpcIndex,
 };
 pub use pspc_graph::{Graph, GraphBuilder, GraphStats, SpcAnswer, VertexId};
 pub use pspc_order::{OrderingStrategy, VertexOrder};

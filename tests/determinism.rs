@@ -40,8 +40,8 @@ fn full_configuration_matrix_is_deterministic() {
                     };
                     let idx = build(&g, &order, &cfg);
                     assert_eq!(
-                        reference.label_sets(),
-                        idx.label_sets(),
+                        reference.label_arena(),
+                        idx.label_arena(),
                         "t={threads} {}/{paradigm:?}/lm={landmarks}/bits={bitset}",
                         schedule.name()
                     );
@@ -65,7 +65,7 @@ fn road_network_configuration_matrix() {
                 ..PspcConfig::default()
             };
             let idx = build(&g, &order, &cfg);
-            assert_eq!(reference.label_sets(), idx.label_sets());
+            assert_eq!(reference.label_arena(), idx.label_arena());
         }
     }
 }

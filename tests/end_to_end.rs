@@ -63,8 +63,8 @@ fn hpspc_and_pspc_agree_on_all_orderings() {
         };
         let (par, _) = build_pspc_with_order(&g, order, None, &cfg);
         assert_eq!(
-            seq.label_sets(),
-            par.label_sets(),
+            seq.label_arena(),
+            par.label_arena(),
             "{}: ESPC must be unique given the order",
             strategy.name()
         );
@@ -107,7 +107,7 @@ fn graph_io_pipeline() {
     assert_eq!(g, g2);
     let (i1, _) = build_pspc(&g, &PspcConfig::default());
     let (i2, _) = build_pspc(&g2, &PspcConfig::default());
-    assert_eq!(i1.label_sets(), i2.label_sets());
+    assert_eq!(i1.label_arena(), i2.label_arena());
 }
 
 #[test]

@@ -36,8 +36,8 @@ proptest! {
     #[test]
     fn directed_espc_unique(g in arb_digraph(30, 160), lm in 0usize..6) {
         let (seq, par) = build_both(&g, lm);
-        prop_assert_eq!(seq.lin_sets(), par.lin_sets());
-        prop_assert_eq!(seq.lout_sets(), par.lout_sets());
+        prop_assert_eq!(seq.lin_arena(), par.lin_arena());
+        prop_assert_eq!(seq.lout_arena(), par.lout_arena());
     }
 
     /// Directed queries equal the forward counting-BFS oracle on all pairs.

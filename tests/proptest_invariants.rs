@@ -30,7 +30,7 @@ proptest! {
         let seq = build_hpspc_with_order(&g, order.clone(), None);
         let cfg = PspcConfig { ordering: strategy, num_landmarks: 5, ..PspcConfig::default() };
         let (par, _) = build_pspc_with_order(&g, order, None, &cfg);
-        prop_assert_eq!(seq.label_sets(), par.label_sets());
+        prop_assert_eq!(seq.label_arena(), par.label_arena());
     }
 
     /// Index queries equal the counting-BFS ground truth on ALL pairs.
@@ -100,6 +100,6 @@ proptest! {
         let (idx, _) = build_pspc(&g, &PspcConfig::default());
         let restored = index_from_binary(index_to_binary(&idx)).unwrap();
         prop_assert_eq!(idx.order(), restored.order());
-        prop_assert_eq!(idx.label_sets(), restored.label_sets());
+        prop_assert_eq!(idx.label_arena(), restored.label_arena());
     }
 }

@@ -54,8 +54,8 @@ fn large_build_matrix_deterministic() {
             };
             let (idx, _) = build_pspc_with_order(&g, order.clone(), None, &cfg);
             assert_eq!(
-                reference.label_sets(),
-                idx.label_sets(),
+                reference.label_arena(),
+                idx.label_arena(),
                 "threads={threads} paradigm={paradigm:?}"
             );
         }
@@ -75,7 +75,7 @@ fn large_grid_round_trips() {
     };
     let (idx, _) = build_pspc(&g, &cfg);
     let restored = index_from_binary(index_to_binary(&idx)).unwrap();
-    assert_eq!(idx.label_sets(), restored.label_sets());
+    assert_eq!(idx.label_arena(), restored.label_arena());
     let (dist, counts) = spc_from_source(&g, 0);
     for t in 0..g.num_vertices() as u32 {
         let ans = restored.query(0, t);

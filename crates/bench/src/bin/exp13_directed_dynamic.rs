@@ -1,0 +1,10 @@
+//! Extension experiment: directed batch serving and dynamic
+//! insert-vs-query interleaving through the `IndexKind` engine. Emits
+//! `[exp13-json]` lines for BENCH_*.json trajectories.
+
+use pspc_bench::experiments::exp13_directed_dynamic;
+use pspc_bench::ExpOptions;
+
+fn main() {
+    exp13_directed_dynamic(&ExpOptions::from_args());
+}

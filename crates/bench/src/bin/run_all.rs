@@ -29,5 +29,6 @@ fn main() {
     exp10_service_throughput(&opt);
     exp11_daemon_throughput(&opt);
     exp12_snapshot(&opt);
+    exp13_directed_dynamic(&opt);
     eprintln!("full evaluation complete");
 }

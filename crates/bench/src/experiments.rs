@@ -867,6 +867,173 @@ pub fn exp12_snapshot(opt: &ExpOptions) {
     );
 }
 
+// ---------------------------------------- Directed + dynamic service
+
+/// Held-out edges replayed as live insertions in the dynamic leg.
+const EXP13_INSERTS: usize = 48;
+/// Concurrent query threads hammering the engine while inserts land.
+const EXP13_QUERY_THREADS: usize = 2;
+/// Pairs per query batch in the interleaving run.
+const EXP13_BATCH: usize = 512;
+
+/// Extension experiment: **directed and dynamic index serving** through
+/// the one `IndexKind` engine interface.
+///
+/// Directed leg: a random orientation of the dataset, `Lin`/`Lout`
+/// batch queries on the worker pool vs the sequential directed
+/// reference (answers asserted bit-identical). Dynamic leg: the dataset
+/// is built with [`EXP13_INSERTS`] edges held out, then those edges are
+/// replayed as live [`pspc_service::QueryEngine::apply_inserts`] calls while
+/// [`EXP13_QUERY_THREADS`] threads keep issuing query batches — the
+/// write-lock insert path against a draining read side. Reports insert
+/// latency percentiles and the query throughput sustained *during* the
+/// interleaving, and verifies post-insert engine answers against a
+/// fresh build on the full graph. Emits one `[exp13-json]` line per
+/// dataset for BENCH_*.json trajectories.
+pub fn exp13_directed_dynamic(opt: &ExpOptions) {
+    use pspc_core::directed::pspc::{build_di_pspc, DiPspcConfig};
+    use pspc_core::DynamicDistanceIndex;
+    use pspc_graph::digraph::random_orientation;
+    use pspc_graph::{GraphBuilder, SpcAnswer};
+    use pspc_service::bench::percentile_nanos;
+    use pspc_service::{EngineConfig, QueryEngine};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let mut rows = Vec::new();
+    for d in selected(opt, &["FB"]) {
+        let g = d.generate(opt.scale);
+        let pairs = random_pairs(&g, opt.queries, 0xD13);
+        let engine_cfg = EngineConfig {
+            workers: opt.threads,
+            ..EngineConfig::default()
+        };
+
+        // Directed: engine-over-Lin/Lout vs the sequential reference.
+        let dg = random_orientation(&g, 0.25, 0xD13);
+        let di = build_di_pspc(
+            &dg,
+            &DiPspcConfig {
+                threads: opt.threads,
+                ..DiPspcConfig::default()
+            },
+        );
+        let (expect, t_dir_seq) = time(|| di.query_batch_sequential(&pairs));
+        let engine = QueryEngine::with_kind(di, engine_cfg);
+        let _ = engine.run(&pairs[..pairs.len().min(1000)]); // warmup
+        let (answers, t_dir_engine) = time(|| engine.run(&pairs));
+        assert_eq!(answers, expect, "{}: directed engine diverges", d.code);
+        drop(engine);
+
+        // Dynamic: hold out the tail of the edge list, rebuild, then
+        // replay the held-out edges as live inserts under query load.
+        let all_edges: Vec<(u32, u32)> = g.edges().collect();
+        let held_out = EXP13_INSERTS.min(all_edges.len() / 2);
+        let (initial, inserts) = all_edges.split_at(all_edges.len() - held_out);
+        let g0 = GraphBuilder::new()
+            .num_vertices(g.num_vertices())
+            .edges(initial.to_vec())
+            .build();
+        let dyn_idx = DynamicDistanceIndex::build(&g0, OrderingStrategy::Degree);
+        let engine = QueryEngine::with_kind(dyn_idx, engine_cfg);
+
+        let stop = AtomicBool::new(false);
+        let queries_done = AtomicUsize::new(0);
+        let mut insert_ns: Vec<u64> = Vec::with_capacity(inserts.len());
+        let ((), t_interleave) = time(|| {
+            std::thread::scope(|s| {
+                for t in 0..EXP13_QUERY_THREADS {
+                    let (engine, pairs, stop, queries_done) =
+                        (&engine, &pairs, &stop, &queries_done);
+                    s.spawn(move || {
+                        let mut at = (t * EXP13_BATCH) % pairs.len().max(1);
+                        // Do-while: at least one batch per thread, so the
+                        // inserts always contend with live queries even
+                        // when the insert stream drains in microseconds.
+                        loop {
+                            let hi = (at + EXP13_BATCH).min(pairs.len());
+                            let batch = &pairs[at..hi];
+                            let _ = engine.run(batch);
+                            queries_done.fetch_add(batch.len(), Ordering::Relaxed);
+                            at = if hi == pairs.len() { 0 } else { hi };
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                    });
+                }
+                for &(u, v) in inserts {
+                    let t0 = std::time::Instant::now();
+                    engine
+                        .apply_inserts(&[(u, v)])
+                        .expect("dynamic engine accepts inserts");
+                    insert_ns.push(t0.elapsed().as_nanos() as u64);
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+        let interleaved_qps = queries_done.load(Ordering::Relaxed) as f64 / t_interleave.max(1e-9);
+
+        // Post-insert answers must equal a fresh build on the full graph.
+        let full = DynamicDistanceIndex::build(&g, OrderingStrategy::Degree);
+        let sample = &pairs[..pairs.len().min(2000)];
+        let want: Vec<SpcAnswer> = sample
+            .iter()
+            .map(|&(s, t)| pspc_service::kind::dyn_answer(full.distance(s, t)))
+            .collect();
+        assert_eq!(
+            engine.run(sample),
+            want,
+            "{}: post-insert engine diverges from a fresh build",
+            d.code
+        );
+
+        let insert_p50 = percentile_nanos(&mut insert_ns, 0.50);
+        let insert_p99 = percentile_nanos(&mut insert_ns, 0.99);
+        let qps = |secs: f64| format!("{:.0}", pairs.len() as f64 / secs.max(1e-9));
+        rows.push(vec![
+            d.code.to_string(),
+            qps(t_dir_seq),
+            qps(t_dir_engine),
+            format!("{:.2}", t_dir_seq / t_dir_engine.max(1e-9)),
+            format!("{}", inserts.len()),
+            format!("{:.0}", insert_p50 as f64 / 1e3),
+            format!("{:.0}", insert_p99 as f64 / 1e3),
+            format!("{interleaved_qps:.0}"),
+        ]);
+        println!(
+            "[exp13-json] {{\"experiment\":\"exp13_directed_dynamic\",\"dataset\":\"{}\",\
+             \"dir_seq_qps\":{:.0},\"dir_engine_qps\":{:.0},\"inserts\":{},\
+             \"insert_p50_us\":{:.1},\"insert_p99_us\":{:.1},\"interleaved_qps\":{:.0}}}",
+            d.code,
+            pairs.len() as f64 / t_dir_seq.max(1e-9),
+            pairs.len() as f64 / t_dir_engine.max(1e-9),
+            inserts.len(),
+            insert_p50 as f64 / 1e3,
+            insert_p99 as f64 / 1e3,
+            interleaved_qps,
+        );
+        eprintln!(
+            "[exp13] {} done (directed engine {t_dir_engine:.3}s, {} inserts interleaved)",
+            d.code,
+            inserts.len()
+        );
+    }
+    print_table(
+        "Exp 13: directed batch serving and dynamic insert-vs-query interleaving",
+        &[
+            "Dataset",
+            "dir seq q/s",
+            "dir engine q/s",
+            "speedup",
+            "inserts",
+            "ins p50 us",
+            "ins p99 us",
+            "interleaved q/s",
+        ],
+        &rows,
+    );
+}
+
 /// Convenience used by tests and `run_all`: a graph for quick smoke runs.
 pub fn smoke_graph() -> Graph {
     DatasetSpec::by_code("FB").unwrap().generate(0.05)
@@ -932,6 +1099,19 @@ mod tests {
         // bit-identical internally; timings are reported, not asserted
         // (the ≥5x load criterion is checked by the release-mode run).
         exp12_snapshot(&opt);
+    }
+
+    #[test]
+    fn directed_dynamic_experiment_smoke() {
+        let opt = ExpOptions {
+            scale: 0.05,
+            queries: 2000,
+            datasets: vec!["FB".into()],
+            ..ExpOptions::default()
+        };
+        // Asserts directed engine == sequential reference and that the
+        // post-insert dynamic engine equals a fresh full-graph build.
+        exp13_directed_dynamic(&opt);
     }
 
     #[test]

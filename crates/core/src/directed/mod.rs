@@ -71,6 +71,67 @@ impl DiSpcIndex {
         }
     }
 
+    /// Assembles an index from already-flat arenas (the snapshot load
+    /// path — builders go through [`DiSpcIndex::new`]). Statistics are
+    /// recomputed from the arenas.
+    pub fn from_arenas(
+        order: VertexOrder,
+        lin: LabelArena,
+        lout: LabelArena,
+        mut stats: IndexStats,
+    ) -> Self {
+        assert_eq!(order.len(), lin.num_vertices(), "one in-row per vertex");
+        assert_eq!(order.len(), lout.num_vertices(), "one out-row per vertex");
+        stats.total_entries = lin.num_entries() + lout.num_entries();
+        stats.label_bytes = lin.size_bytes() + lout.size_bytes();
+        stats.max_label_size = lin
+            .views()
+            .chain(lout.views())
+            .map(|v| v.len())
+            .max()
+            .unwrap_or(0);
+        stats.avg_label_size = if lin.num_vertices() == 0 {
+            0.0
+        } else {
+            stats.total_entries as f64 / (2 * lin.num_vertices()) as f64
+        };
+        DiSpcIndex {
+            order,
+            lin,
+            lout,
+            stats,
+        }
+    }
+
+    /// Structural sanity check of both directions (mirrors
+    /// [`crate::SpcIndex::validate`]): hubs strictly sorted and ranked
+    /// above their owner, self label `(r, 0, 1)` present, no zero counts.
+    pub fn validate(&self) -> Result<(), String> {
+        for (side, arena) in [("lin", &self.lin), ("lout", &self.lout)] {
+            for (r, ls) in arena.views().enumerate() {
+                let r = r as u32;
+                if ls.hubs().windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(format!("{side} rank {r}: hubs not strictly sorted"));
+                }
+                match ls.hubs().last() {
+                    Some(&h) if h == r => {}
+                    _ => return Err(format!("{side} rank {r}: missing self label")),
+                }
+                let i = ls.len() - 1;
+                if ls.dists()[i] != 0 || ls.counts()[i] != 1 {
+                    return Err(format!("{side} rank {r}: self label must be (r, 0, 1)"));
+                }
+                if ls.hubs().iter().any(|&h| h > r) {
+                    return Err(format!("{side} rank {r}: hub ranked below owner"));
+                }
+                if ls.counts().contains(&0) {
+                    return Err(format!("{side} rank {r}: zero-count entry"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of vertices covered.
     pub fn num_vertices(&self) -> usize {
         self.lin.num_vertices()
@@ -113,12 +174,29 @@ impl DiSpcIndex {
 
     /// Directed `SPC(s → t)` for original vertex ids.
     pub fn query(&self, s: VertexId, t: VertexId) -> SpcAnswer {
-        if s == t {
+        self.query_ranks(self.order.rank_of(s), self.order.rank_of(t))
+    }
+
+    /// Directed `SPC` between two ranks (`rs` the source's rank, `rt` the
+    /// target's): scans `Lout(rs) ∩ Lin(rt)`.
+    pub fn query_ranks(&self, rs: u32, rt: u32) -> SpcAnswer {
+        if rs == rt {
             return SpcAnswer { dist: 0, count: 1 };
         }
-        let rs = self.order.rank_of(s);
-        let rt = self.order.rank_of(t);
         query_label_sets(self.lout.view(rs), self.lin.view(rt), rs, rt, None)
+    }
+
+    /// Rank-space batch evaluation into a caller-owned buffer (the
+    /// directed analogue of [`crate::SpcIndex::query_rank_batch_into`];
+    /// same contract: `out` is cleared and refilled index-aligned).
+    pub fn query_rank_batch_into(&self, rank_pairs: &[(u32, u32)], out: &mut Vec<SpcAnswer>) {
+        out.clear();
+        out.extend(rank_pairs.iter().map(|&(rs, rt)| self.query_ranks(rs, rt)));
+    }
+
+    /// Sequential batch evaluation (the parity-test reference).
+    pub fn query_batch_sequential(&self, pairs: &[(VertexId, VertexId)]) -> Vec<SpcAnswer> {
+        pairs.iter().map(|&(s, t)| self.query(s, t)).collect()
     }
 
     /// Directed distance only.

@@ -64,6 +64,55 @@ impl DynamicDistanceIndex {
         idx
     }
 
+    /// Reassembles an index from its persisted parts (the snapshot load
+    /// path — see `PSPCDYN2` in [`crate::serialize`]). Validates every
+    /// structural invariant the query and insert paths rely on, so
+    /// corrupt input errors here instead of panicking later.
+    pub fn from_raw(
+        order: VertexOrder,
+        adj: Vec<Vec<u32>>,
+        labels: Vec<Vec<(u32, u16)>>,
+    ) -> Result<Self, String> {
+        let n = order.len();
+        if adj.len() != n || labels.len() != n {
+            return Err("adjacency/label row counts disagree with the order".into());
+        }
+        for (r, row) in adj.iter().enumerate() {
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("rank {r}: adjacency not strictly sorted"));
+            }
+            for &w in row {
+                if w as usize >= n {
+                    return Err(format!("rank {r}: neighbor {w} out of range"));
+                }
+                if w as usize == r {
+                    return Err(format!("rank {r}: self loop"));
+                }
+                if adj[w as usize].binary_search(&(r as u32)).is_err() {
+                    return Err(format!("rank {r}: edge to {w} not symmetric"));
+                }
+            }
+        }
+        for (r, row) in labels.iter().enumerate() {
+            if row.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(format!("rank {r}: label hubs not strictly sorted"));
+            }
+            if row.iter().any(|&(h, _)| h as usize > r) {
+                return Err(format!("rank {r}: hub ranked below owner"));
+            }
+            match row.last() {
+                Some(&(h, 0)) if h as usize == r => {}
+                _ => return Err(format!("rank {r}: missing (r, 0) self entry")),
+            }
+        }
+        Ok(DynamicDistanceIndex {
+            order,
+            adj,
+            labels,
+            updated_entries: 0,
+        })
+    }
+
     /// Number of vertices covered.
     pub fn num_vertices(&self) -> usize {
         self.labels.len()
@@ -74,6 +123,27 @@ impl DynamicDistanceIndex {
         self.labels.iter().map(Vec::len).sum()
     }
 
+    /// Undirected edges currently in the maintained adjacency.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The vertex order the index was built under.
+    pub fn order(&self) -> &VertexOrder {
+        &self.order
+    }
+
+    /// Rank-space sorted adjacency of the vertex holding `rank`.
+    pub fn adj_of_rank(&self, rank: u32) -> &[u32] {
+        &self.adj[rank as usize]
+    }
+
+    /// Rank-space `(hub, dist)` label row of the vertex holding `rank`,
+    /// sorted by hub.
+    pub fn labels_of_rank(&self, rank: u32) -> &[(u32, u16)] {
+        &self.labels[rank as usize]
+    }
+
     /// Entries added or tightened by [`DynamicDistanceIndex::insert_edge`].
     pub fn updated_entries(&self) -> usize {
         self.updated_entries
@@ -82,7 +152,13 @@ impl DynamicDistanceIndex {
     /// Exact shortest distance between original vertices, `None` if
     /// disconnected.
     pub fn distance(&self, s: VertexId, t: VertexId) -> Option<u16> {
-        let (rs, rt) = (self.order.rank_of(s), self.order.rank_of(t));
+        self.distance_ranks(self.order.rank_of(s), self.order.rank_of(t))
+    }
+
+    /// Rank-space variant of [`DynamicDistanceIndex::distance`] for
+    /// callers (the `pspc_service` engine) that translate ids to ranks
+    /// once per batch.
+    pub fn distance_ranks(&self, rs: u32, rt: u32) -> Option<u16> {
         if rs == rt {
             return Some(0);
         }
@@ -103,18 +179,20 @@ impl DynamicDistanceIndex {
         (best != u32::MAX).then(|| best.min(u16::MAX as u32) as u16)
     }
 
-    /// Inserts the undirected edge `(u, v)` (original ids) and repairs the
-    /// labeling: each hub of either endpoint resumes its pruned BFS across
-    /// the new edge. Duplicate insertions are ignored.
-    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) {
+    /// Inserts the undirected edge `(u, v)` (original ids, which must be
+    /// `< num_vertices`) and repairs the labeling: each hub of either
+    /// endpoint resumes its pruned BFS across the new edge. Duplicate and
+    /// self-loop insertions are ignored. Returns whether a new edge was
+    /// actually added.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
         if u == v {
-            return;
+            return false;
         }
         let (ru, rv) = (self.order.rank_of(u), self.order.rank_of(v));
         if let Err(pos) = self.adj[ru as usize].binary_search(&rv) {
             self.adj[ru as usize].insert(pos, rv);
         } else {
-            return; // already present
+            return false; // already present
         }
         if let Err(pos) = self.adj[rv as usize].binary_search(&ru) {
             self.adj[rv as usize].insert(pos, ru);
@@ -131,6 +209,7 @@ impl DynamicDistanceIndex {
         for &(h, dh) in &hubs_v {
             self.resume_bfs(h, &[(ru, dh.saturating_add(1))], &mut scratch);
         }
+        true
     }
 
     /// Adds or tightens the entry `(hub, d)` on rank `r`. Returns whether
@@ -256,9 +335,46 @@ mod tests {
         let g = GraphBuilder::new().edges([(0, 1), (1, 2)]).build();
         let mut idx = DynamicDistanceIndex::build(&g, OrderingStrategy::Degree);
         let before = idx.num_entries();
-        idx.insert_edge(0, 1);
-        idx.insert_edge(1, 1);
+        assert!(!idx.insert_edge(0, 1));
+        assert!(!idx.insert_edge(1, 1));
         assert_eq!(idx.num_entries(), before);
+        assert!(idx.insert_edge(0, 2));
+        assert_eq!(idx.num_edges(), 3);
+    }
+
+    #[test]
+    fn from_raw_round_trips_and_validates() {
+        let g = erdos_renyi(30, 60, 11);
+        let idx = DynamicDistanceIndex::build(&g, OrderingStrategy::Degree);
+        let n = idx.num_vertices() as u32;
+        let adj: Vec<Vec<u32>> = (0..n).map(|r| idx.adj_of_rank(r).to_vec()).collect();
+        let labels: Vec<Vec<(u32, u16)>> = (0..n).map(|r| idx.labels_of_rank(r).to_vec()).collect();
+        let rebuilt =
+            DynamicDistanceIndex::from_raw(idx.order().clone(), adj.clone(), labels.clone())
+                .unwrap();
+        check_all_distances(&rebuilt, &g);
+
+        // Row-count mismatch.
+        assert!(DynamicDistanceIndex::from_raw(
+            idx.order().clone(),
+            adj[1..].to_vec(),
+            labels.clone()
+        )
+        .is_err());
+        // Asymmetric adjacency.
+        let mut bad_adj = adj.clone();
+        if let Some(&w) = bad_adj[0].first() {
+            let pos = bad_adj[w as usize].binary_search(&0).unwrap();
+            bad_adj[w as usize].remove(pos);
+            assert!(
+                DynamicDistanceIndex::from_raw(idx.order().clone(), bad_adj, labels.clone())
+                    .is_err()
+            );
+        }
+        // Missing self entry.
+        let mut bad_labels = labels.clone();
+        bad_labels[0].pop();
+        assert!(DynamicDistanceIndex::from_raw(idx.order().clone(), adj, bad_labels).is_err());
     }
 
     #[test]

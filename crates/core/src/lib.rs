@@ -40,8 +40,14 @@ pub mod scratch;
 pub mod serialize;
 
 pub use builder::{build_pspc, Paradigm, PspcBuildStats, PspcConfig, SchedulePlan};
+pub use directed::DiSpcIndex;
+pub use dynamic::DynamicDistanceIndex;
 pub use hpspc::build_hpspc;
 pub use label::{Count, IndexStats, LabelArena, LabelEntry, LabelSet, LabelView, SpcIndex};
 pub use query::BatchScratch;
 pub use reduce::ReducedIndex;
-pub use serialize::{index_from_binary, index_to_binary, index_to_binary_v1, snapshot_size};
+pub use serialize::{
+    any_index_from_binary, di_index_from_binary, di_index_to_binary, dyn_index_from_binary,
+    dyn_index_to_binary, index_from_binary, index_to_binary, index_to_binary_v1,
+    snapshot_kind_name, snapshot_size, SnapshotKind,
+};

@@ -51,7 +51,57 @@
 //!
 //! [`index_to_binary`] computes the exact byte size up front and
 //! serializes into a single pre-sized allocation (no reallocation).
+//!
+//! # Directed and dynamic snapshots
+//!
+//! The directed [`DiSpcIndex`] and the insertion-only
+//! [`DynamicDistanceIndex`] persist with the same header-plus-aligned-
+//! bulk-sections discipline as v2, each under its own magic so a loader
+//! can tell the kinds apart from the first eight bytes
+//! ([`snapshot_kind_name`]); [`any_index_from_binary`] dispatches on the
+//! magic and returns a [`SnapshotKind`].
+//!
+//! **`PSPCDIR2`** (directed, [`di_index_to_binary`]) — a 112-byte header
+//! (`magic`, `n`, `m_in`, `m_out`, `flags = 0`, nine `u64` section
+//! lengths) followed by nine sections in descending element alignment:
+//!
+//! | # | section       | element | length (bytes)  |
+//! |--:|---------------|---------|-----------------|
+//! | 0 | `offsets_in`  | `u64`   | `(n + 1) * 8`   |
+//! | 1 | `offsets_out` | `u64`   | `(n + 1) * 8`   |
+//! | 2 | `counts_in`   | `u64`   | `m_in * 8`      |
+//! | 3 | `counts_out`  | `u64`   | `m_out * 8`     |
+//! | 4 | `order`       | `u32`   | `n * 4`         |
+//! | 5 | `hubs_in`     | `u32`   | `m_in * 4`      |
+//! | 6 | `hubs_out`    | `u32`   | `m_out * 4`     |
+//! | 7 | `dists_in`    | `u16`   | `m_in * 2`      |
+//! | 8 | `dists_out`   | `u16`   | `m_out * 2`     |
+//!
+//! **`PSPCDYN2`** (dynamic, [`dyn_index_to_binary`]) — an 88-byte header
+//! (`magic`, `n`, `m` label entries, `a` adjacency entries, `flags = 0`,
+//! six `u64` section lengths) followed by six sections: the maintained
+//! rank-space adjacency as CSR (`adj_offsets`, `adj`) and the `(hub,
+//! dist)` label rows as CSR (`lab_offsets`, `hubs`, `dists`) plus the
+//! `order` array. Counts are not persisted because the dynamic index
+//! maintains distances only (see [`crate::dynamic`]); the
+//! `updated_entries` statistic resets to 0 on load.
+//!
+//! | # | section       | element | length (bytes)  |
+//! |--:|---------------|---------|-----------------|
+//! | 0 | `adj_offsets` | `u64`   | `(n + 1) * 8`   |
+//! | 1 | `lab_offsets` | `u64`   | `(n + 1) * 8`   |
+//! | 2 | `order`       | `u32`   | `n * 4`         |
+//! | 3 | `adj`         | `u32`   | `a * 4`         |
+//! | 4 | `hubs`        | `u32`   | `m * 4`         |
+//! | 5 | `dists`       | `u16`   | `m * 2`         |
+//!
+//! Both headers are multiples of 8 bytes, both readers verify the
+//! section table against the header counts (rejecting truncation and
+//! trailing bytes exactly like v2), and both loaded indexes pass the
+//! kind's structural validation, so corrupt input errors — never panics.
 
+use crate::directed::DiSpcIndex;
+use crate::dynamic::DynamicDistanceIndex;
 use crate::label::{IndexStats, LabelArena, LabelEntry, LabelSet, SpcIndex};
 use bytes::{Buf, BufMut, BytesMut};
 // Re-exported so downstream users of the snapshot API don't need a direct
@@ -62,8 +112,14 @@ use std::io;
 
 const MAGIC_V1: &[u8; 8] = b"PSPCIDX1";
 const MAGIC_V2: &[u8; 8] = b"PSPCIDX2";
+const MAGIC_DIR: &[u8; 8] = b"PSPCDIR2";
+const MAGIC_DYN: &[u8; 8] = b"PSPCDYN2";
 /// Bytes before the first v2 section: magic + n + m + flags + 6 lengths.
 const V2_HEADER_BYTES: usize = 8 + 8 + 8 + 8 + 6 * 8;
+/// Directed header: magic + n + m_in + m_out + flags + 9 lengths.
+const DIR_HEADER_BYTES: usize = 8 + 8 + 8 + 8 + 8 + 9 * 8;
+/// Dynamic header: magic + n + m + a + flags + 6 lengths.
+const DYN_HEADER_BYTES: usize = 8 + 8 + 8 + 8 + 8 + 6 * 8;
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
@@ -358,14 +414,340 @@ fn index_from_binary_v1(mut data: Bytes) -> io::Result<SpcIndex> {
     Ok(idx)
 }
 
-/// Deserializes a snapshot in either format, dispatching on the magic:
-/// current v2 files take the bulk-section load path, legacy v1 files the
-/// per-entry parse.
+/// Deserializes an **undirected** snapshot in either format, dispatching
+/// on the magic: current v2 files take the bulk-section load path, legacy
+/// v1 files the per-entry parse. Directed/dynamic snapshots are refused
+/// with a pointer to [`any_index_from_binary`].
 pub fn index_from_binary(data: Bytes) -> io::Result<SpcIndex> {
     if data.len() >= 8 && &data[..8] == MAGIC_V2 {
         index_from_binary_v2(data)
+    } else if data.len() >= 8 && (&data[..8] == MAGIC_DIR || &data[..8] == MAGIC_DYN) {
+        Err(bad(
+            "snapshot holds a directed/dynamic index; load it with any_index_from_binary",
+        ))
     } else {
         index_from_binary_v1(data)
+    }
+}
+
+// ---------------------------------------------------------------- directed
+
+/// Exact `PSPCDIR2` snapshot size in bytes for `idx`. Derived from
+/// [`dir_section_lengths`] so the size and the writer cannot drift.
+pub fn di_snapshot_size(idx: &DiSpcIndex) -> usize {
+    let n = idx.num_vertices() as u128;
+    let m_in = idx.lin_arena().num_entries() as u128;
+    let m_out = idx.lout_arena().num_entries() as u128;
+    DIR_HEADER_BYTES + dir_section_lengths(n, m_in, m_out).iter().sum::<u128>() as usize
+}
+
+/// Serializes a directed index as a `PSPCDIR2` snapshot (exact-size
+/// single allocation, bulk section writes — see the [module docs](self)
+/// for the layout).
+pub fn di_index_to_binary(idx: &DiSpcIndex) -> Bytes {
+    let (lin, lout) = (idx.lin_arena(), idx.lout_arena());
+    let n = idx.num_vertices();
+    let (m_in, m_out) = (lin.num_entries(), lout.num_entries());
+    let total = di_snapshot_size(idx);
+    let mut buf: Vec<u8> = Vec::with_capacity(total);
+    buf.put_slice(MAGIC_DIR);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m_in as u64);
+    buf.put_u64_le(m_out as u64);
+    buf.put_u64_le(0); // flags
+    for len in dir_section_lengths(n as u128, m_in as u128, m_out as u128) {
+        buf.put_u64_le(len as u64);
+    }
+    put_u64s(&mut buf, lin.offsets());
+    put_u64s(&mut buf, lout.offsets());
+    put_u64s(&mut buf, lin.counts());
+    put_u64s(&mut buf, lout.counts());
+    put_u32s(&mut buf, idx.order().order());
+    put_u32s(&mut buf, lin.hubs());
+    put_u32s(&mut buf, lout.hubs());
+    put_u16s(&mut buf, lin.dists());
+    put_u16s(&mut buf, lout.dists());
+    debug_assert_eq!(buf.len(), total, "directed size accounting must be exact");
+    Bytes::from(buf)
+}
+
+/// The nine `PSPCDIR2` section lengths determined by `(n, m_in, m_out)`,
+/// in file order (u128 so corrupt header counts cannot overflow checks).
+fn dir_section_lengths(n: u128, m_in: u128, m_out: u128) -> [u128; 9] {
+    [
+        (n + 1) * 8,
+        (n + 1) * 8,
+        m_in * 8,
+        m_out * 8,
+        n * 4,
+        m_in * 4,
+        m_out * 4,
+        m_in * 2,
+        m_out * 2,
+    ]
+}
+
+/// Deserializes a `PSPCDIR2` snapshot.
+pub fn di_index_from_binary(data: Bytes) -> io::Result<DiSpcIndex> {
+    if data.len() < 8 || &data[..8] != MAGIC_DIR {
+        return Err(bad("not a directed PSPC snapshot"));
+    }
+    if data.len() < DIR_HEADER_BYTES {
+        return Err(bad("truncated directed header"));
+    }
+    let mut hdr = data.slice(8..DIR_HEADER_BYTES);
+    let n64 = hdr.get_u64_le();
+    let m_in64 = hdr.get_u64_le();
+    let m_out64 = hdr.get_u64_le();
+    if hdr.get_u64_le() != 0 {
+        return Err(bad("unknown directed flags"));
+    }
+    if n64 > u32::MAX as u64 + 1 {
+        return Err(bad("vertex count exceeds rank space"));
+    }
+    let expect = dir_section_lengths(n64 as u128, m_in64 as u128, m_out64 as u128);
+    let mut total = DIR_HEADER_BYTES as u128;
+    for (i, &want) in expect.iter().enumerate() {
+        if hdr.get_u64_le() as u128 != want {
+            return Err(bad(&format!("section {i} length disagrees with header")));
+        }
+        total += want;
+    }
+    if data.len() as u128 != total {
+        return Err(bad(if (data.len() as u128) < total {
+            "truncated directed section data"
+        } else {
+            "trailing bytes after directed sections"
+        }));
+    }
+    let mut at = DIR_HEADER_BYTES;
+    let mut section = |len: u128| {
+        let lo = at;
+        at += len as usize;
+        data.slice(lo..at)
+    };
+    let offsets_in = get_u64s(&section(expect[0]));
+    let offsets_out = get_u64s(&section(expect[1]));
+    let counts_in = get_u64s(&section(expect[2]));
+    let counts_out = get_u64s(&section(expect[3]));
+    let order_vec = get_u32s(&section(expect[4]));
+    let hubs_in = get_u32s(&section(expect[5]));
+    let hubs_out = get_u32s(&section(expect[6]));
+    let dists_in = get_u16s(&section(expect[7]));
+    let dists_out = get_u16s(&section(expect[8]));
+
+    let order = validate_order(order_vec)?;
+    let lin = LabelArena::from_raw(offsets_in, hubs_in, dists_in, counts_in)
+        .map_err(|e| bad(&format!("bad in-label arena: {e}")))?;
+    let lout = LabelArena::from_raw(offsets_out, hubs_out, dists_out, counts_out)
+        .map_err(|e| bad(&format!("bad out-label arena: {e}")))?;
+    if lin.num_vertices() != order.len() || lout.num_vertices() != order.len() {
+        return Err(bad("label row counts disagree with the order"));
+    }
+    let idx = DiSpcIndex::from_arenas(order, lin, lout, IndexStats::default());
+    idx.validate()
+        .map_err(|e| bad(&format!("snapshot fails validation: {e}")))?;
+    Ok(idx)
+}
+
+// ----------------------------------------------------------------- dynamic
+
+/// Exact `PSPCDYN2` snapshot size in bytes for `idx`. Derived from
+/// [`dyn_section_lengths`] so the size and the writer cannot drift.
+pub fn dyn_snapshot_size(idx: &DynamicDistanceIndex) -> usize {
+    let n = idx.num_vertices() as u128;
+    let m = idx.num_entries() as u128;
+    let a = 2 * idx.num_edges() as u128;
+    DYN_HEADER_BYTES + dyn_section_lengths(n, m, a).iter().sum::<u128>() as usize
+}
+
+/// The six `PSPCDYN2` section lengths determined by `(n, m, a)`.
+fn dyn_section_lengths(n: u128, m: u128, a: u128) -> [u128; 6] {
+    [(n + 1) * 8, (n + 1) * 8, n * 4, a * 4, m * 4, m * 2]
+}
+
+/// Serializes a dynamic distance index as a `PSPCDYN2` snapshot. The
+/// per-row adjacency and label vectors are flattened to CSR on the way
+/// out; `updated_entries` is not persisted.
+pub fn dyn_index_to_binary(idx: &DynamicDistanceIndex) -> Bytes {
+    let n = idx.num_vertices();
+    let m = idx.num_entries();
+    let a = 2 * idx.num_edges();
+    let total = dyn_snapshot_size(idx);
+    let mut buf: Vec<u8> = Vec::with_capacity(total);
+    buf.put_slice(MAGIC_DYN);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m as u64);
+    buf.put_u64_le(a as u64);
+    buf.put_u64_le(0); // flags
+    for len in dyn_section_lengths(n as u128, m as u128, a as u128) {
+        buf.put_u64_le(len as u64);
+    }
+    let mut adj_offsets: Vec<u64> = Vec::with_capacity(n + 1);
+    let mut lab_offsets: Vec<u64> = Vec::with_capacity(n + 1);
+    adj_offsets.push(0);
+    lab_offsets.push(0);
+    let (mut at_a, mut at_m) = (0u64, 0u64);
+    for r in 0..n as u32 {
+        at_a += idx.adj_of_rank(r).len() as u64;
+        at_m += idx.labels_of_rank(r).len() as u64;
+        adj_offsets.push(at_a);
+        lab_offsets.push(at_m);
+    }
+    put_u64s(&mut buf, &adj_offsets);
+    put_u64s(&mut buf, &lab_offsets);
+    put_u32s(&mut buf, idx.order().order());
+    for r in 0..n as u32 {
+        put_u32s(&mut buf, idx.adj_of_rank(r));
+    }
+    for r in 0..n as u32 {
+        let row = idx.labels_of_rank(r);
+        for &(h, _) in row {
+            buf.put_u32_le(h);
+        }
+    }
+    for r in 0..n as u32 {
+        for &(_, d) in idx.labels_of_rank(r) {
+            buf.put_u16_le(d);
+        }
+    }
+    debug_assert_eq!(buf.len(), total, "dynamic size accounting must be exact");
+    Bytes::from(buf)
+}
+
+/// Deserializes a `PSPCDYN2` snapshot.
+pub fn dyn_index_from_binary(data: Bytes) -> io::Result<DynamicDistanceIndex> {
+    if data.len() < 8 || &data[..8] != MAGIC_DYN {
+        return Err(bad("not a dynamic PSPC snapshot"));
+    }
+    if data.len() < DYN_HEADER_BYTES {
+        return Err(bad("truncated dynamic header"));
+    }
+    let mut hdr = data.slice(8..DYN_HEADER_BYTES);
+    let n64 = hdr.get_u64_le();
+    let m64 = hdr.get_u64_le();
+    let a64 = hdr.get_u64_le();
+    if hdr.get_u64_le() != 0 {
+        return Err(bad("unknown dynamic flags"));
+    }
+    if n64 > u32::MAX as u64 + 1 {
+        return Err(bad("vertex count exceeds rank space"));
+    }
+    let expect = dyn_section_lengths(n64 as u128, m64 as u128, a64 as u128);
+    let mut total = DYN_HEADER_BYTES as u128;
+    for (i, &want) in expect.iter().enumerate() {
+        if hdr.get_u64_le() as u128 != want {
+            return Err(bad(&format!("section {i} length disagrees with header")));
+        }
+        total += want;
+    }
+    if data.len() as u128 != total {
+        return Err(bad(if (data.len() as u128) < total {
+            "truncated dynamic section data"
+        } else {
+            "trailing bytes after dynamic sections"
+        }));
+    }
+    let mut at = DYN_HEADER_BYTES;
+    let mut section = |len: u128| {
+        let lo = at;
+        at += len as usize;
+        data.slice(lo..at)
+    };
+    let adj_offsets = get_u64s(&section(expect[0]));
+    let lab_offsets = get_u64s(&section(expect[1]));
+    let order_vec = get_u32s(&section(expect[2]));
+    let adj_flat = get_u32s(&section(expect[3]));
+    let hubs = get_u32s(&section(expect[4]));
+    let dists = get_u16s(&section(expect[5]));
+
+    let order = validate_order(order_vec)?;
+    let rows = |offsets: &[u64], total: usize, what: &str| -> io::Result<Vec<(usize, usize)>> {
+        match (offsets.first(), offsets.last()) {
+            (Some(&0), Some(&last)) if last == total as u64 => {}
+            _ => {
+                return Err(bad(&format!(
+                    "{what} offsets must start at 0 and end at the entry count"
+                )))
+            }
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(bad(&format!("{what} offsets not monotonic")));
+        }
+        Ok(offsets
+            .windows(2)
+            .map(|w| (w[0] as usize, w[1] as usize))
+            .collect())
+    };
+    let adj: Vec<Vec<u32>> = rows(&adj_offsets, adj_flat.len(), "adjacency")?
+        .into_iter()
+        .map(|(lo, hi)| adj_flat[lo..hi].to_vec())
+        .collect();
+    let labels: Vec<Vec<(u32, u16)>> = rows(&lab_offsets, hubs.len(), "label")?
+        .into_iter()
+        .map(|(lo, hi)| (lo..hi).map(|i| (hubs[i], dists[i])).collect())
+        .collect();
+    DynamicDistanceIndex::from_raw(order, adj, labels)
+        .map_err(|e| bad(&format!("snapshot fails validation: {e}")))
+}
+
+// ---------------------------------------------------------- kind dispatch
+
+/// A deserialized snapshot of any index kind.
+#[derive(Clone, Debug)]
+pub enum SnapshotKind {
+    /// The undirected ESPC counting index (`PSPCIDX1`/`PSPCIDX2`).
+    Undirected(SpcIndex),
+    /// The directed `Lin`/`Lout` counting index (`PSPCDIR2`).
+    Directed(DiSpcIndex),
+    /// The insertion-only dynamic distance index (`PSPCDYN2`).
+    Dynamic(DynamicDistanceIndex),
+}
+
+impl SnapshotKind {
+    /// Human-readable kind name (matches [`snapshot_kind_name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SnapshotKind::Undirected(_) => "undirected",
+            SnapshotKind::Directed(_) => "directed",
+            SnapshotKind::Dynamic(_) => "dynamic",
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            SnapshotKind::Undirected(i) => i.num_vertices(),
+            SnapshotKind::Directed(i) => i.num_vertices(),
+            SnapshotKind::Dynamic(i) => i.num_vertices(),
+        }
+    }
+}
+
+/// Classifies a snapshot's index kind from its first eight bytes without
+/// parsing anything; `None` if the magic is unknown.
+pub fn snapshot_kind_name(data: &[u8]) -> Option<&'static str> {
+    if data.len() < 8 {
+        return None;
+    }
+    match &data[..8] {
+        m if m == MAGIC_V1 || m == MAGIC_V2 => Some("undirected"),
+        m if m == MAGIC_DIR => Some("directed"),
+        m if m == MAGIC_DYN => Some("dynamic"),
+        _ => None,
+    }
+}
+
+/// Deserializes a snapshot of **any** index kind, dispatching on the
+/// magic. This is what `pspc query`/`pspc serve` load with, so one
+/// daemon binary serves whichever kind the snapshot holds.
+pub fn any_index_from_binary(data: Bytes) -> io::Result<SnapshotKind> {
+    match snapshot_kind_name(&data) {
+        Some("directed") => di_index_from_binary(data).map(SnapshotKind::Directed),
+        Some("dynamic") => dyn_index_from_binary(data).map(SnapshotKind::Dynamic),
+        // Undirected formats (and anything unrecognized, so the error
+        // message comes from the v1 parser as before).
+        _ => index_from_binary(data).map(SnapshotKind::Undirected),
     }
 }
 
@@ -571,6 +953,116 @@ mod tests {
         buf.put_u16_le(0);
         buf.put_u64_le(1);
         assert!(index_from_binary(buf.freeze()).is_err());
+    }
+
+    fn build_directed(n: usize, seed: u64) -> DiSpcIndex {
+        use crate::directed::pspc::{build_di_pspc, DiPspcConfig};
+        let g = pspc_graph::digraph::erdos_renyi_digraph(n, 4 * n, seed);
+        build_di_pspc(&g, &DiPspcConfig::default())
+    }
+
+    fn build_dynamic(n: usize, seed: u64) -> DynamicDistanceIndex {
+        use pspc_order::OrderingStrategy;
+        let g = pspc_graph::generators::erdos_renyi(n, 2 * n, seed);
+        let mut idx = DynamicDistanceIndex::build(&g, OrderingStrategy::Degree);
+        idx.insert_edge(0, (n - 1) as u32);
+        idx
+    }
+
+    #[test]
+    fn directed_round_trip_preserves_queries() {
+        let idx = build_directed(60, 3);
+        let bytes = di_index_to_binary(&idx);
+        assert_eq!(bytes.len(), di_snapshot_size(&idx));
+        let restored = di_index_from_binary(bytes).unwrap();
+        assert_eq!(idx.order(), restored.order());
+        assert_eq!(idx.lin_arena(), restored.lin_arena());
+        assert_eq!(idx.lout_arena(), restored.lout_arena());
+        for (s, t) in [(0u32, 59u32), (7, 33), (12, 12), (59, 0)] {
+            assert_eq!(idx.query(s, t), restored.query(s, t));
+        }
+    }
+
+    #[test]
+    fn dynamic_round_trip_preserves_distances() {
+        let idx = build_dynamic(40, 9);
+        let bytes = dyn_index_to_binary(&idx);
+        assert_eq!(bytes.len(), dyn_snapshot_size(&idx));
+        let restored = dyn_index_from_binary(bytes).unwrap();
+        assert_eq!(idx.order(), restored.order());
+        for s in 0..40u32 {
+            for t in 0..40u32 {
+                assert_eq!(idx.distance(s, t), restored.distance(s, t), "({s},{t})");
+            }
+        }
+        // The restored index keeps accepting insertions.
+        let mut restored = restored;
+        restored.insert_edge(1, 38);
+        assert_eq!(restored.distance(1, 38), Some(1));
+    }
+
+    #[test]
+    fn kind_detection_and_any_dispatch() {
+        let und = build(30, 1);
+        let dir = build_directed(30, 1);
+        let dynix = build_dynamic(30, 1);
+        for (bytes, want) in [
+            (index_to_binary(&und), "undirected"),
+            (index_to_binary_v1(&und), "undirected"),
+            (di_index_to_binary(&dir), "directed"),
+            (dyn_index_to_binary(&dynix), "dynamic"),
+        ] {
+            assert_eq!(snapshot_kind_name(&bytes), Some(want));
+            let loaded = any_index_from_binary(bytes).unwrap();
+            assert_eq!(loaded.name(), want);
+            assert_eq!(loaded.num_vertices(), 30);
+        }
+        assert_eq!(snapshot_kind_name(b"PSPC"), None);
+        assert_eq!(snapshot_kind_name(b"XXXXXXXXXXXX"), None);
+    }
+
+    #[test]
+    fn undirected_loader_refuses_other_kinds() {
+        let dir = di_index_to_binary(&build_directed(20, 5));
+        let err = index_from_binary(dir).unwrap_err();
+        assert!(err.to_string().contains("any_index_from_binary"), "{err}");
+        let dynix = dyn_index_to_binary(&build_dynamic(20, 5));
+        assert!(index_from_binary(dynix).is_err());
+    }
+
+    #[test]
+    fn directed_and_dynamic_truncations_error_not_panic() {
+        let dir = di_index_to_binary(&build_directed(24, 2));
+        let dynix = dyn_index_to_binary(&build_dynamic(24, 2));
+        for bin in [dir, dynix] {
+            for len in 0..bin.len().min(200) {
+                assert!(any_index_from_binary(bin.slice(..len)).is_err());
+            }
+            // Every section-boundary-ish cut further in.
+            for len in (200..bin.len()).step_by(97) {
+                assert!(any_index_from_binary(bin.slice(..len)).is_err());
+            }
+            let mut extended = bin.to_vec();
+            extended.push(0);
+            assert!(any_index_from_binary(Bytes::from(extended)).is_err());
+            assert!(any_index_from_binary(bin).is_ok());
+        }
+    }
+
+    #[test]
+    fn directed_and_dynamic_huge_header_counts_error() {
+        for magic in [MAGIC_DIR, MAGIC_DYN] {
+            let mut buf = bytes::BytesMut::new();
+            buf.put_slice(magic);
+            buf.put_u64_le(u32::MAX as u64); // n
+            buf.put_u64_le(u64::MAX / 2); // m / m_in
+            buf.put_u64_le(u64::MAX / 2); // a / m_out
+            buf.put_u64_le(0); // flags
+            for _ in 0..9 {
+                buf.put_u64_le(u64::MAX);
+            }
+            assert!(any_index_from_binary(buf.freeze()).is_err());
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use pspc_graph::SpcAnswer;
 use std::io::{self, BufReader};
 use std::net::TcpStream;
 
-/// Failure modes of a remote batch query.
+/// Failure modes of a remote batch query or edge insertion.
 #[derive(Debug)]
 pub enum ClientError {
     /// Transport-level failure.
@@ -20,6 +20,8 @@ pub enum ClientError {
     Rejected(String),
     /// The daemon refused the request as malformed.
     BadRequest(String),
+    /// An insert hit a non-dynamic index.
+    Conflict(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -28,6 +30,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Rejected(m) => write!(f, "server saturated: {m}"),
             ClientError::BadRequest(m) => write!(f, "server rejected request: {m}"),
+            ClientError::Conflict(m) => write!(f, "server refused insert: {m}"),
         }
     }
 }
@@ -62,10 +65,33 @@ impl RemoteClient {
         proto::write_request(&mut self.writer, pairs)?;
         match proto::read_response(&mut self.reader)? {
             Response::Answers(answers) => Ok(answers),
+            Response::Applied(_) => Err(unexpected("insert acknowledgement to a query")),
             Response::Rejected(m) => Err(ClientError::Rejected(m)),
             Response::BadRequest(m) => Err(ClientError::BadRequest(m)),
+            Response::Conflict(m) => Err(ClientError::Conflict(m)),
         }
     }
+
+    /// Applies undirected edge insertions to a served **dynamic** index;
+    /// returns how many edges were actually new. A non-dynamic index
+    /// answers [`ClientError::Conflict`].
+    pub fn insert_edges(&mut self, edges: &[(u32, u32)]) -> Result<u64, ClientError> {
+        proto::write_insert(&mut self.writer, edges)?;
+        match proto::read_response(&mut self.reader)? {
+            Response::Applied(applied) => Ok(applied),
+            Response::Answers(_) => Err(unexpected("answers to an insert")),
+            Response::Rejected(m) => Err(ClientError::Rejected(m)),
+            Response::BadRequest(m) => Err(ClientError::BadRequest(m)),
+            Response::Conflict(m) => Err(ClientError::Conflict(m)),
+        }
+    }
+}
+
+fn unexpected(what: &str) -> ClientError {
+    ClientError::Io(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("protocol violation: server sent {what}"),
+    ))
 }
 
 /// One-shot convenience: connect, answer one batch, close.

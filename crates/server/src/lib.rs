@@ -11,8 +11,8 @@
 //! * [`proto`] — the framed binary wire protocol for low-overhead
 //!   clients (encode/decode shared by daemon and client);
 //! * [`http`] — a hand-rolled HTTP/1.1 subset (no crates.io access, so
-//!   no framework) behind `POST /query`, `GET /healthz`, `GET /metrics`
-//!   and `POST /shutdown`;
+//!   no framework) behind `POST /query`, `POST /insert`, `GET /healthz`,
+//!   `GET /metrics` and `POST /shutdown`;
 //! * [`metrics`] — served/rejected/in-flight counters plus p50/p99
 //!   request latency from a ring buffer;
 //! * [`client`] — [`RemoteClient`], the binary-protocol client behind
@@ -21,8 +21,18 @@
 //!   `build`/local `query`/`bench` delegated to [`pspc_service::cli`].
 //!
 //! Both protocols share one port: connections opening with the bytes
-//! `"PSQ1"` speak the binary protocol, everything else is parsed as
-//! HTTP.
+//! `"PSQ1"` or `"PSI1"` speak the binary protocol, everything else is
+//! parsed as HTTP.
+//!
+//! The daemon serves whichever index kind its snapshot holds
+//! ([`pspc_service::IndexKind`]): undirected `SPC(s, t)`, directed
+//! `SPC(s → t)`, or dynamic distances — the kind is auto-detected from
+//! the snapshot magic at load and exposed as the `pspc_index_kind`
+//! gauge. Dynamic indexes additionally accept live edge insertions
+//! (`POST /insert` with `u v` lines, or the binary `PSI1` frame),
+//! applied under a write lock while query chunks drain around it;
+//! insert totals surface as `pspc_inserts_total`. Inserting into a
+//! non-dynamic index is a clean HTTP 409 / binary `Conflict`.
 //!
 //! # Quick start
 //!

@@ -73,6 +73,12 @@ pub struct Metrics {
     index_load_ms: AtomicU64,
     /// Label bytes of the served index.
     label_bytes: AtomicU64,
+    /// Served index kind code (0 undirected, 1 directed, 2 dynamic).
+    index_kind: AtomicU64,
+    /// Accepted insert requests.
+    insert_requests: AtomicU64,
+    /// Edges actually applied by inserts (duplicates excluded).
+    inserts: AtomicU64,
     latency_ns: Mutex<LatencyRing>,
 }
 
@@ -87,6 +93,9 @@ impl Default for Metrics {
             in_flight: AtomicU64::new(0),
             index_load_ms: AtomicU64::new(0f64.to_bits()),
             label_bytes: AtomicU64::new(0),
+            index_kind: AtomicU64::new(0),
+            insert_requests: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
             latency_ns: Mutex::new(LatencyRing::new(RING_CAPACITY)),
         }
     }
@@ -143,6 +152,19 @@ impl Metrics {
         self.label_bytes.store(bytes, Ordering::Relaxed);
     }
 
+    /// Records the served index kind (gauge; the
+    /// [`pspc_service::IndexKind::code`] convention).
+    pub fn set_index_kind(&self, code: u8) {
+        self.index_kind.store(code as u64, Ordering::Relaxed);
+    }
+
+    /// Records one accepted insert request and how many edges it
+    /// actually added.
+    pub fn record_insert(&self, applied: u64) {
+        self.insert_requests.fetch_add(1, Ordering::Relaxed);
+        self.inserts.fetch_add(applied, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of every counter (gauges are racy by nature).
     pub fn snapshot(&self, queued_chunks: usize) -> MetricsSnapshot {
         let ring = self.latency_ns.lock();
@@ -156,6 +178,9 @@ impl Metrics {
             queued_chunks: queued_chunks as u64,
             index_load_ms: f64::from_bits(self.index_load_ms.load(Ordering::Relaxed)),
             label_bytes: self.label_bytes.load(Ordering::Relaxed),
+            index_kind: self.index_kind.load(Ordering::Relaxed),
+            insert_requests: self.insert_requests.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
             latency_samples: ring.len() as u64,
             p50_us: ring.percentile(0.50) as f64 / 1e3,
             p99_us: ring.percentile(0.99) as f64 / 1e3,
@@ -184,6 +209,12 @@ pub struct MetricsSnapshot {
     pub index_load_ms: f64,
     /// Label payload bytes of the served index.
     pub label_bytes: u64,
+    /// Served index kind code (0 undirected, 1 directed, 2 dynamic).
+    pub index_kind: u64,
+    /// Accepted insert requests.
+    pub insert_requests: u64,
+    /// Edges actually applied by inserts.
+    pub inserts: u64,
     /// Latency samples in the ring.
     pub latency_samples: u64,
     /// Median request service latency, microseconds.
@@ -205,6 +236,9 @@ impl MetricsSnapshot {
              pspc_queue_chunks {}\n\
              pspc_index_load_ms {:.2}\n\
              pspc_index_label_bytes {}\n\
+             pspc_index_kind {}\n\
+             pspc_insert_requests_total {}\n\
+             pspc_inserts_total {}\n\
              pspc_latency_samples {}\n\
              pspc_request_latency_p50_us {:.2}\n\
              pspc_request_latency_p99_us {:.2}\n",
@@ -217,6 +251,9 @@ impl MetricsSnapshot {
             self.queued_chunks,
             self.index_load_ms,
             self.label_bytes,
+            self.index_kind,
+            self.insert_requests,
+            self.inserts,
             self.latency_samples,
             self.p50_us,
             self.p99_us,
@@ -256,6 +293,9 @@ mod tests {
         m.record_client_error();
         m.set_index_load_ms(12.5);
         m.set_label_bytes(1234);
+        m.set_index_kind(2);
+        m.record_insert(3);
+        m.record_insert(0);
         let s = m.snapshot(7);
         assert_eq!(s.in_flight, 0);
         assert_eq!(s.served, 1);
@@ -265,11 +305,17 @@ mod tests {
         assert_eq!(s.queued_chunks, 7);
         assert_eq!(s.index_load_ms, 12.5);
         assert_eq!(s.label_bytes, 1234);
+        assert_eq!(s.index_kind, 2);
+        assert_eq!(s.insert_requests, 2);
+        assert_eq!(s.inserts, 3);
         assert_eq!(s.latency_samples, 1);
         let text = s.render();
         assert!(text.contains("pspc_requests_served_total 1"));
         assert!(text.contains("pspc_index_load_ms 12.50"));
         assert!(text.contains("pspc_index_label_bytes 1234"));
+        assert!(text.contains("pspc_index_kind 2"));
+        assert!(text.contains("pspc_insert_requests_total 2"));
+        assert!(text.contains("pspc_inserts_total 3"));
         assert!(text.contains("pspc_request_latency_p50_us 5.00"));
     }
 }

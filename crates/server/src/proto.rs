@@ -9,10 +9,11 @@
 //!
 //! # Frames
 //!
-//! Request (client → server), repeatable on one connection:
+//! Requests (client → server), repeatable and mixable on one connection:
 //!
 //! ```text
-//! "PSQ1"  u32 n  n × { u32 s, u32 t }
+//! query:   "PSQ1"  u32 n  n × { u32 s, u32 t }
+//! insert:  "PSI1"  u32 n  n × { u32 u, u32 v }   (dynamic indexes only)
 //! ```
 //!
 //! Response (server → client), one per request:
@@ -22,27 +23,45 @@
 //!   status 0 (Ok):         u32 n  n × { u16 dist, u64 count }
 //!   status 1 (Rejected):   u16 len  len × utf-8   (admission control)
 //!   status 2 (BadRequest): u16 len  len × utf-8
+//!   status 3 (Applied):    u64 applied            (insert acknowledged)
+//!   status 4 (Conflict):   u16 len  len × utf-8   (insert on a
+//!                          non-dynamic index; HTTP surfaces this as 409)
 //! ```
 //!
 //! Unreachable pairs are encoded exactly as [`SpcAnswer::UNREACHABLE`]
 //! (`dist = u16::MAX`, `count = 0`); saturated counts travel as the raw
-//! `u64::MAX` sentinel. Requests above [`MAX_PAIRS`] pairs are refused
-//! before any allocation, bounding daemon memory against hostile
-//! headers. Round-trip fidelity (including those boundary encodings) is
-//! pinned by a property test in `tests/proptest_proto.rs`.
+//! `u64::MAX` sentinel. An insert acknowledgement carries how many edges
+//! were actually new (duplicates and self loops are ignored). Requests
+//! above [`MAX_PAIRS`] pairs are refused before any allocation, bounding
+//! daemon memory against hostile headers. Round-trip fidelity (including
+//! those boundary encodings) is pinned by a property test in
+//! `tests/proptest_proto.rs`.
 
 use pspc_graph::SpcAnswer;
 use std::io::{self, Read, Write};
 
-/// First bytes of a binary-protocol request; also the protocol sniff the
-/// daemon uses to distinguish binary clients from HTTP ones.
+/// First bytes of a binary-protocol query request; also (with
+/// [`INSERT_MAGIC`]) the protocol sniff the daemon uses to distinguish
+/// binary clients from HTTP ones.
 pub const REQUEST_MAGIC: [u8; 4] = *b"PSQ1";
+
+/// First bytes of a binary-protocol edge-insertion request.
+pub const INSERT_MAGIC: [u8; 4] = *b"PSI1";
 
 /// First bytes of every binary-protocol response.
 pub const RESPONSE_MAGIC: [u8; 4] = *b"PSR1";
 
 /// Hard cap on pairs per request frame (4 Mi pairs = 32 MiB of payload).
 pub const MAX_PAIRS: usize = 1 << 22;
+
+/// A decoded client request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Answer this batch of `(s, t)` queries.
+    Query(Vec<(u32, u32)>),
+    /// Apply these undirected edge insertions (dynamic indexes only).
+    Insert(Vec<(u32, u32)>),
+}
 
 /// A decoded server reply.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,14 +73,17 @@ pub enum Response {
     /// The request was malformed (bad magic handled earlier; here: out
     /// of range vertices or an oversized batch).
     BadRequest(String),
+    /// The insertions were applied; carries how many edges were new.
+    Applied(u64),
+    /// An insert hit a non-dynamic index (HTTP maps this to 409).
+    Conflict(String),
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Encodes one request frame.
-pub fn write_request<W: Write>(w: &mut W, pairs: &[(u32, u32)]) -> io::Result<()> {
+fn write_pairs_frame<W: Write>(w: &mut W, magic: &[u8; 4], pairs: &[(u32, u32)]) -> io::Result<()> {
     if pairs.len() > MAX_PAIRS {
         return Err(invalid(format!(
             "batch of {} pairs exceeds the protocol cap of {MAX_PAIRS}",
@@ -69,7 +91,7 @@ pub fn write_request<W: Write>(w: &mut W, pairs: &[(u32, u32)]) -> io::Result<()
         )));
     }
     let mut buf = Vec::with_capacity(8 + pairs.len() * 8);
-    buf.extend_from_slice(&REQUEST_MAGIC);
+    buf.extend_from_slice(magic);
     buf.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
     for &(s, t) in pairs {
         buf.extend_from_slice(&s.to_le_bytes());
@@ -79,17 +101,26 @@ pub fn write_request<W: Write>(w: &mut W, pairs: &[(u32, u32)]) -> io::Result<()
     w.flush()
 }
 
-/// Decodes one request frame. Returns `Ok(None)` on a clean end of
-/// stream (the client closed between requests).
-pub fn read_request<R: Read>(r: &mut R) -> io::Result<Option<Vec<(u32, u32)>>> {
+/// Encodes one query request frame.
+pub fn write_request<W: Write>(w: &mut W, pairs: &[(u32, u32)]) -> io::Result<()> {
+    write_pairs_frame(w, &REQUEST_MAGIC, pairs)
+}
+
+/// Encodes one edge-insertion request frame.
+pub fn write_insert<W: Write>(w: &mut W, edges: &[(u32, u32)]) -> io::Result<()> {
+    write_pairs_frame(w, &INSERT_MAGIC, edges)
+}
+
+/// Decodes one request frame of either kind. Returns `Ok(None)` on a
+/// clean end of stream (the client closed between requests).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
     let mut magic = [0u8; 4];
-    match read_exact_or_eof(r, &mut magic)? {
+    let insert = match read_exact_or_eof(r, &mut magic)? {
         false => return Ok(None),
-        true if magic != REQUEST_MAGIC => {
-            return Err(invalid("bad request magic"));
-        }
-        true => {}
-    }
+        true if magic == REQUEST_MAGIC => false,
+        true if magic == INSERT_MAGIC => true,
+        true => return Err(invalid("bad request magic")),
+    };
     let n = read_u32(r)? as usize;
     if n > MAX_PAIRS {
         return Err(invalid(format!(
@@ -98,16 +129,20 @@ pub fn read_request<R: Read>(r: &mut R) -> io::Result<Option<Vec<(u32, u32)>>> {
     }
     let mut body = vec![0u8; n * 8];
     r.read_exact(&mut body)?;
-    Ok(Some(
-        body.chunks_exact(8)
-            .map(|c| {
-                (
-                    u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
-                    u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
-                )
-            })
-            .collect(),
-    ))
+    let pairs = body
+        .chunks_exact(8)
+        .map(|c| {
+            (
+                u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+            )
+        })
+        .collect();
+    Ok(Some(if insert {
+        Frame::Insert(pairs)
+    } else {
+        Frame::Query(pairs)
+    }))
 }
 
 /// Encodes one response frame.
@@ -124,11 +159,15 @@ pub fn write_response<W: Write>(w: &mut W, response: &Response) -> io::Result<()
                 buf.extend_from_slice(&a.count.to_le_bytes());
             }
         }
-        Response::Rejected(msg) | Response::BadRequest(msg) => {
-            buf.push(if matches!(response, Response::Rejected(_)) {
-                1
-            } else {
-                2
+        Response::Applied(applied) => {
+            buf.push(3);
+            buf.extend_from_slice(&applied.to_le_bytes());
+        }
+        Response::Rejected(msg) | Response::BadRequest(msg) | Response::Conflict(msg) => {
+            buf.push(match response {
+                Response::Rejected(_) => 1,
+                Response::BadRequest(_) => 2,
+                _ => 4,
             });
             let bytes = msg.as_bytes();
             let len = bytes.len().min(u16::MAX as usize);
@@ -166,16 +205,21 @@ pub fn read_response<R: Read>(r: &mut R) -> io::Result<Response> {
                     .collect(),
             ))
         }
-        s @ (1 | 2) => {
+        3 => {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            Ok(Response::Applied(u64::from_le_bytes(b)))
+        }
+        s @ (1 | 2 | 4) => {
             let mut len = [0u8; 2];
             r.read_exact(&mut len)?;
             let mut msg = vec![0u8; u16::from_le_bytes(len) as usize];
             r.read_exact(&mut msg)?;
             let msg = String::from_utf8_lossy(&msg).into_owned();
-            Ok(if s == 1 {
-                Response::Rejected(msg)
-            } else {
-                Response::BadRequest(msg)
+            Ok(match s {
+                1 => Response::Rejected(msg),
+                2 => Response::BadRequest(msg),
+                _ => Response::Conflict(msg),
             })
         }
         other => Err(invalid(format!("unknown response status {other}"))),
@@ -214,21 +258,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn request_round_trip() {
+    fn request_round_trip_both_frame_kinds() {
         let pairs = vec![(0u32, 7), (u32::MAX, 3)];
         let mut wire = Vec::new();
         write_request(&mut wire, &pairs).unwrap();
-        let got = read_request(&mut wire.as_slice()).unwrap();
-        assert_eq!(got, Some(pairs));
+        assert_eq!(
+            read_frame(&mut wire.as_slice()).unwrap(),
+            Some(Frame::Query(pairs.clone()))
+        );
+        let mut wire = Vec::new();
+        write_insert(&mut wire, &pairs).unwrap();
+        assert_eq!(
+            read_frame(&mut wire.as_slice()).unwrap(),
+            Some(Frame::Insert(pairs))
+        );
     }
 
     #[test]
     fn clean_eof_is_none_and_mid_frame_eof_errors() {
-        assert_eq!(read_request(&mut [].as_slice()).unwrap(), None);
-        let mut wire = Vec::new();
-        write_request(&mut wire, &[(1, 2)]).unwrap();
-        wire.truncate(9);
-        assert!(read_request(&mut wire.as_slice()).is_err());
+        assert_eq!(read_frame(&mut [].as_slice()).unwrap(), None);
+        for write in [write_request, write_insert] {
+            let mut wire = Vec::new();
+            write(&mut wire, &[(1, 2)]).unwrap();
+            wire.truncate(9);
+            assert!(read_frame(&mut wire.as_slice()).is_err());
+        }
     }
 
     #[test]
@@ -245,6 +299,9 @@ mod tests {
             Response::Answers(Vec::new()),
             Response::Rejected("queue full".into()),
             Response::BadRequest("vertex 99 out of range".into()),
+            Response::Applied(0),
+            Response::Applied(u64::MAX),
+            Response::Conflict("index is not dynamic".into()),
         ] {
             let mut wire = Vec::new();
             write_response(&mut wire, &resp).unwrap();
@@ -254,7 +311,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_bad_status() {
-        assert!(read_request(&mut b"HTTP/1.1 nope".as_slice()).is_err());
+        assert!(read_frame(&mut b"HTTP/1.1 nope".as_slice()).is_err());
         assert!(read_response(&mut b"XXXX\x00".as_slice()).is_err());
         let mut wire = Vec::new();
         wire.extend_from_slice(&RESPONSE_MAGIC);
@@ -264,9 +321,11 @@ mod tests {
 
     #[test]
     fn oversized_request_header_is_refused_without_allocation() {
-        let mut wire = Vec::new();
-        wire.extend_from_slice(&REQUEST_MAGIC);
-        wire.extend_from_slice(&u32::MAX.to_le_bytes());
-        assert!(read_request(&mut wire.as_slice()).is_err());
+        for magic in [REQUEST_MAGIC, INSERT_MAGIC] {
+            let mut wire = Vec::new();
+            wire.extend_from_slice(&magic);
+            wire.extend_from_slice(&u32::MAX.to_le_bytes());
+            assert!(read_frame(&mut wire.as_slice()).is_err());
+        }
     }
 }

@@ -3,10 +3,18 @@
 //!
 //! One `TcpListener` serves both protocols: each new connection is
 //! sniffed by peeking its first four bytes — [`crate::proto::REQUEST_MAGIC`]
-//! selects the framed binary protocol, anything else the HTTP/1.1
-//! endpoints. Connections get a handler thread each (the expensive work
-//! — answering batches — happens on the engine's persistent worker pool,
-//! so handler threads only parse, validate, submit and serialize).
+//! or [`crate::proto::INSERT_MAGIC`] selects the framed binary protocol,
+//! anything else the HTTP/1.1 endpoints. Connections get a handler
+//! thread each (the expensive work — answering batches — happens on the
+//! engine's persistent worker pool, so handler threads only parse,
+//! validate, submit and serialize).
+//!
+//! The daemon serves whichever [`IndexKind`] its snapshot held:
+//! undirected `SPC(s, t)`, directed `SPC(s → t)` over `Lin`/`Lout`, or
+//! dynamic distances. A **dynamic** index additionally accepts edge
+//! insertions — `POST /insert` (body: `u v` lines) or a binary `PSI1`
+//! frame — applied under the index's write lock while query chunks drain
+//! around it; non-dynamic indexes answer HTTP 409 / binary `Conflict`.
 //!
 //! Query requests go through [`QueryEngine::try_run`]: when the
 //! submission queue cannot take a batch the daemon *sheds* it — HTTP 503
@@ -21,9 +29,8 @@
 
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::{http, proto};
-use pspc_core::SpcIndex;
 use pspc_service::pairs::{read_pairs, write_answers, write_answers_json};
-use pspc_service::{EngineConfig, QueryEngine, SubmitError};
+use pspc_service::{EngineConfig, IndexKind, InsertError, QueryEngine, SubmitError};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -53,18 +60,25 @@ impl Drop for ConnGuard {
 }
 
 /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-/// `index` on a fresh engine configured by `engine_cfg`.
+/// `index` — any [`IndexKind`], or a bare index convertible into one —
+/// on a fresh engine configured by `engine_cfg`.
 ///
 /// Returns immediately; the accept loop runs on a background thread
 /// until the handle shuts it down.
-pub fn serve(index: SpcIndex, addr: &str, engine_cfg: EngineConfig) -> io::Result<ServerHandle> {
+pub fn serve(
+    index: impl Into<IndexKind>,
+    addr: &str,
+    engine_cfg: EngineConfig,
+) -> io::Result<ServerHandle> {
+    let index = index.into();
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let num_vertices = index.num_vertices() as u32;
     let metrics = Metrics::new();
-    metrics.set_label_bytes(index.stats().label_bytes as u64);
+    metrics.set_label_bytes(index.label_bytes() as u64);
+    metrics.set_index_kind(index.code());
     let shared = Arc::new(Shared {
-        engine: QueryEngine::with_config(index, engine_cfg),
+        engine: QueryEngine::with_kind(index, engine_cfg),
         metrics,
         shutdown: AtomicBool::new(false),
         active_conns: AtomicUsize::new(0),
@@ -240,7 +254,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
         Wait::Ready(b) => b,
         Wait::Eof | Wait::Shutdown => return Ok(()),
     };
-    if sniff == proto::REQUEST_MAGIC {
+    if sniff == proto::REQUEST_MAGIC || sniff == proto::INSERT_MAGIC {
         serve_binary(shared, stream)
     } else {
         serve_http(shared, stream)
@@ -285,6 +299,34 @@ fn answer_batch(shared: &Shared, pairs: &[(u32, u32)]) -> proto::Response {
     }
 }
 
+/// Validates and applies one batch of edge insertions, mapping engine
+/// rejections to protocol-level responses (shared by `POST /insert` and
+/// the binary `PSI1` frame).
+fn apply_inserts(shared: &Shared, edges: &[(u32, u32)]) -> proto::Response {
+    if edges.len() > proto::MAX_PAIRS {
+        shared.metrics.record_client_error();
+        return proto::Response::BadRequest(format!(
+            "insert of {} edges exceeds the {}-pair cap",
+            edges.len(),
+            proto::MAX_PAIRS
+        ));
+    }
+    match shared.engine.apply_inserts(edges) {
+        Ok(applied) => {
+            shared.metrics.record_insert(applied as u64);
+            proto::Response::Applied(applied as u64)
+        }
+        Err(e @ InsertError::NotDynamic) => {
+            shared.metrics.record_client_error();
+            proto::Response::Conflict(e.to_string())
+        }
+        Err(e @ InsertError::OutOfRange { .. }) => {
+            shared.metrics.record_client_error();
+            proto::Response::BadRequest(e.to_string())
+        }
+    }
+}
+
 // ------------------------------------------------------------- binary
 
 fn serve_binary(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
@@ -299,8 +341,8 @@ fn serve_binary(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                 Wait::Eof | Wait::Shutdown => return Ok(()),
             }
         }
-        let pairs = match proto::read_request(&mut reader) {
-            Ok(Some(pairs)) => pairs,
+        let frame = match proto::read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
             Ok(None) => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 shared.metrics.record_client_error();
@@ -309,7 +351,11 @@ fn serve_binary(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
             }
             Err(e) => return Err(e),
         };
-        proto::write_response(&mut writer, &answer_batch(shared, &pairs))?;
+        let response = match &frame {
+            proto::Frame::Query(pairs) => answer_batch(shared, pairs),
+            proto::Frame::Insert(edges) => apply_inserts(shared, edges),
+        };
+        proto::write_response(&mut writer, &response)?;
     }
 }
 
@@ -396,6 +442,9 @@ fn serve_http(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                             &format!("{msg}\n"),
                             keep_alive,
                         )?,
+                        proto::Response::Applied(_) | proto::Response::Conflict(_) => {
+                            unreachable!("answer_batch never produces insert responses")
+                        }
                     },
                     Err(e) => {
                         shared.metrics.record_client_error();
@@ -409,6 +458,44 @@ fn serve_http(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                     }
                 }
             }
+            ("POST", "/insert") => match read_pairs(req.body.as_slice()) {
+                Ok(edges) => match apply_inserts(shared, &edges) {
+                    proto::Response::Applied(applied) => http_text(
+                        &mut writer,
+                        200,
+                        "OK",
+                        &format!("applied {applied} of {} edges\n", edges.len()),
+                        keep_alive,
+                    )?,
+                    proto::Response::Conflict(msg) => http_text(
+                        &mut writer,
+                        409,
+                        "Conflict",
+                        &format!("{msg}\n"),
+                        keep_alive,
+                    )?,
+                    proto::Response::BadRequest(msg) => http_text(
+                        &mut writer,
+                        400,
+                        "Bad Request",
+                        &format!("{msg}\n"),
+                        keep_alive,
+                    )?,
+                    proto::Response::Answers(_) | proto::Response::Rejected(_) => {
+                        unreachable!("apply_inserts never produces answers or admission rejections")
+                    }
+                },
+                Err(e) => {
+                    shared.metrics.record_client_error();
+                    http_text(
+                        &mut writer,
+                        400,
+                        "Bad Request",
+                        &format!("{e}\n"),
+                        keep_alive,
+                    )?;
+                }
+            },
             ("POST", "/shutdown") => {
                 http_text(&mut writer, 200, "OK", "shutting down\n", false)?;
                 shared.shutdown.store(true, Ordering::Release);

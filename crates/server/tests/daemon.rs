@@ -3,11 +3,16 @@
 //!
 //! Pins the ISSUE's acceptance criteria: answers over TCP (both
 //! protocols) are bit-identical to `query_batch_sequential`, a saturated
-//! submission queue *rejects* new work instead of hanging, and shutdown
-//! drains in-flight batches.
+//! submission queue *rejects* new work instead of hanging, shutdown
+//! drains in-flight batches, and a **dynamic** index accepts
+//! `POST /insert` / binary `PSI1` insertions whose effects are visible
+//! to subsequent queries on the same and on concurrent connections
+//! (while non-dynamic indexes answer a clean 409 / `Conflict`).
 
-use pspc_core::{build_pspc, PspcConfig, SpcIndex};
+use pspc_core::{build_pspc, DynamicDistanceIndex, PspcConfig, SpcIndex};
 use pspc_graph::generators::barabasi_albert;
+use pspc_graph::GraphBuilder;
+use pspc_order::OrderingStrategy;
 use pspc_server::client::{ClientError, RemoteClient};
 use pspc_server::server::{serve, ServerHandle};
 use pspc_service::pairs::{parse_answers_json, write_answers};
@@ -54,6 +59,56 @@ fn http_request(addr: &str, method: &str, path: &str, body: &[u8]) -> (String, V
 
 fn start(index: &SpcIndex, cfg: EngineConfig) -> (ServerHandle, String) {
     let handle = serve(index.clone(), "127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = handle.local_addr().to_string();
+    (handle, addr)
+}
+
+/// One HTTP exchange on an already-open keep-alive connection; returns
+/// (status line, body). Unlike [`http_request`], the connection stays
+/// usable for the next exchange.
+fn http_exchange(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> (String, Vec<u8>) {
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    stream.write_all(body).unwrap();
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).unwrap();
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let status = head.lines().next().unwrap().to_string();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let lower = l.to_ascii_lowercase();
+            lower
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().parse().unwrap())
+        })
+        .expect("response carries content-length");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).unwrap();
+    (status, body)
+}
+
+/// A served dynamic index over the path graph `0 — 1 — … — (n-1)`.
+fn start_dynamic_path(n: u32, cfg: EngineConfig) -> (ServerHandle, String) {
+    let g = GraphBuilder::new()
+        .num_vertices(n as usize)
+        .edges((0..n - 1).map(|i| (i, i + 1)))
+        .build();
+    let idx = DynamicDistanceIndex::build(&g, OrderingStrategy::Degree);
+    let handle = serve(idx, "127.0.0.1:0", cfg).expect("bind ephemeral port");
     let addr = handle.local_addr().to_string();
     (handle, addr)
 }
@@ -255,6 +310,147 @@ fn shutdown_drains_in_flight_batches() {
 
     // The listener is gone afterwards.
     assert!(TcpStream::connect(&addr).is_err());
+}
+
+#[test]
+fn insert_then_query_returns_post_insert_answers_on_all_paths() {
+    // Path graph 0 — 1 — … — 9: dist(0, 9) = 9 before any insert.
+    let (handle, addr) = start_dynamic_path(10, EngineConfig::default());
+
+    // Same keep-alive connection: query → insert → query observes the
+    // shortcut.
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    let (status, body) = http_exchange(&mut conn, "POST", "/query", b"0 9\n");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, b"0\t9\t9\t1\n");
+    let (status, body) = http_exchange(&mut conn, "POST", "/insert", b"0 9\n");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(String::from_utf8_lossy(&body), "applied 1 of 1 edges\n");
+    let (status, body) = http_exchange(&mut conn, "POST", "/query", b"0 9\n");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, b"0\t9\t1\t1\n");
+
+    // A concurrent, separate connection sees the post-insert graph too.
+    let (status, body) = http_request(&addr, "POST", "/query", b"0 9\n");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, b"0\t9\t1\t1\n");
+
+    // Binary protocol: insert frame then query frame on one connection.
+    let mut client = RemoteClient::connect(&addr).unwrap();
+    assert_eq!(
+        client.query_batch(&[(0, 5)]).unwrap(),
+        vec![pspc_graph::SpcAnswer { dist: 5, count: 1 }]
+    );
+    assert_eq!(client.insert_edges(&[(0, 5)]).unwrap(), 1);
+    assert_eq!(
+        client.query_batch(&[(0, 5)]).unwrap(),
+        vec![pspc_graph::SpcAnswer { dist: 1, count: 1 }]
+    );
+    // Duplicate and self-loop edges are acknowledged but not applied.
+    assert_eq!(client.insert_edges(&[(0, 5), (3, 3)]).unwrap(), 0);
+    // Out-of-range endpoints are a BadRequest, and the connection stays
+    // usable.
+    match client.insert_edges(&[(0, 99)]) {
+        Err(ClientError::BadRequest(msg)) => assert!(msg.contains("out of range"), "{msg}"),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    assert_eq!(
+        client.query_batch(&[(0, 9)]).unwrap(),
+        vec![pspc_graph::SpcAnswer { dist: 1, count: 1 }]
+    );
+
+    // Metrics: kind gauge says dynamic, insert totals reflect the two
+    // applied edges across three accepted insert requests.
+    let (status, body) = http_request(&addr, "GET", "/metrics", b"");
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("pspc_index_kind 2"), "{text}");
+    assert!(text.contains("pspc_insert_requests_total 3"), "{text}");
+    assert!(text.contains("pspc_inserts_total 2"), "{text}");
+
+    let m = handle.shutdown();
+    assert_eq!(m.inserts, 2);
+    assert_eq!(m.insert_requests, 3);
+}
+
+#[test]
+fn concurrent_inserts_and_queries_never_hang_or_diverge() {
+    // Inserts land under the write lock while query batches drain around
+    // it; afterwards every connection sees the fully evolved path-plus-
+    // shortcuts graph.
+    let (handle, addr) = start_dynamic_path(
+        64,
+        EngineConfig {
+            workers: 2,
+            chunk_size: 8,
+            ..EngineConfig::default()
+        },
+    );
+    std::thread::scope(|s| {
+        for seed in [3u64, 4] {
+            let addr = &addr;
+            s.spawn(move || {
+                let mut client = RemoteClient::connect(addr).unwrap();
+                for round in 0..6 {
+                    let ps = pairs(100, 64, seed * 10 + round);
+                    // Distances evolve concurrently; just demand sane
+                    // answers (a path graph stays connected).
+                    for a in client.query_batch(&ps).unwrap() {
+                        assert!(a.is_reachable());
+                    }
+                }
+            });
+        }
+        s.spawn(|| {
+            let mut client = RemoteClient::connect(&addr).unwrap();
+            for i in 0..16u32 {
+                // Shortcut 0 — (4i + 3).
+                client.insert_edges(&[(0, 4 * i + 3)]).unwrap();
+            }
+        });
+    });
+    // Every shortcut is now visible: dist(0, 4i + 3) = 1.
+    let mut client = RemoteClient::connect(&addr).unwrap();
+    let ps: Vec<(u32, u32)> = (0..16).map(|i| (0, 4 * i + 3)).collect();
+    for a in client.query_batch(&ps).unwrap() {
+        assert_eq!(a.dist, 1);
+    }
+    let m = handle.shutdown();
+    assert_eq!(m.inserts, 16);
+}
+
+#[test]
+fn insert_on_non_dynamic_index_is_a_clean_conflict() {
+    let index = small_index();
+    let (handle, addr) = start(&index, EngineConfig::default());
+
+    // HTTP: 409, not a hang, and the connection keeps serving queries.
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    let (status, body) = http_exchange(&mut conn, "POST", "/insert", b"0 1\n");
+    assert!(status.contains("409"), "{status}");
+    assert!(
+        String::from_utf8_lossy(&body).contains("not dynamic"),
+        "{body:?}"
+    );
+    let (status, _) = http_exchange(&mut conn, "POST", "/query", b"0 1\n");
+    assert!(status.contains("200"), "{status}");
+
+    // Binary: Conflict, and the connection keeps serving queries.
+    let mut client = RemoteClient::connect(&addr).unwrap();
+    match client.insert_edges(&[(0, 1)]) {
+        Err(ClientError::Conflict(msg)) => assert!(msg.contains("not dynamic"), "{msg}"),
+        other => panic!("expected Conflict, got {other:?}"),
+    }
+    let ps = pairs(50, 300, 8);
+    assert_eq!(
+        client.query_batch(&ps).unwrap(),
+        index.query_batch_sequential(&ps)
+    );
+
+    let m = handle.shutdown();
+    assert_eq!(m.index_kind, 0);
+    assert_eq!(m.inserts, 0);
+    assert_eq!(m.insert_requests, 0);
 }
 
 #[test]

@@ -1,12 +1,15 @@
 //! Property tests pinning the binary wire protocol: encode→decode is the
-//! identity for arbitrary request batches and answer sets — including
-//! the boundary encodings (unreachable pairs, saturated `u64::MAX`
-//! counts, empty batches, `u32::MAX` vertex ids).
+//! identity for arbitrary request batches (query and insert frames) and
+//! answer sets — including the boundary encodings (unreachable pairs,
+//! saturated `u64::MAX` counts, empty batches, `u32::MAX` vertex ids,
+//! insert acknowledgements and conflicts).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use pspc_graph::SpcAnswer;
-use pspc_server::proto::{read_request, read_response, write_request, write_response, Response};
+use pspc_server::proto::{
+    read_frame, read_response, write_insert, write_request, write_response, Frame, Response,
+};
 
 fn arb_answer() -> impl Strategy<Value = SpcAnswer> {
     (any::<bool>(), 0u16..u16::MAX, any::<bool>(), any::<u64>()).prop_map(
@@ -32,16 +35,23 @@ proptest! {
     ) {
         let mut wire = Vec::new();
         write_request(&mut wire, &pairs).unwrap();
-        let got = read_request(&mut wire.as_slice()).unwrap();
-        prop_assert_eq!(got, Some(pairs));
-        // Back-to-back frames on one stream decode in order, then EOF.
-        let mut twice = Vec::new();
-        write_request(&mut twice, &[(1, 2)]).unwrap();
-        write_request(&mut twice, &[(3, 4)]).unwrap();
-        let mut r = twice.as_slice();
-        prop_assert_eq!(read_request(&mut r).unwrap(), Some(vec![(1, 2)]));
-        prop_assert_eq!(read_request(&mut r).unwrap(), Some(vec![(3, 4)]));
-        prop_assert_eq!(read_request(&mut r).unwrap(), None);
+        let got = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(got, Some(Frame::Query(pairs.clone())));
+        let mut wire = Vec::new();
+        write_insert(&mut wire, &pairs).unwrap();
+        let got = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(got, Some(Frame::Insert(pairs)));
+        // Back-to-back frames of mixed kinds on one stream decode in
+        // order, then EOF.
+        let mut stream = Vec::new();
+        write_request(&mut stream, &[(1, 2)]).unwrap();
+        write_insert(&mut stream, &[(3, 4)]).unwrap();
+        write_request(&mut stream, &[(5, 6)]).unwrap();
+        let mut r = stream.as_slice();
+        prop_assert_eq!(read_frame(&mut r).unwrap(), Some(Frame::Query(vec![(1, 2)])));
+        prop_assert_eq!(read_frame(&mut r).unwrap(), Some(Frame::Insert(vec![(3, 4)])));
+        prop_assert_eq!(read_frame(&mut r).unwrap(), Some(Frame::Query(vec![(5, 6)])));
+        prop_assert_eq!(read_frame(&mut r).unwrap(), None);
     }
 
     #[test]
@@ -53,13 +63,21 @@ proptest! {
     }
 
     #[test]
-    fn error_frames_round_trip(msg in vec(0u8..128, 0..200), rejected in any::<bool>()) {
+    fn error_frames_round_trip(msg in vec(0u8..128, 0..200), which in 0u8..3) {
         let msg = String::from_utf8_lossy(&msg).into_owned();
-        let resp = if rejected {
-            Response::Rejected(msg)
-        } else {
-            Response::BadRequest(msg)
+        let resp = match which {
+            0 => Response::Rejected(msg),
+            1 => Response::BadRequest(msg),
+            _ => Response::Conflict(msg),
         };
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        prop_assert_eq!(read_response(&mut wire.as_slice()).unwrap(), resp);
+    }
+
+    #[test]
+    fn applied_frames_round_trip(applied in any::<u64>()) {
+        let resp = Response::Applied(applied);
         let mut wire = Vec::new();
         write_response(&mut wire, &resp).unwrap();
         prop_assert_eq!(read_response(&mut wire.as_slice()).unwrap(), resp);
@@ -69,11 +87,16 @@ proptest! {
     fn truncated_frames_error_instead_of_hanging_or_panicking(
         pairs in vec((any::<u32>(), any::<u32>()), 1..50),
         cut_num in 1usize..1000,
+        insert in any::<bool>(),
     ) {
         let mut wire = Vec::new();
-        write_request(&mut wire, &pairs).unwrap();
+        if insert {
+            write_insert(&mut wire, &pairs).unwrap();
+        } else {
+            write_request(&mut wire, &pairs).unwrap();
+        }
         let cut = 1 + cut_num % (wire.len() - 1);
-        prop_assert!(read_request(&mut wire[..cut].as_ref()).is_err());
+        prop_assert!(read_frame(&mut wire[..cut].as_ref()).is_err());
 
         let resp = Response::Answers(vec![SpcAnswer { dist: 1, count: 2 }]);
         let mut wire = Vec::new();

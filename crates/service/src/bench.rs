@@ -92,7 +92,7 @@ pub fn run_bench(
 
     let sequential_secs = compare_sequential.then(|| {
         let t0 = std::time::Instant::now();
-        let seq = engine.index().query_batch_sequential(pairs);
+        let seq = engine.kind().query_batch_sequential(pairs);
         let secs = t0.elapsed().as_secs_f64();
         assert_eq!(seq, answers, "engine and sequential answers diverge");
         secs

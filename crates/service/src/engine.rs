@@ -37,6 +37,7 @@
 //! the channel hands out every queued chunk before reporting disconnect,
 //! so in-flight batches complete and only then do workers exit.
 
+use crate::kind::{IndexKind, InsertError};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use pspc_core::SpcIndex;
@@ -198,7 +199,7 @@ impl BufferPool {
     }
 }
 
-fn worker_loop(index: Arc<SpcIndex>, rx: Receiver<Task>, buffers: Arc<BufferPool>) {
+fn worker_loop(index: Arc<IndexKind>, rx: Receiver<Task>, buffers: Arc<BufferPool>) {
     // recv() drains every queued chunk before reporting disconnect, so a
     // shutdown never drops admitted work.
     while let Ok(task) = rx.recv() {
@@ -206,13 +207,10 @@ fn worker_loop(index: Arc<SpcIndex>, rx: Receiver<Task>, buffers: Arc<BufferPool
         let mut out = buffers.take();
         let mut lat = Vec::new();
         if task.time_queries {
-            out.reserve(slice.len());
-            lat.reserve(slice.len());
-            for &(rs, rt) in slice {
-                let q0 = Instant::now();
-                out.push(index.query_ranks(rs, rt));
-                lat.push(q0.elapsed().as_nanos() as u64);
-            }
+            // One read-lock acquisition per chunk, same as the untimed
+            // path — timing must not weaken the insert/query
+            // consistency the kind documents.
+            index.query_rank_batch_timed_into(slice, &mut out, &mut lat);
         } else {
             index.query_rank_batch_into(slice, &mut out);
         }
@@ -222,15 +220,16 @@ fn worker_loop(index: Arc<SpcIndex>, rx: Receiver<Task>, buffers: Arc<BufferPool
     }
 }
 
-/// A throughput-oriented batch query engine owning a built [`SpcIndex`]
-/// and a persistent pool of worker threads.
+/// A throughput-oriented batch query engine owning a built index (any
+/// [`IndexKind`]) and a persistent pool of worker threads.
 ///
 /// See the [module docs](self) for the execution model and the crate docs
 /// for a quick start. The engine is `Sync`: a server shares one behind an
 /// `Arc` across connection handler threads, each submitting batches
-/// concurrently.
+/// concurrently. Dynamic indexes additionally accept live edge
+/// insertions through [`QueryEngine::apply_inserts`].
 pub struct QueryEngine {
-    index: Arc<SpcIndex>,
+    index: Arc<IndexKind>,
     cfg: EngineConfig,
     /// `None` only during teardown.
     tx: Option<Sender<Task>>,
@@ -250,9 +249,16 @@ impl QueryEngine {
         Self::with_config(index, EngineConfig::default())
     }
 
-    /// Engine with explicit configuration. Spawns the worker pool.
+    /// Engine over an undirected index with explicit configuration
+    /// (the dominant case keeps its dedicated constructor).
     pub fn with_config(index: SpcIndex, cfg: EngineConfig) -> Self {
-        let index = Arc::new(index);
+        Self::with_kind(IndexKind::Undirected(index), cfg)
+    }
+
+    /// Engine over any [`IndexKind`] with explicit configuration. Spawns
+    /// the worker pool.
+    pub fn with_kind(index: impl Into<IndexKind>, cfg: EngineConfig) -> Self {
+        let index = Arc::new(index.into());
         let workers = if cfg.workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -289,19 +295,60 @@ impl QueryEngine {
         }
     }
 
-    /// The index being served.
+    /// The undirected index being served.
+    ///
+    /// # Panics
+    /// Panics when the engine serves a directed or dynamic index — those
+    /// callers go through [`QueryEngine::kind`].
     pub fn index(&self) -> &SpcIndex {
+        match &*self.index {
+            IndexKind::Undirected(i) => i,
+            other => panic!(
+                "QueryEngine::index: engine serves a {} index; use kind()",
+                other.name()
+            ),
+        }
+    }
+
+    /// The index kind being served.
+    pub fn kind(&self) -> &IndexKind {
         &self.index
     }
 
-    /// Shuts the pool down (draining queued work) and recovers the index
-    /// (e.g. to rebuild the engine with a new config).
+    /// Applies edge insertions to a served **dynamic** index under its
+    /// write lock: in-flight query chunks drain first, the labeling is
+    /// repaired, and subsequent chunks observe the post-insert graph.
+    /// Returns how many edges were new; rejects non-dynamic kinds with
+    /// [`InsertError::NotDynamic`] and out-of-range endpoints without
+    /// applying anything.
+    pub fn apply_inserts(&self, edges: &[(VertexId, VertexId)]) -> Result<usize, InsertError> {
+        self.index.insert_edges(edges)
+    }
+
+    /// Shuts the pool down (draining queued work) and recovers the
+    /// undirected index (e.g. to rebuild the engine with a new config).
+    ///
+    /// # Panics
+    /// Panics when the engine serves a directed or dynamic index.
     pub fn into_index(mut self) -> SpcIndex {
         self.shutdown();
         let arc = Arc::clone(&self.index);
         drop(self);
         // Workers are joined, so this is the last reference.
-        Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone())
+        match Arc::try_unwrap(arc) {
+            Ok(IndexKind::Undirected(i)) => i,
+            Ok(other) => panic!(
+                "QueryEngine::into_index: engine serves a {} index",
+                other.name()
+            ),
+            Err(a) => match &*a {
+                IndexKind::Undirected(i) => i.clone(),
+                other => panic!(
+                    "QueryEngine::into_index: engine serves a {} index",
+                    other.name()
+                ),
+            },
+        }
     }
 
     /// The configuration in effect.
@@ -400,11 +447,7 @@ impl QueryEngine {
         // Translate vertex ids to ranks once — the sort key and the
         // queries both live in rank space, so workers never touch the
         // rank array.
-        let vorder = self.index.order();
-        let ranked: Vec<(u32, u32)> = pairs
-            .iter()
-            .map(|&(s, t)| (vorder.rank_of(s), vorder.rank_of(t)))
-            .collect();
+        let ranked: Vec<(u32, u32)> = self.index.rank_pairs(pairs);
 
         // Processing order: input indices, optionally sorted by the
         // source's rank (then target's) for cache-friendly label access.

@@ -12,12 +12,18 @@
 //!   ([`QueryEngine::try_run`] rejects with [`SubmitError::Saturated`]
 //!   instead of queueing unboundedly — the load-shedding primitive the
 //!   `pspc_server` daemon builds on);
+//! * [`kind`] — [`IndexKind`]: one batch-query interface over the
+//!   undirected counting index, the directed `Lin`/`Lout` index and the
+//!   insertion-only dynamic distance labeling, so the engine, the CLI
+//!   and the daemon serve whichever kind a snapshot holds (dynamic
+//!   indexes additionally take live [`QueryEngine::apply_inserts`]
+//!   under a write lock);
 //! * [`bench`] — sustained-throughput measurement (queries/sec, p50/p99
 //!   latency) and the sequential baseline comparison;
 //! * [`pairs`] — text and JSON I/O for query workloads;
 //! * [`cli`] — the `build`/`query`/`bench` subcommands of the `pspc`
-//!   binary (which lives in `pspc_server`, where `serve` and
-//!   `query --remote` are added on top).
+//!   binary (which lives in `pspc_server`, where `serve`, `migrate`,
+//!   `query --remote` and `insert --remote` are added on top).
 //!
 //! # Quick start
 //!
@@ -61,7 +67,9 @@
 pub mod bench;
 pub mod cli;
 pub mod engine;
+pub mod kind;
 pub mod pairs;
 
 pub use bench::{run_bench, BenchReport};
 pub use engine::{BatchReport, EngineConfig, QueryEngine, SubmitError, DEFAULT_QUEUE_DEPTH};
+pub use kind::{IndexKind, InsertError};

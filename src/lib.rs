@@ -44,13 +44,14 @@ pub use pspc_server as server;
 pub use pspc_service as service;
 
 pub use pspc_core::{
-    build_hpspc, build_pspc, BatchScratch, Count, IndexStats, LabelArena, LabelEntry, LabelSet,
-    LabelView, Paradigm, PspcBuildStats, PspcConfig, ReducedIndex, SchedulePlan, SpcIndex,
+    build_hpspc, build_pspc, BatchScratch, Count, DiSpcIndex, DynamicDistanceIndex, IndexStats,
+    LabelArena, LabelEntry, LabelSet, LabelView, Paradigm, PspcBuildStats, PspcConfig,
+    ReducedIndex, SchedulePlan, SnapshotKind, SpcIndex,
 };
 pub use pspc_graph::{Graph, GraphBuilder, GraphStats, SpcAnswer, VertexId};
 pub use pspc_order::{OrderingStrategy, VertexOrder};
 pub use pspc_server::{RemoteClient, ServerHandle};
-pub use pspc_service::{EngineConfig, QueryEngine};
+pub use pspc_service::{EngineConfig, IndexKind, InsertError, QueryEngine};
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {

@@ -1,6 +1,8 @@
 //! Property-based tests of the incremental distance index
 //! (`pspc::core::dynamic`): after any stream of edge insertions, distance
-//! queries must equal BFS on the evolved graph.
+//! queries must equal BFS on the evolved graph. A gated stress case
+//! additionally interleaves inserts with engine queries under threads
+//! (`cargo test --release --test proptest_dynamic -- --ignored`).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -58,5 +60,102 @@ proptest! {
                 prop_assert_eq!(dyn_idx.distance(s, t), spc_idx.distance(s, t));
             }
         }
+    }
+}
+
+/// Stress: edge insertions applied through `QueryEngine::apply_inserts`
+/// (the daemon's write-lock path) while worker threads keep answering
+/// query batches — no loom, just real threads and real contention.
+///
+/// Soundness argument that survives the nondeterminism: each engine
+/// chunk runs under one read-lock acquisition, so every answered query
+/// observes the index after some *prefix* of the insertions, and
+/// distances only shrink as edges arrive — every observed distance must
+/// lie between the final-graph and initial-graph distances. After the
+/// insert stream drains, answers must equal the final graph's exactly.
+#[test]
+#[ignore = "stress case: run with --ignored"]
+fn inserts_interleaved_with_threaded_queries_stay_bounded_and_converge() {
+    use pspc::graph::generators::erdos_renyi;
+    use pspc::service::{EngineConfig, QueryEngine};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const HELD_OUT: usize = 64;
+    const QUERY_THREADS: usize = 4;
+    const SAMPLE: usize = 400;
+
+    let full_graph = erdos_renyi(1500, 4000, 0x517E55);
+    let all_edges: Vec<(u32, u32)> = full_graph.edges().collect();
+    let (initial, inserts) = all_edges.split_at(all_edges.len() - HELD_OUT);
+    let g0 = GraphBuilder::new()
+        .num_vertices(full_graph.num_vertices())
+        .edges(initial.to_vec())
+        .build();
+
+    // Deterministic sample pairs plus their distance envelope.
+    let n = full_graph.num_vertices() as u32;
+    let mut state = 0xDEC0DEu64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % n as u64) as u32
+    };
+    let pairs: Vec<(u32, u32)> = (0..SAMPLE).map(|_| (next(), next())).collect();
+    let initial_idx = DynamicDistanceIndex::build(&g0, OrderingStrategy::Degree);
+    let final_idx = DynamicDistanceIndex::build(&full_graph, OrderingStrategy::Degree);
+    let envelope: Vec<(u16, u16)> = pairs
+        .iter()
+        .map(|&(s, t)| {
+            (
+                final_idx.distance(s, t).unwrap_or(u16::MAX),
+                initial_idx.distance(s, t).unwrap_or(u16::MAX),
+            )
+        })
+        .collect();
+
+    let engine = QueryEngine::with_kind(
+        initial_idx,
+        EngineConfig {
+            workers: QUERY_THREADS,
+            chunk_size: 32,
+            ..EngineConfig::default()
+        },
+    );
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..QUERY_THREADS {
+            let (engine, pairs, envelope, stop) = (&engine, &pairs, &envelope, &stop);
+            s.spawn(move || {
+                // Do-while: every thread answers at least one batch, so
+                // the insert stream always contends with live queries.
+                loop {
+                    for (a, &(lo, hi)) in engine.run(pairs).iter().zip(envelope) {
+                        assert!(
+                            lo <= a.dist && a.dist <= hi,
+                            "observed distance {} outside the [{lo}, {hi}] envelope",
+                            a.dist
+                        );
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            });
+        }
+        for &(u, v) in inserts {
+            engine
+                .apply_inserts(&[(u, v)])
+                .expect("dynamic engine accepts inserts");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Converged: every insert is visible, answers equal the final graph.
+    for (a, &(lo, _)) in engine.run(&pairs).iter().zip(&envelope) {
+        assert_eq!(
+            a.dist, lo,
+            "post-drain distance must equal the final graph's"
+        );
     }
 }

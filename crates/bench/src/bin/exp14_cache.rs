@@ -1,0 +1,11 @@
+//! Extension experiment: the hot-pair result cache under Zipf-skewed
+//! workloads — cache-on vs cache-off qps and p50/p99 per skew exponent,
+//! plus the insert-interleaved invalidation-correctness leg. Emits
+//! `[exp14-json]` lines for BENCH_*.json trajectories.
+
+use pspc_bench::experiments::exp14_cache;
+use pspc_bench::ExpOptions;
+
+fn main() {
+    exp14_cache(&ExpOptions::from_args());
+}

@@ -30,5 +30,6 @@ fn main() {
     exp11_daemon_throughput(&opt);
     exp12_snapshot(&opt);
     exp13_directed_dynamic(&opt);
+    exp14_cache(&opt);
     eprintln!("full evaluation complete");
 }

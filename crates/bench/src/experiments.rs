@@ -1034,6 +1034,207 @@ pub fn exp13_directed_dynamic(opt: &ExpOptions) {
     );
 }
 
+/// Hot pairs in the exp14 workload universe (the skew acts over their
+/// popularity ranks).
+const EXP14_UNIVERSE: usize = 4096;
+/// Zipf skew exponents replayed by exp14: near-uniform, the θ≈1 regime
+/// real point-to-point traffic sits in, and heavily skewed.
+pub const EXP14_SKEWS: [f64; 3] = [0.8, 1.1, 1.4];
+/// Queries per serving batch in exp14 (a daemon-sized request).
+const EXP14_BATCH: usize = 1024;
+/// Result-cache capacity exp14 serves with (comfortably holds the
+/// universe, so the hit rate is governed by the skew, not by eviction).
+const EXP14_CACHE_CAPACITY: usize = 8192;
+/// Held-out edges replayed as inserts in exp14's invalidation leg.
+const EXP14_INSERTS: usize = 12;
+
+/// Experiment 14 (extension): the hot-pair result cache under
+/// Zipf-skewed workloads.
+///
+/// Skew leg: [`EXP14_UNIVERSE`] distinct pairs get Zipf popularity ranks;
+/// for each θ in [`EXP14_SKEWS`] the same workload is served by a
+/// cache-off and a cache-on engine in [`EXP14_BATCH`]-pair batches —
+/// answers asserted bit-identical batch by batch — reporting qps and
+/// p50/p99 for both plus the measured hit rate. The win should grow with
+/// θ (hotter heads re-hit more) and the acceptance bar is cache-on qps
+/// strictly above cache-off at θ = 1.1 in the release run.
+///
+/// Invalidation leg: a dynamic index with [`EXP14_INSERTS`] edges held
+/// out; each round warms the cache with a skewed batch, applies one
+/// held-out insert (bumping the index generation), re-runs the same
+/// batch and asserts it bit-identical to the *post-insert* sequential
+/// reference — a stale cache hit anywhere diverges. This prices
+/// invalidation: every insert empties the cache logically, so the
+/// post-insert batch is all misses.
+///
+/// Emits one `[exp14-json]` line per (dataset, θ) for BENCH_*.json
+/// trajectories.
+pub fn exp14_cache(opt: &ExpOptions) {
+    use pspc_core::DynamicDistanceIndex;
+    use pspc_graph::{GraphBuilder, SpcAnswer};
+    use pspc_service::bench::{percentile_nanos, percentile_sorted_nanos};
+    use pspc_service::{EngineConfig, QueryEngine};
+
+    let mut rows = Vec::new();
+    for d in selected(opt, &["FB"]) {
+        let g = d.generate(opt.scale);
+        let (index, _) = build_pspc(&g, &default_pspc(opt.threads));
+        let universe = random_pairs(&g, EXP14_UNIVERSE, 0xD14);
+
+        for &theta in &EXP14_SKEWS {
+            let workload = zipf_sample(&universe, opt.queries, theta, 0xD14 + theta.to_bits());
+            let batches: Vec<&[(u32, u32)]> = workload.chunks(EXP14_BATCH).collect();
+
+            let serve = |cache_capacity: usize| {
+                let engine = QueryEngine::with_kind(
+                    index.clone(),
+                    EngineConfig {
+                        workers: opt.threads,
+                        cache_capacity,
+                        ..EngineConfig::default()
+                    },
+                );
+                let _ = engine.run(batches[0]); // warmup (faults in labels)
+                let (answers, secs) = time(|| {
+                    let mut all = Vec::with_capacity(workload.len());
+                    for b in &batches {
+                        all.extend(engine.run(b));
+                    }
+                    all
+                });
+                // Timed pass for percentiles (overhead-accepting, so it
+                // is measured apart from the throughput pass).
+                let mut lat = Vec::with_capacity(workload.len());
+                for b in &batches {
+                    let (_, _, l) = engine.run_with_latencies(b);
+                    lat.extend(l);
+                }
+                lat.sort_unstable();
+                let hit_rate = engine.cache().map(|c| {
+                    let s = c.stats();
+                    s.hits as f64 / (s.hits + s.misses).max(1) as f64
+                });
+                (answers, secs, lat, hit_rate)
+            };
+
+            let (expect, off_secs, off_lat, _) = serve(0);
+            let (got, on_secs, on_lat, hit_rate) = serve(EXP14_CACHE_CAPACITY);
+            assert_eq!(
+                got, expect,
+                "{} θ={theta}: cached answers diverge from uncached",
+                d.code
+            );
+            let hit_rate = hit_rate.expect("cache enabled");
+            let off_qps = workload.len() as f64 / off_secs.max(1e-9);
+            let on_qps = workload.len() as f64 / on_secs.max(1e-9);
+            rows.push(vec![
+                d.code.to_string(),
+                format!("{theta:.1}"),
+                format!("{off_qps:.0}"),
+                format!("{on_qps:.0}"),
+                format!("{:.2}", on_qps / off_qps.max(1e-9)),
+                format!("{:.1}%", hit_rate * 100.0),
+                format!(
+                    "{:.1}",
+                    percentile_sorted_nanos(&off_lat, 0.50) as f64 / 1e3
+                ),
+                format!("{:.1}", percentile_sorted_nanos(&on_lat, 0.50) as f64 / 1e3),
+                format!(
+                    "{:.1}",
+                    percentile_sorted_nanos(&off_lat, 0.99) as f64 / 1e3
+                ),
+                format!("{:.1}", percentile_sorted_nanos(&on_lat, 0.99) as f64 / 1e3),
+            ]);
+            println!(
+                "[exp14-json] {{\"experiment\":\"exp14_cache\",\"dataset\":\"{}\",\
+                 \"theta\":{theta:.1},\"cache_off_qps\":{off_qps:.0},\"cache_on_qps\":{on_qps:.0},\
+                 \"speedup\":{:.3},\"hit_rate\":{hit_rate:.4},\
+                 \"off_p50_us\":{:.2},\"on_p50_us\":{:.2},\
+                 \"off_p99_us\":{:.2},\"on_p99_us\":{:.2}}}",
+                d.code,
+                on_qps / off_qps.max(1e-9),
+                percentile_sorted_nanos(&off_lat, 0.50) as f64 / 1e3,
+                percentile_sorted_nanos(&on_lat, 0.50) as f64 / 1e3,
+                percentile_sorted_nanos(&off_lat, 0.99) as f64 / 1e3,
+                percentile_sorted_nanos(&on_lat, 0.99) as f64 / 1e3,
+            );
+            eprintln!(
+                "[exp14] {} θ={theta}: off {off_qps:.0} q/s, on {on_qps:.0} q/s \
+                 ({:.0}% hits)",
+                d.code,
+                hit_rate * 100.0
+            );
+        }
+
+        // Invalidation leg: inserts interleave with skewed batches; every
+        // post-insert batch is checked bit-identical to a sequential
+        // reference over the *current* graph.
+        let all_edges: Vec<(u32, u32)> = g.edges().collect();
+        let held_out = EXP14_INSERTS.min(all_edges.len() / 2);
+        let (initial, inserts) = all_edges.split_at(all_edges.len() - held_out);
+        let g0 = GraphBuilder::new()
+            .num_vertices(g.num_vertices())
+            .edges(initial.to_vec())
+            .build();
+        let engine = QueryEngine::with_kind(
+            DynamicDistanceIndex::build(&g0, OrderingStrategy::Degree),
+            EngineConfig {
+                workers: opt.threads,
+                cache_capacity: EXP14_CACHE_CAPACITY,
+                ..EngineConfig::default()
+            },
+        );
+        let mut post_insert_ns: Vec<u64> = Vec::with_capacity(inserts.len());
+        for (round, &(u, v)) in inserts.iter().enumerate() {
+            let batch = zipf_sample(&universe, EXP14_BATCH, 1.1, 0xBEEF + round as u64);
+            let _ = engine.run(&batch); // warm the cache pre-insert
+            engine
+                .apply_inserts(&[(u, v)])
+                .expect("dynamic engine accepts inserts");
+            let t0 = std::time::Instant::now();
+            let got = engine.run(&batch);
+            post_insert_ns.push(t0.elapsed().as_nanos() as u64);
+            let want: Vec<SpcAnswer> = engine.kind().query_batch_sequential(&batch);
+            assert_eq!(
+                got, want,
+                "{} round {round}: post-insert cached answers diverge \
+                 (stale cache entry served)",
+                d.code
+            );
+        }
+        let inval_p50 = percentile_nanos(&mut post_insert_ns, 0.50);
+        println!(
+            "[exp14-json] {{\"experiment\":\"exp14_cache_invalidation\",\"dataset\":\"{}\",\
+             \"inserts\":{},\"post_insert_batch_p50_us\":{:.1}}}",
+            d.code,
+            inserts.len(),
+            inval_p50 as f64 / 1e3,
+        );
+        eprintln!(
+            "[exp14] {} invalidation leg done ({} inserts, post-insert batch p50 {:.0}us)",
+            d.code,
+            inserts.len(),
+            inval_p50 as f64 / 1e3
+        );
+    }
+    print_table(
+        "Exp 14: hot-pair result cache under Zipf-skewed workloads",
+        &[
+            "Dataset",
+            "theta",
+            "off q/s",
+            "on q/s",
+            "speedup",
+            "hit rate",
+            "off p50 us",
+            "on p50 us",
+            "off p99 us",
+            "on p99 us",
+        ],
+        &rows,
+    );
+}
+
 /// Convenience used by tests and `run_all`: a graph for quick smoke runs.
 pub fn smoke_graph() -> Graph {
     DatasetSpec::by_code("FB").unwrap().generate(0.05)
@@ -1112,6 +1313,20 @@ mod tests {
         // Asserts directed engine == sequential reference and that the
         // post-insert dynamic engine equals a fresh full-graph build.
         exp13_directed_dynamic(&opt);
+    }
+
+    #[test]
+    fn cache_experiment_smoke() {
+        let opt = ExpOptions {
+            scale: 0.05,
+            queries: 3000,
+            datasets: vec!["FB".into()],
+            ..ExpOptions::default()
+        };
+        // Asserts cache-on == cache-off answers per θ and post-insert
+        // parity in the invalidation leg; the qps win is a release-run
+        // criterion, not a debug assertion.
+        exp14_cache(&opt);
     }
 
     #[test]

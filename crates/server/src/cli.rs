@@ -10,7 +10,8 @@ use pspc_service::pairs::{read_pairs, write_answers, write_answers_json};
 use pspc_service::EngineConfig;
 
 const USAGE: &str = "usage: pspc serve <index> [--addr host:port] [--workers n] \
-[--queue-depth n] [--chunk n] [--no-sort] | pspc query --remote host:port \
+[--queue-depth n] [--chunk n] [--no-sort] [--cache-capacity n] [--cache-shards n] \
+| pspc query --remote host:port \
 [--pairs <file|->] [--format tsv|json] [s t ...] | pspc insert --remote host:port \
 [--pairs <file|->] [u v ...] | pspc migrate <old> <new> | \
 pspc build|query|bench ... (see `pspc help` for the local subcommands)";
@@ -90,6 +91,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .max(1)
             }
             "--no-sort" => cfg.sort_by_rank = false,
+            // 0 (the default) disables the result cache entirely.
+            "--cache-capacity" => {
+                cfg.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-capacity: {e}"))?
+            }
+            "--cache-shards" => {
+                cfg.cache_shards = value("--cache-shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-shards: {e}"))?
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}\n{USAGE}")),
             path => {
                 if index_path.is_some() {
@@ -109,6 +121,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         index.num_vertices()
     );
     let insertable = index.is_dynamic();
+    if cfg.cache_capacity > 0 {
+        eprintln!(
+            "result cache enabled: ~{} entries across {} shards",
+            cfg.cache_capacity,
+            if cfg.cache_shards == 0 {
+                pspc_service::cache::DEFAULT_SHARDS
+            } else {
+                cfg.cache_shards
+            }
+        );
+    }
     let handle = serve(index, &addr, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
     handle.record_index_load_ms(load_ms);
     eprintln!(

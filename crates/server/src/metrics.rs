@@ -7,6 +7,7 @@
 //! which keeps the request hot path free of any percentile bookkeeping.
 
 use parking_lot::Mutex;
+use pspc_service::CacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -53,9 +54,20 @@ impl LatencyRing {
 
     /// Nearest-rank percentile (`q` in `0..=1`) of the held samples; 0 on
     /// an empty ring. Shares the workspace percentile convention with
-    /// [`pspc_service::bench::percentile_nanos`].
+    /// [`pspc_service::bench::percentile_nanos`]. One clone + sort per
+    /// call — callers needing several quantiles should take
+    /// [`LatencyRing::sorted`] once and use
+    /// [`pspc_service::bench::percentile_sorted_nanos`].
     pub fn percentile(&self, q: f64) -> u64 {
         pspc_service::bench::percentile_nanos(&mut self.buf.clone(), q)
+    }
+
+    /// The held samples, sorted ascending: one allocation + one sort,
+    /// from which any number of quantiles derive for free.
+    pub fn sorted(&self) -> Vec<u64> {
+        let mut s = self.buf.clone();
+        s.sort_unstable();
+        s
     }
 }
 
@@ -79,7 +91,13 @@ pub struct Metrics {
     insert_requests: AtomicU64,
     /// Edges actually applied by inserts (duplicates excluded).
     inserts: AtomicU64,
+    /// Well-formed inserts refused because the index is not dynamic
+    /// (HTTP 409) — deliberately *not* counted as client errors.
+    insert_conflicts: AtomicU64,
     latency_ns: Mutex<LatencyRing>,
+    /// Insert service latencies, kept apart from query latencies so a
+    /// slow labeling repair does not pollute query percentiles.
+    insert_latency_ns: Mutex<LatencyRing>,
 }
 
 impl Default for Metrics {
@@ -96,7 +114,9 @@ impl Default for Metrics {
             index_kind: AtomicU64::new(0),
             insert_requests: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            insert_conflicts: AtomicU64::new(0),
             latency_ns: Mutex::new(LatencyRing::new(RING_CAPACITY)),
+            insert_latency_ns: Mutex::new(LatencyRing::new(RING_CAPACITY)),
         }
     }
 }
@@ -158,16 +178,33 @@ impl Metrics {
         self.index_kind.store(code as u64, Ordering::Relaxed);
     }
 
-    /// Records one accepted insert request and how many edges it
-    /// actually added.
-    pub fn record_insert(&self, applied: u64) {
+    /// Records one accepted insert request, how many edges it actually
+    /// added, and its service latency.
+    pub fn record_insert(&self, applied: u64, latency_ns: u64) {
         self.insert_requests.fetch_add(1, Ordering::Relaxed);
         self.inserts.fetch_add(applied, Ordering::Relaxed);
+        self.insert_latency_ns.lock().push(latency_ns);
+    }
+
+    /// Records a well-formed insert refused because the served index is
+    /// not dynamic (the daemon's 409). Kept apart from
+    /// [`Metrics::record_client_error`]: the request was not malformed.
+    pub fn record_insert_conflict(&self) {
+        self.insert_conflicts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Point-in-time copy of every counter (gauges are racy by nature).
-    pub fn snapshot(&self, queued_chunks: usize) -> MetricsSnapshot {
-        let ring = self.latency_ns.lock();
+    /// Engine-side gauges come in through `engine` — the metrics store
+    /// holds only what the handlers record.
+    pub fn snapshot(&self, engine: EngineGauges) -> MetricsSnapshot {
+        use pspc_service::bench::percentile_sorted_nanos;
+        // One clone + one sort per ring per scrape; both percentiles
+        // derive from the same sorted sample.
+        let (latency_samples, sorted) = {
+            let ring = self.latency_ns.lock();
+            (ring.len() as u64, ring.sorted())
+        };
+        let insert_sorted = self.insert_latency_ns.lock().sorted();
         MetricsSnapshot {
             uptime_secs: self.start.elapsed().as_secs_f64(),
             served: self.served.load(Ordering::Relaxed),
@@ -175,17 +212,35 @@ impl Metrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             client_errors: self.client_errors.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
-            queued_chunks: queued_chunks as u64,
+            queued_chunks: engine.queued_chunks,
             index_load_ms: f64::from_bits(self.index_load_ms.load(Ordering::Relaxed)),
             label_bytes: self.label_bytes.load(Ordering::Relaxed),
             index_kind: self.index_kind.load(Ordering::Relaxed),
+            index_generation: engine.index_generation,
             insert_requests: self.insert_requests.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
-            latency_samples: ring.len() as u64,
-            p50_us: ring.percentile(0.50) as f64 / 1e3,
-            p99_us: ring.percentile(0.99) as f64 / 1e3,
+            insert_conflicts: self.insert_conflicts.load(Ordering::Relaxed),
+            latency_samples,
+            p50_us: percentile_sorted_nanos(&sorted, 0.50) as f64 / 1e3,
+            p99_us: percentile_sorted_nanos(&sorted, 0.99) as f64 / 1e3,
+            insert_p50_us: percentile_sorted_nanos(&insert_sorted, 0.50) as f64 / 1e3,
+            insert_p99_us: percentile_sorted_nanos(&insert_sorted, 0.99) as f64 / 1e3,
+            cache: engine.cache,
         }
     }
+}
+
+/// Live engine-side gauges sampled at scrape time and merged into a
+/// [`MetricsSnapshot`] (the engine owns these; the metrics store only
+/// holds handler-recorded counters).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineGauges {
+    /// Work chunks waiting in the engine's submission queue.
+    pub queued_chunks: u64,
+    /// The served index's generation counter (0 for static kinds).
+    pub index_generation: u64,
+    /// Result-cache counters, when the cache is enabled.
+    pub cache: Option<CacheStats>,
 }
 
 /// One scrape of the daemon's counters.
@@ -211,22 +266,37 @@ pub struct MetricsSnapshot {
     pub label_bytes: u64,
     /// Served index kind code (0 undirected, 1 directed, 2 dynamic).
     pub index_kind: u64,
+    /// The served index's generation counter (0 for static kinds;
+    /// advanced by applied inserts).
+    pub index_generation: u64,
     /// Accepted insert requests.
     pub insert_requests: u64,
     /// Edges actually applied by inserts.
     pub inserts: u64,
-    /// Latency samples in the ring.
+    /// Well-formed inserts refused with 409 (index not dynamic).
+    pub insert_conflicts: u64,
+    /// Latency samples in the query ring.
     pub latency_samples: u64,
     /// Median request service latency, microseconds.
     pub p50_us: f64,
     /// 99th-percentile request service latency, microseconds.
     pub p99_us: f64,
+    /// Median insert service latency, microseconds.
+    pub insert_p50_us: f64,
+    /// 99th-percentile insert service latency, microseconds.
+    pub insert_p99_us: f64,
+    /// Result-cache counters; `None` when the cache is disabled (the
+    /// `pspc_cache_*` lines are then omitted from the exposition).
+    pub cache: Option<CacheStats>,
 }
 
 impl MetricsSnapshot {
-    /// Prometheus-style text exposition (`GET /metrics`).
+    /// Prometheus-style text exposition (`GET /metrics`). The
+    /// `pspc_cache_*` family appears only when the result cache is
+    /// enabled; `pspc_index_generation` is always present (constant 0
+    /// for static kinds).
     pub fn render(&self) -> String {
-        format!(
+        let mut text = format!(
             "pspc_uptime_seconds {:.3}\n\
              pspc_requests_served_total {}\n\
              pspc_queries_answered_total {}\n\
@@ -237,8 +307,12 @@ impl MetricsSnapshot {
              pspc_index_load_ms {:.2}\n\
              pspc_index_label_bytes {}\n\
              pspc_index_kind {}\n\
+             pspc_index_generation {}\n\
              pspc_insert_requests_total {}\n\
              pspc_inserts_total {}\n\
+             pspc_insert_conflicts_total {}\n\
+             pspc_insert_latency_p50_us {:.2}\n\
+             pspc_insert_latency_p99_us {:.2}\n\
              pspc_latency_samples {}\n\
              pspc_request_latency_p50_us {:.2}\n\
              pspc_request_latency_p99_us {:.2}\n",
@@ -252,12 +326,28 @@ impl MetricsSnapshot {
             self.index_load_ms,
             self.label_bytes,
             self.index_kind,
+            self.index_generation,
             self.insert_requests,
             self.inserts,
+            self.insert_conflicts,
+            self.insert_p50_us,
+            self.insert_p99_us,
             self.latency_samples,
             self.p50_us,
             self.p99_us,
-        )
+        );
+        if let Some(c) = self.cache {
+            use std::fmt::Write;
+            let _ = write!(
+                text,
+                "pspc_cache_hits_total {}\n\
+                 pspc_cache_misses_total {}\n\
+                 pspc_cache_entries {}\n\
+                 pspc_cache_evictions_total {}\n",
+                c.hits, c.misses, c.entries, c.evictions,
+            );
+        }
+        text
     }
 }
 
@@ -279,6 +369,22 @@ mod tests {
         assert_eq!(r.len(), 4);
         assert_eq!(r.percentile(0.25), 20);
         assert_eq!(r.percentile(1.0), 50);
+        // sorted() agrees with per-call percentile() for every quantile.
+        let sorted = r.sorted();
+        assert_eq!(sorted, vec![20, 30, 40, 50]);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(
+                pspc_service::bench::percentile_sorted_nanos(&sorted, q),
+                r.percentile(q)
+            );
+        }
+    }
+
+    fn gauges(queued_chunks: u64) -> EngineGauges {
+        EngineGauges {
+            queued_chunks,
+            ..EngineGauges::default()
+        }
     }
 
     #[test]
@@ -286,7 +392,7 @@ mod tests {
         let m = Metrics::new();
         {
             let _g = m.enter();
-            assert_eq!(m.snapshot(0).in_flight, 1);
+            assert_eq!(m.snapshot(gauges(0)).in_flight, 1);
             m.record_served(100, 5_000);
         }
         m.record_rejected();
@@ -294,28 +400,63 @@ mod tests {
         m.set_index_load_ms(12.5);
         m.set_label_bytes(1234);
         m.set_index_kind(2);
-        m.record_insert(3);
-        m.record_insert(0);
-        let s = m.snapshot(7);
+        m.record_insert(3, 8_000);
+        m.record_insert(0, 2_000);
+        m.record_insert_conflict();
+        let s = m.snapshot(gauges(7));
         assert_eq!(s.in_flight, 0);
         assert_eq!(s.served, 1);
         assert_eq!(s.queries, 100);
         assert_eq!(s.rejected, 1);
-        assert_eq!(s.client_errors, 1);
+        assert_eq!(s.client_errors, 1, "conflicts are not client errors");
         assert_eq!(s.queued_chunks, 7);
         assert_eq!(s.index_load_ms, 12.5);
         assert_eq!(s.label_bytes, 1234);
         assert_eq!(s.index_kind, 2);
+        assert_eq!(s.index_generation, 0);
         assert_eq!(s.insert_requests, 2);
         assert_eq!(s.inserts, 3);
+        assert_eq!(s.insert_conflicts, 1);
         assert_eq!(s.latency_samples, 1);
+        assert_eq!(s.insert_p50_us, 2.0);
+        assert_eq!(s.insert_p99_us, 8.0);
         let text = s.render();
         assert!(text.contains("pspc_requests_served_total 1"));
         assert!(text.contains("pspc_index_load_ms 12.50"));
         assert!(text.contains("pspc_index_label_bytes 1234"));
         assert!(text.contains("pspc_index_kind 2"));
+        assert!(text.contains("pspc_index_generation 0"));
         assert!(text.contains("pspc_insert_requests_total 2"));
         assert!(text.contains("pspc_inserts_total 3"));
+        assert!(text.contains("pspc_insert_conflicts_total 1"));
+        assert!(text.contains("pspc_insert_latency_p50_us 2.00"));
+        assert!(text.contains("pspc_insert_latency_p99_us 8.00"));
         assert!(text.contains("pspc_request_latency_p50_us 5.00"));
+        assert!(
+            !text.contains("pspc_cache_"),
+            "cache lines must be omitted when the cache is disabled"
+        );
+    }
+
+    #[test]
+    fn cache_gauges_render_when_enabled() {
+        let m = Metrics::new();
+        let s = m.snapshot(EngineGauges {
+            queued_chunks: 0,
+            index_generation: 5,
+            cache: Some(CacheStats {
+                hits: 10,
+                misses: 4,
+                entries: 3,
+                evictions: 1,
+            }),
+        });
+        assert_eq!(s.index_generation, 5);
+        let text = s.render();
+        assert!(text.contains("pspc_index_generation 5"));
+        assert!(text.contains("pspc_cache_hits_total 10"));
+        assert!(text.contains("pspc_cache_misses_total 4"));
+        assert!(text.contains("pspc_cache_entries 3"));
+        assert!(text.contains("pspc_cache_evictions_total 1"));
     }
 }

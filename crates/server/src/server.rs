@@ -27,7 +27,7 @@
 //! handler threads finish their in-flight request and close, and the
 //! engine pool drains its queue before its workers exit.
 
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{EngineGauges, Metrics, MetricsSnapshot};
 use crate::{http, proto};
 use pspc_service::pairs::{read_pairs, write_answers, write_answers_json};
 use pspc_service::{EngineConfig, IndexKind, InsertError, QueryEngine, SubmitError};
@@ -48,6 +48,19 @@ struct Shared {
     shutdown: AtomicBool,
     active_conns: AtomicUsize,
     num_vertices: u32,
+}
+
+impl Shared {
+    /// Samples the engine-owned gauges a `/metrics` scrape merges into
+    /// the snapshot: queue depth, index generation and (when enabled)
+    /// the result-cache counters.
+    fn gauges(&self) -> EngineGauges {
+        EngineGauges {
+            queued_chunks: self.engine.queued_chunks() as u64,
+            index_generation: self.engine.kind().generation(),
+            cache: self.engine.cache().map(|c| c.stats()),
+        }
+    }
 }
 
 /// Decrements the live-connection gauge however the handler exits.
@@ -135,9 +148,7 @@ impl ServerHandle {
 
     /// A live metrics scrape (same numbers `GET /metrics` serves).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared
-            .metrics
-            .snapshot(self.shared.engine.queued_chunks())
+        self.shared.metrics.snapshot(self.shared.gauges())
     }
 
     /// Records how long the served snapshot took to load, surfacing it
@@ -311,13 +322,23 @@ fn apply_inserts(shared: &Shared, edges: &[(u32, u32)]) -> proto::Response {
             proto::MAX_PAIRS
         ));
     }
+    // Inserts are requests too: they hold the in-flight gauge and feed
+    // their own latency ring, so write traffic is observable without
+    // polluting query percentiles.
+    let _in_flight = shared.metrics.enter();
+    let t0 = Instant::now();
     match shared.engine.apply_inserts(edges) {
         Ok(applied) => {
-            shared.metrics.record_insert(applied as u64);
+            shared
+                .metrics
+                .record_insert(applied as u64, t0.elapsed().as_nanos() as u64);
             proto::Response::Applied(applied as u64)
         }
         Err(e @ InsertError::NotDynamic) => {
-            shared.metrics.record_client_error();
+            // A well-formed insert to the wrong index kind is a
+            // *conflict*, not a malformed request — it must not inflate
+            // pspc_requests_bad_total.
+            shared.metrics.record_insert_conflict();
             proto::Response::Conflict(e.to_string())
         }
         Err(e @ InsertError::OutOfRange { .. }) => {
@@ -402,10 +423,7 @@ fn serve_http(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => http_text(&mut writer, 200, "OK", "ok\n", keep_alive)?,
             ("GET", "/metrics") => {
-                let body = shared
-                    .metrics
-                    .snapshot(shared.engine.queued_chunks())
-                    .render();
+                let body = shared.metrics.snapshot(shared.gauges()).render();
                 http_text(&mut writer, 200, "OK", &body, keep_alive)?;
             }
             ("POST", "/query") => {

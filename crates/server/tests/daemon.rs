@@ -237,6 +237,7 @@ fn saturated_queue_rejects_new_work_instead_of_hanging() {
             chunk_size: 10_000,
             queue_depth: 4,
             sort_by_rank: true,
+            ..EngineConfig::default()
         },
     );
 
@@ -360,17 +361,26 @@ fn insert_then_query_returns_post_insert_answers_on_all_paths() {
     );
 
     // Metrics: kind gauge says dynamic, insert totals reflect the two
-    // applied edges across three accepted insert requests.
+    // applied edges across three accepted insert requests, and the
+    // generation counter advanced once per graph-changing insert
+    // (duplicates and rejected batches do not bump it).
     let (status, body) = http_request(&addr, "GET", "/metrics", b"");
     assert!(status.contains("200"), "{status}");
     let text = String::from_utf8(body).unwrap();
     assert!(text.contains("pspc_index_kind 2"), "{text}");
     assert!(text.contains("pspc_insert_requests_total 3"), "{text}");
     assert!(text.contains("pspc_inserts_total 2"), "{text}");
+    assert!(text.contains("pspc_index_generation 2"), "{text}");
+    assert!(text.contains("pspc_insert_latency_p50_us"), "{text}");
 
     let m = handle.shutdown();
     assert_eq!(m.inserts, 2);
     assert_eq!(m.insert_requests, 3);
+    assert_eq!(m.index_generation, 2);
+    assert!(
+        m.insert_p99_us > 0.0,
+        "accepted inserts must feed the latency ring"
+    );
 }
 
 #[test]
@@ -451,6 +461,66 @@ fn insert_on_non_dynamic_index_is_a_clean_conflict() {
     assert_eq!(m.index_kind, 0);
     assert_eq!(m.inserts, 0);
     assert_eq!(m.insert_requests, 0);
+    // The two 409s are conflicts, not malformed requests: they land in
+    // their own counter and leave pspc_requests_bad_total alone.
+    assert_eq!(m.insert_conflicts, 2);
+    assert_eq!(
+        m.client_errors, 0,
+        "a well-formed insert to the wrong index kind must not count as a client error"
+    );
+}
+
+#[test]
+fn cached_daemon_serves_identical_answers_and_exports_cache_metrics() {
+    // A cache-enabled dynamic daemon: repeated batches hit, answers stay
+    // bit-identical, an applied insert advances the generation and the
+    // next identical batch misses (stale stamps) yet still answers the
+    // post-insert graph.
+    let (handle, addr) = start_dynamic_path(
+        16,
+        EngineConfig {
+            workers: 2,
+            cache_capacity: 1024,
+            ..EngineConfig::default()
+        },
+    );
+
+    let mut client = RemoteClient::connect(&addr).unwrap();
+    let ps: Vec<(u32, u32)> = (0..15).map(|i| (i, i + 1)).collect();
+    let first = client.query_batch(&ps).unwrap();
+    for _ in 0..3 {
+        assert_eq!(client.query_batch(&ps).unwrap(), first, "warm pass parity");
+    }
+    let m = handle.metrics();
+    let cache = m.cache.expect("cache metrics exported when enabled");
+    assert!(
+        cache.hits >= ps.len() as u64,
+        "repeated batches must hit: {cache:?}"
+    );
+    assert!(cache.entries >= 1);
+    let (status, body) = http_request(&addr, "GET", "/metrics", b"");
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("pspc_cache_hits_total"), "{text}");
+    assert!(text.contains("pspc_cache_misses_total"), "{text}");
+    assert!(text.contains("pspc_cache_entries"), "{text}");
+    assert!(text.contains("pspc_cache_evictions_total"), "{text}");
+    assert!(text.contains("pspc_index_generation 0"), "{text}");
+
+    // Insert a shortcut: the generation advances and dist(0, 15) drops
+    // from 15 to 1 — a stale cached answer would still say 15.
+    assert_eq!(
+        client.query_batch(&[(0, 15)]).unwrap()[0],
+        pspc_graph::SpcAnswer { dist: 15, count: 1 }
+    );
+    assert_eq!(client.insert_edges(&[(0, 15)]).unwrap(), 1);
+    assert_eq!(
+        client.query_batch(&[(0, 15)]).unwrap()[0],
+        pspc_graph::SpcAnswer { dist: 1, count: 1 },
+        "post-insert query must not be served from the stale cache"
+    );
+    let m = handle.shutdown();
+    assert_eq!(m.index_generation, 1);
 }
 
 #[test]

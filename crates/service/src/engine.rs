@@ -37,6 +37,7 @@
 //! the channel hands out every queued chunk before reporting disconnect,
 //! so in-flight batches complete and only then do workers exit.
 
+use crate::cache::AnswerCache;
 use crate::kind::{IndexKind, InsertError};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
@@ -65,6 +66,13 @@ pub struct EngineConfig {
     /// [`QueryEngine::try_run`] rejects batches that do not fit; the
     /// blocking paths wait for free slots instead.
     pub queue_depth: usize,
+    /// Total `(s, t) → answer` cache entries across all shards
+    /// (0 disables the cache — the default, so batch jobs that never
+    /// repeat a pair pay nothing).
+    pub cache_capacity: usize,
+    /// Cache shard count (0 = [`crate::cache::DEFAULT_SHARDS`]); ignored
+    /// when the cache is disabled.
+    pub cache_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +82,8 @@ impl Default for EngineConfig {
             chunk_size: 1024,
             sort_by_rank: true,
             queue_depth: 0,
+            cache_capacity: 0,
+            cache_shards: 0,
         }
     }
 }
@@ -240,6 +250,10 @@ pub struct QueryEngine {
     submit_lock: Mutex<()>,
     /// Recycled answer buffers shared by workers and submitters.
     buffers: Arc<BufferPool>,
+    /// The hot-pair result cache, when `cfg.cache_capacity > 0`. Probed
+    /// before chunking and back-filled after; entries are stamped with
+    /// the index generation so inserts invalidate implicitly.
+    cache: Option<AnswerCache>,
 }
 
 impl QueryEngine {
@@ -285,6 +299,8 @@ impl QueryEngine {
                     .expect("spawning engine worker")
             })
             .collect();
+        let cache = (cfg.cache_capacity > 0)
+            .then(|| AnswerCache::new(cfg.cache_capacity, cfg.cache_shards));
         QueryEngine {
             index,
             cfg,
@@ -292,7 +308,15 @@ impl QueryEngine {
             handles,
             submit_lock: Mutex::new(()),
             buffers,
+            cache,
         }
+    }
+
+    /// The result cache, when enabled ([`EngineConfig::cache_capacity`]
+    /// \> 0) — e.g. for metrics exposition via
+    /// [`crate::cache::AnswerCache::stats`].
+    pub fn cache(&self) -> Option<&AnswerCache> {
+        self.cache.as_ref()
     }
 
     /// The undirected index being served.
@@ -424,7 +448,85 @@ impl QueryEngine {
         }
     }
 
+    /// Cache front-end over [`QueryEngine::execute_pool`]: probes the
+    /// result cache for every pair, submits **only the missing pairs**
+    /// to the worker pool and back-fills their answers, all stamped with
+    /// the index generation loaded before the probe (a concurrent insert
+    /// can therefore only reject fresh entries, never admit stale ones).
+    /// With the cache disabled this is a straight passthrough.
+    ///
+    /// On the timed path the returned latency vector is the hit probes'
+    /// latencies followed by the pool's per-query latencies — `n` samples
+    /// either way, suitable for percentile reports.
+    ///
+    /// Statistics caveat: when admission control rejects the residual
+    /// batch, probe hits/misses have already been counted — a shed batch
+    /// leaves its probe trace in [`crate::cache::CacheStats`].
     fn execute(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        time_queries: bool,
+        admission: bool,
+    ) -> Result<(Vec<SpcAnswer>, BatchReport, Vec<u64>), SubmitError> {
+        let Some(cache) = &self.cache else {
+            return self.execute_pool(pairs, time_queries, admission);
+        };
+        let n = pairs.len();
+        if n == 0 {
+            return self.execute_pool(pairs, time_queries, admission);
+        }
+        let t0 = Instant::now();
+        // Load the generation *before* computing anything: an insert
+        // landing mid-batch bumps it, so every entry filled below is
+        // stamped stale and rejected on the next probe — conservative by
+        // construction.
+        let generation = self.index.generation();
+
+        let mut answers = vec![SpcAnswer::UNREACHABLE; n];
+        let mut missing_idx: Vec<u32> = Vec::new();
+        let mut missing_pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut latencies = Vec::new();
+        for (i, &p) in pairs.iter().enumerate() {
+            let probe_t0 = time_queries.then(Instant::now);
+            match cache.get(p, generation) {
+                Some(a) => {
+                    answers[i] = a;
+                    if let Some(t) = probe_t0 {
+                        latencies.push(t.elapsed().as_nanos() as u64);
+                    }
+                }
+                None => {
+                    missing_idx.push(i as u32);
+                    missing_pairs.push(p);
+                }
+            }
+        }
+
+        let (chunks, workers) = if missing_pairs.is_empty() {
+            (0, 0)
+        } else {
+            let (sub_answers, sub_report, sub_lat) =
+                self.execute_pool(&missing_pairs, time_queries, admission)?;
+            for (k, &i) in missing_idx.iter().enumerate() {
+                answers[i as usize] = sub_answers[k];
+                cache.insert(missing_pairs[k], sub_answers[k], generation);
+            }
+            latencies.extend(sub_lat);
+            (sub_report.chunks, sub_report.workers)
+        };
+
+        let report = BatchReport {
+            queries: n,
+            workers,
+            chunks,
+            wall_secs: t0.elapsed().as_secs_f64(),
+            reachable: answers.iter().filter(|a| a.is_reachable()).count(),
+        };
+        Ok((answers, report, latencies))
+    }
+
+    /// The pool path: rank-translate, order, chunk, dispatch, merge.
+    fn execute_pool(
         &self,
         pairs: &[(VertexId, VertexId)],
         time_queries: bool,
@@ -687,6 +789,7 @@ mod tests {
             chunk_size: 16,
             sort_by_rank: true,
             queue_depth: 4,
+            ..EngineConfig::default()
         });
         let ps = pairs(60, 300, 7); // 4 chunks: exactly fits
         let (answers, _) = e.try_run(&ps).expect("fits the queue");
@@ -731,6 +834,60 @@ mod tests {
         assert_eq!(e.run(&ps), expect);
         let index = e.into_index();
         assert_eq!(index.query_batch_sequential(&ps), expect);
+    }
+
+    #[test]
+    fn cached_engine_answers_match_and_repeat_batches_hit() {
+        let e = engine(EngineConfig {
+            workers: 2,
+            chunk_size: 64,
+            cache_capacity: 4096,
+            ..EngineConfig::default()
+        });
+        let ps = pairs(400, 300, 21);
+        let expect = e.index().query_batch_sequential(&ps);
+        assert_eq!(e.run(&ps), expect, "cold pass parity");
+        assert_eq!(e.run(&ps), expect, "warm pass parity");
+        let stats = e.cache().expect("cache enabled").stats();
+        assert!(
+            stats.hits >= ps.len() as u64,
+            "second pass must be all hits: {stats:?}"
+        );
+        // try_run and the timed path go through the same front-end.
+        let (answers, report) = e.try_run(&ps).expect("idle queue");
+        assert_eq!(answers, expect);
+        assert_eq!(report.chunks, 0, "full hit submits nothing to the pool");
+        let (answers, _, lat) = e.run_with_latencies(&ps);
+        assert_eq!(answers, expect);
+        assert_eq!(lat.len(), ps.len(), "timed path covers hits too");
+    }
+
+    #[test]
+    fn partial_hits_submit_only_missing_pairs() {
+        let e = engine(EngineConfig {
+            workers: 1,
+            chunk_size: 8,
+            cache_capacity: 1024,
+            ..EngineConfig::default()
+        });
+        let warm = pairs(64, 300, 33);
+        e.run(&warm);
+        // Half warm, half cold: the pool only sees the cold half.
+        let mut mixed = warm[..32].to_vec();
+        mixed.extend(pairs(32, 300, 44));
+        let (answers, report) = e.run_with_report(&mixed);
+        assert_eq!(answers, e.index().query_batch_sequential(&mixed));
+        assert_eq!(report.queries, 64);
+        assert!(
+            report.chunks <= 32usize.div_ceil(8),
+            "only the cold residue is chunked: {report:?}"
+        );
+    }
+
+    #[test]
+    fn cache_disabled_by_default() {
+        let e = engine(EngineConfig::default());
+        assert!(e.cache().is_none());
     }
 
     #[test]

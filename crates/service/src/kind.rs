@@ -33,6 +33,7 @@
 use parking_lot::RwLock;
 use pspc_core::{DiSpcIndex, DynamicDistanceIndex, SnapshotKind, SpcIndex};
 use pspc_graph::{SpcAnswer, VertexId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Edges applied per write-lock acquisition in
 /// [`IndexKind::insert_edges`]: large insert batches release the lock
@@ -48,7 +49,32 @@ pub enum IndexKind {
     Directed(DiSpcIndex),
     /// The insertion-only dynamic distance index, mutable under a write
     /// lock while queries drain around it.
-    Dynamic(RwLock<DynamicDistanceIndex>),
+    Dynamic(DynamicShared),
+}
+
+/// The shared state of a served dynamic index: the labeling behind its
+/// write lock plus the **index generation counter**.
+///
+/// The counter starts at 0 and is bumped (under the write lock) by every
+/// [`IndexKind::insert_edges`] slice that actually changed the graph, so
+/// any observer holding a generation value can tell whether the index
+/// has since evolved. The [`crate::cache::AnswerCache`] stamps entries
+/// with the generation loaded *before* an answer was computed and
+/// rejects any entry whose stamp is not current — which makes an insert
+/// an implicit whole-cache invalidation. Static kinds report a constant
+/// generation of 0 (their graphs never change).
+pub struct DynamicShared {
+    index: RwLock<DynamicDistanceIndex>,
+    generation: AtomicU64,
+}
+
+impl DynamicShared {
+    fn new(index: DynamicDistanceIndex) -> Self {
+        DynamicShared {
+            index: RwLock::new(index),
+            generation: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Rejection from [`IndexKind::insert_edges`].
@@ -127,7 +153,7 @@ impl IndexKind {
         match self {
             IndexKind::Undirected(i) => i.num_vertices(),
             IndexKind::Directed(i) => i.num_vertices(),
-            IndexKind::Dynamic(i) => i.read().num_vertices(),
+            IndexKind::Dynamic(d) => d.index.read().num_vertices(),
         }
     }
 
@@ -143,7 +169,7 @@ impl IndexKind {
         match self {
             IndexKind::Undirected(i) => i.stats().label_bytes,
             IndexKind::Directed(i) => i.stats().label_bytes,
-            IndexKind::Dynamic(i) => i.read().num_entries() * 6,
+            IndexKind::Dynamic(d) => d.index.read().num_entries() * 6,
         }
     }
 
@@ -162,7 +188,7 @@ impl IndexKind {
             // The vertex order is fixed at build time — insertions never
             // re-rank — so ranks translated here stay valid even if an
             // insert lands before the chunks execute.
-            IndexKind::Dynamic(i) => translate(i.read().order()),
+            IndexKind::Dynamic(d) => translate(d.index.read().order()),
         }
     }
 
@@ -171,7 +197,7 @@ impl IndexKind {
         match self {
             IndexKind::Undirected(i) => i.query_ranks(rs, rt),
             IndexKind::Directed(i) => i.query_ranks(rs, rt),
-            IndexKind::Dynamic(i) => dyn_answer(i.read().distance_ranks(rs, rt)),
+            IndexKind::Dynamic(d) => dyn_answer(d.index.read().distance_ranks(rs, rt)),
         }
     }
 
@@ -183,8 +209,8 @@ impl IndexKind {
         match self {
             IndexKind::Undirected(i) => i.query_rank_batch_into(rank_pairs, out),
             IndexKind::Directed(i) => i.query_rank_batch_into(rank_pairs, out),
-            IndexKind::Dynamic(i) => {
-                let idx = i.read();
+            IndexKind::Dynamic(d) => {
+                let idx = d.index.read();
                 out.clear();
                 out.extend(
                     rank_pairs
@@ -221,8 +247,8 @@ impl IndexKind {
         match self {
             IndexKind::Undirected(i) => run(&mut |rs, rt| i.query_ranks(rs, rt)),
             IndexKind::Directed(i) => run(&mut |rs, rt| i.query_ranks(rs, rt)),
-            IndexKind::Dynamic(i) => {
-                let idx = i.read();
+            IndexKind::Dynamic(d) => {
+                let idx = d.index.read();
                 run(&mut |rs, rt| dyn_answer(idx.distance_ranks(rs, rt)));
             }
         }
@@ -234,8 +260,8 @@ impl IndexKind {
         match self {
             IndexKind::Undirected(i) => i.query_batch_sequential(pairs),
             IndexKind::Directed(i) => i.query_batch_sequential(pairs),
-            IndexKind::Dynamic(i) => {
-                let idx = i.read();
+            IndexKind::Dynamic(d) => {
+                let idx = d.index.read();
                 pairs
                     .iter()
                     .map(|&(s, t)| dyn_answer(idx.distance(s, t)))
@@ -256,7 +282,7 @@ impl IndexKind {
     /// the index after some prefix of the batch, which is already the
     /// chunk-level consistency the engine promises.
     pub fn insert_edges(&self, edges: &[(VertexId, VertexId)]) -> Result<usize, InsertError> {
-        let IndexKind::Dynamic(lock) = self else {
+        let IndexKind::Dynamic(d) = self else {
             return Err(InsertError::NotDynamic);
         };
         let n = self.num_vertices();
@@ -271,13 +297,33 @@ impl IndexKind {
         }
         let mut applied = 0;
         for slice in edges.chunks(INSERT_SLICE) {
-            let mut idx = lock.write();
-            applied += slice
+            let mut idx = d.index.write();
+            let new = slice
                 .iter()
                 .filter(|&&(u, v)| idx.insert_edge(u, v))
                 .count();
+            if new > 0 {
+                // Bump *after* the edges land and still under the write
+                // lock, so no reader can observe the new generation
+                // paired with the old graph. A racing cache fill that
+                // loaded the old generation before this bump stamps its
+                // entry stale — conservative, never incorrect.
+                d.generation.fetch_add(1, Ordering::Release);
+            }
+            applied += new;
         }
         Ok(applied)
+    }
+
+    /// The index generation counter: 0 at load, bumped by every
+    /// [`IndexKind::insert_edges`] slice that changed the graph. Static
+    /// kinds are constant 0 — their graphs never evolve, so any stamped
+    /// answer stays valid forever. See [`DynamicShared`].
+    pub fn generation(&self) -> u64 {
+        match self {
+            IndexKind::Undirected(_) | IndexKind::Directed(_) => 0,
+            IndexKind::Dynamic(d) => d.generation.load(Ordering::Acquire),
+        }
     }
 }
 
@@ -286,7 +332,7 @@ impl From<SnapshotKind> for IndexKind {
         match s {
             SnapshotKind::Undirected(i) => IndexKind::Undirected(i),
             SnapshotKind::Directed(i) => IndexKind::Directed(i),
-            SnapshotKind::Dynamic(i) => IndexKind::Dynamic(RwLock::new(i)),
+            SnapshotKind::Dynamic(i) => IndexKind::Dynamic(DynamicShared::new(i)),
         }
     }
 }
@@ -305,7 +351,7 @@ impl From<DiSpcIndex> for IndexKind {
 
 impl From<DynamicDistanceIndex> for IndexKind {
     fn from(i: DynamicDistanceIndex) -> Self {
-        IndexKind::Dynamic(RwLock::new(i))
+        IndexKind::Dynamic(DynamicShared::new(i))
     }
 }
 
@@ -395,7 +441,37 @@ mod tests {
             dynk.query_batch_sequential(&[(0, 19)])[0],
             SpcAnswer { dist: 1, count: 1 }
         );
-        // Error messages are actionable.
+    }
+
+    #[test]
+    fn generation_tracks_graph_changes_only() {
+        let g = erdos_renyi(20, 30, 3);
+        let und: IndexKind = build_pspc(&g, &PspcConfig::default()).0.into();
+        assert_eq!(und.generation(), 0);
+        let _ = und.insert_edges(&[(0, 1)]);
+        assert_eq!(und.generation(), 0, "static kinds never advance");
+
+        let dynk: IndexKind = DynamicDistanceIndex::build(&g, OrderingStrategy::Degree).into();
+        assert_eq!(dynk.generation(), 0);
+        // A rejected batch changes nothing.
+        assert!(dynk.insert_edges(&[(0, 99)]).is_err());
+        assert_eq!(dynk.generation(), 0);
+        // Self-loops and duplicates of existing edges change nothing.
+        let dup = g.neighbors(0).first().copied().map(|v| (0, v));
+        if let Some(dup) = dup {
+            assert_eq!(dynk.insert_edges(&[(4, 4), dup]).unwrap(), 0);
+            assert_eq!(dynk.generation(), 0);
+        }
+        // A batch that applies at least one new edge advances it.
+        assert_eq!(dynk.insert_edges(&[(0, 19)]).unwrap(), 1);
+        assert_eq!(dynk.generation(), 1);
+        // And monotonically so.
+        assert_eq!(dynk.insert_edges(&[(1, 19)]).unwrap(), 1);
+        assert_eq!(dynk.generation(), 2);
+    }
+
+    #[test]
+    fn insert_error_messages_are_actionable() {
         assert!(InsertError::NotDynamic.to_string().contains("--dynamic"));
         assert!(InsertError::OutOfRange {
             edge: (0, 99),

@@ -18,6 +18,10 @@
 //!   and the daemon serve whichever kind a snapshot holds (dynamic
 //!   indexes additionally take live [`QueryEngine::apply_inserts`]
 //!   under a write lock);
+//! * [`cache`] — [`AnswerCache`]: a sharded, size-bounded hot-pair
+//!   result cache probed by the engine before chunking (CLOCK eviction,
+//!   no global lock), with entries stamped by the [`IndexKind`]
+//!   generation counter so dynamic inserts invalidate implicitly;
 //! * [`bench`] — sustained-throughput measurement (queries/sec, p50/p99
 //!   latency) and the sequential baseline comparison;
 //! * [`pairs`] — text and JSON I/O for query workloads;
@@ -65,11 +69,13 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cache;
 pub mod cli;
 pub mod engine;
 pub mod kind;
 pub mod pairs;
 
 pub use bench::{run_bench, BenchReport};
+pub use cache::{AnswerCache, CacheStats};
 pub use engine::{BatchReport, EngineConfig, QueryEngine, SubmitError, DEFAULT_QUEUE_DEPTH};
 pub use kind::{IndexKind, InsertError};

@@ -11,6 +11,12 @@
 //!   engine's copy through [`QueryEngine::apply_inserts`] (so the
 //!   write-lock path itself is under test), mapped onto the wire answer
 //!   shape (`count = 1` when reachable).
+//!
+//! Every engine runs with the result cache **enabled** and each batch
+//! twice — the second pass is served from the cache, so hit-path parity
+//! is pinned alongside miss-path parity. The dynamic leg additionally
+//! fills the cache *before* applying the inserts, proving generation
+//! stamping invalidates pre-insert answers.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -41,18 +47,24 @@ fn assert_engine_parity(
                 workers,
                 chunk_size,
                 sort_by_rank,
+                cache_capacity: 256,
                 ..EngineConfig::default()
             },
         );
-        assert_eq!(
-            engine.run(pairs).as_slice(),
-            expect,
-            "kind={} workers={} chunk={} sort={}",
-            engine.kind().name(),
-            workers,
-            chunk_size,
-            sort_by_rank
-        );
+        // Twice: the first pass fills the cache, the second is served
+        // (at least partly) from it — both must match the reference.
+        for pass in ["cold", "warm"] {
+            assert_eq!(
+                engine.run(pairs).as_slice(),
+                expect,
+                "kind={} workers={} chunk={} sort={} pass={}",
+                engine.kind().name(),
+                workers,
+                chunk_size,
+                sort_by_rank,
+                pass
+            );
+        }
     }
 }
 
@@ -118,18 +130,26 @@ proptest! {
                     workers,
                     chunk_size,
                     sort_by_rank,
+                    cache_capacity: 256,
                     ..EngineConfig::default()
                 },
             );
+            // Fill the cache with pre-insert answers first: if an
+            // applied insert fails to invalidate them, the post-insert
+            // pass below serves stale distances and diverges.
+            let _ = engine.run(&pairs);
             engine.apply_inserts(&inserts).expect("dynamic engine accepts inserts");
-            prop_assert_eq!(
-                engine.run(&pairs),
-                expect.clone(),
-                "dynamic: workers={} chunk={} sort={}",
-                workers,
-                chunk_size,
-                sort_by_rank
-            );
+            for pass in ["cold", "warm"] {
+                prop_assert_eq!(
+                    engine.run(&pairs),
+                    expect.clone(),
+                    "dynamic: workers={} chunk={} sort={} pass={}",
+                    workers,
+                    chunk_size,
+                    sort_by_rank,
+                    pass
+                );
+            }
         }
     }
 }

@@ -1,0 +1,12 @@
+//! Extension experiment: the price of observability — the exp11-style
+//! daemon workload served with request tracing + stage histograms on vs
+//! off, reporting qps and p50/p99 for both legs and asserting the
+//! overhead stays within the release acceptance bar. Emits
+//! `[exp15-json]` lines for BENCH_*.json trajectories.
+
+use pspc_bench::experiments::exp15_obs;
+use pspc_bench::ExpOptions;
+
+fn main() {
+    exp15_obs(&ExpOptions::from_args());
+}

@@ -31,5 +31,6 @@ fn main() {
     exp12_snapshot(&opt);
     exp13_directed_dynamic(&opt);
     exp14_cache(&opt);
+    exp15_obs(&opt);
     eprintln!("full evaluation complete");
 }

@@ -1235,6 +1235,226 @@ pub fn exp14_cache(opt: &ExpOptions) {
     );
 }
 
+// ------------------------------------------------ Observability overhead
+
+/// Pairs per network request in the observability experiment.
+const EXP15_REQUEST_PAIRS: usize = 1024;
+/// Concurrent client connections in the observability experiment.
+const EXP15_CLIENTS: usize = 4;
+/// Interleaved measurement passes per leg (best-of damps scheduler
+/// noise; the legs alternate within a pass so both sample the same
+/// machine conditions).
+const EXP15_PASSES: usize = 3;
+/// Maximum tolerated tracing overhead on daemon throughput (release
+/// acceptance bar: 3%).
+const EXP15_MAX_OVERHEAD: f64 = 0.03;
+
+/// Experiment 15 (extension): **the price of observability** — the
+/// exp11-style daemon workload ([`EXP15_CLIENTS`] binary-protocol
+/// clients issuing [`EXP15_REQUEST_PAIRS`]-pair requests) served by two
+/// daemons over the same index: tracing off vs tracing on (per-request
+/// spans, stage-attributed histograms, trace ring, slow-query log).
+///
+/// Both legs stay up for the whole run and measurement passes alternate
+/// between them ([`EXP15_PASSES`] best-of passes per leg), so scheduler
+/// drift hits both equally. Answers are asserted bit-identical to the
+/// sequential reference on every pass; the traced daemon is additionally
+/// asserted to have populated its stage histograms and slow log, and the
+/// untraced one to have recorded *no* stage samples. The release
+/// acceptance bar is tracing overhead ≤ [`EXP15_MAX_OVERHEAD`] on
+/// best-of throughput. Emits one `[exp15-json]` line per dataset.
+pub fn exp15_obs(opt: &ExpOptions) {
+    use pspc_obs::Stage;
+    use pspc_server::client::RemoteClient;
+    use pspc_server::server::{serve_with_obs, ObsConfig};
+    use pspc_service::bench::percentile_sorted_nanos;
+    use pspc_service::EngineConfig;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let mut rows = Vec::new();
+    for d in selected(opt, &["FB"]) {
+        let g = d.generate(opt.scale);
+        let (idx, _) = build_pspc(&g, &default_pspc(opt.threads));
+        let pairs = random_pairs(&g, opt.queries, 0x0B515);
+        let expect = idx.query_batch_sequential(&pairs);
+        let engine_cfg = EngineConfig {
+            workers: opt.threads,
+            ..EngineConfig::default()
+        };
+        let handles: Vec<_> = [false, true]
+            .iter()
+            .map(|&tracing| {
+                serve_with_obs(
+                    idx.clone(),
+                    "127.0.0.1:0",
+                    engine_cfg,
+                    ObsConfig {
+                        tracing,
+                        ..ObsConfig::default()
+                    },
+                )
+                .expect("bind ephemeral port")
+            })
+            .collect();
+
+        // One full workload replay against one daemon: qps plus the
+        // per-request round-trip latencies.
+        let run_pass = |addr: &str| -> (f64, Vec<u64>) {
+            let requests: Vec<&[(u32, u32)]> = pairs.chunks(EXP15_REQUEST_PAIRS).collect();
+            let next = AtomicUsize::new(0);
+            let parts: Mutex<Vec<(usize, Vec<pspc_graph::SpcAnswer>)>> =
+                Mutex::new(Vec::with_capacity(requests.len()));
+            let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(requests.len()));
+            let ((), secs) = time(|| {
+                std::thread::scope(|s| {
+                    for _ in 0..EXP15_CLIENTS {
+                        s.spawn(|| {
+                            let mut client = RemoteClient::connect(addr).expect("connect");
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(req) = requests.get(i) else { return };
+                                let t0 = std::time::Instant::now();
+                                let answers = client.query_batch(req).expect("daemon answer");
+                                latencies
+                                    .lock()
+                                    .unwrap()
+                                    .push(t0.elapsed().as_nanos() as u64);
+                                parts.lock().unwrap().push((i, answers));
+                            }
+                        });
+                    }
+                });
+            });
+            let mut parts = parts.into_inner().unwrap();
+            parts.sort_unstable_by_key(|&(i, _)| i);
+            let got: Vec<_> = parts.into_iter().flat_map(|(_, a)| a).collect();
+            assert_eq!(got, expect, "{}: daemon answers diverge", d.code);
+            (
+                pairs.len() as f64 / secs.max(1e-9),
+                latencies.into_inner().unwrap(),
+            )
+        };
+
+        let mut best_qps = [0f64; 2];
+        let mut lat: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        for _ in 0..EXP15_PASSES {
+            for (leg, h) in handles.iter().enumerate() {
+                let (qps, mut l) = run_pass(&h.local_addr().to_string());
+                best_qps[leg] = best_qps[leg].max(qps);
+                lat[leg].append(&mut l);
+            }
+        }
+        for l in &mut lat {
+            l.sort_unstable();
+        }
+
+        // The traced leg's observability surface must actually be
+        // populated — otherwise the "overhead" measured nothing. Traces
+        // are recorded *after* the response is written, so the last
+        // request's trace may land shortly after its client returns:
+        // poll the scrape briefly before asserting.
+        let served = (EXP15_PASSES * pairs.chunks(EXP15_REQUEST_PAIRS).count()) as u64;
+        let on = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            loop {
+                let m = handles[1].metrics();
+                if m.stage_hists[Stage::Prepare as usize].count() >= served
+                    || std::time::Instant::now() >= deadline
+                {
+                    break m;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        };
+        assert_eq!(on.request_hist.count(), served);
+        for stage in [Stage::Prepare, Stage::Execute, Stage::Merge] {
+            let h = &on.stage_hists[stage as usize];
+            assert_eq!(h.count(), served, "{} samples missing", stage.name());
+            assert!(h.sum() > 0, "{} attributed no time", stage.name());
+        }
+        let slow = handles[1].slowest_traces(8);
+        assert!(!slow.is_empty(), "slow log empty after traffic");
+        assert!(
+            slow[0].stage_ns[Stage::Execute as usize] > 0,
+            "slowest trace lacks execute attribution"
+        );
+        let off = handles[0].metrics();
+        assert_eq!(
+            off.stage_hists.iter().map(|h| h.count()).sum::<u64>(),
+            0,
+            "untraced leg must record no stage samples"
+        );
+
+        let overhead = 1.0 - best_qps[1] / best_qps[0].max(1e-9);
+        // Measurable bar only in release: debug builds are dominated by
+        // unoptimized engine code, not by the few clock reads tracing
+        // adds.
+        if !cfg!(debug_assertions) {
+            assert!(
+                overhead <= EXP15_MAX_OVERHEAD,
+                "{}: tracing overhead {:.1}% exceeds the {:.0}% bar \
+                 (off {:.0} q/s, on {:.0} q/s)",
+                d.code,
+                overhead * 100.0,
+                EXP15_MAX_OVERHEAD * 100.0,
+                best_qps[0],
+                best_qps[1]
+            );
+        }
+
+        let p = |leg: usize, q: f64| percentile_sorted_nanos(&lat[leg], q) as f64 / 1e3;
+        rows.push(vec![
+            d.code.to_string(),
+            format!("{:.0}", best_qps[0]),
+            format!("{:.0}", best_qps[1]),
+            format!("{:.1}%", overhead * 100.0),
+            format!("{:.0}", p(0, 0.50)),
+            format!("{:.0}", p(1, 0.50)),
+            format!("{:.0}", p(0, 0.99)),
+            format!("{:.0}", p(1, 0.99)),
+        ]);
+        println!(
+            "[exp15-json] {{\"experiment\":\"exp15_obs\",\"dataset\":\"{}\",\
+             \"off_qps\":{:.0},\"on_qps\":{:.0},\"overhead_pct\":{:.2},\
+             \"off_p50_us\":{:.2},\"on_p50_us\":{:.2},\
+             \"off_p99_us\":{:.2},\"on_p99_us\":{:.2}}}",
+            d.code,
+            best_qps[0],
+            best_qps[1],
+            overhead * 100.0,
+            p(0, 0.50),
+            p(1, 0.50),
+            p(0, 0.99),
+            p(1, 0.99),
+        );
+        eprintln!(
+            "[exp15] {} done: off {:.0} q/s, on {:.0} q/s ({:+.1}% overhead)",
+            d.code,
+            best_qps[0],
+            best_qps[1],
+            overhead * 100.0
+        );
+        for h in handles {
+            h.shutdown();
+        }
+    }
+    print_table(
+        "Exp 15: observability overhead — tracing + histograms on vs off",
+        &[
+            "Dataset",
+            "off q/s",
+            "on q/s",
+            "overhead",
+            "off p50 us",
+            "on p50 us",
+            "off p99 us",
+            "on p99 us",
+        ],
+        &rows,
+    );
+}
+
 /// Convenience used by tests and `run_all`: a graph for quick smoke runs.
 pub fn smoke_graph() -> Graph {
     DatasetSpec::by_code("FB").unwrap().generate(0.05)
@@ -1327,6 +1547,21 @@ mod tests {
         // parity in the invalidation leg; the qps win is a release-run
         // criterion, not a debug assertion.
         exp14_cache(&opt);
+    }
+
+    #[test]
+    fn observability_experiment_smoke() {
+        let opt = ExpOptions {
+            scale: 0.05,
+            queries: 3000,
+            datasets: vec!["FB".into()],
+            ..ExpOptions::default()
+        };
+        // Asserts daemon answers match the sequential reference on both
+        // legs, the traced leg populated its histograms and slow log,
+        // and the untraced leg recorded nothing; the ≤3% overhead bar
+        // is release-only.
+        exp15_obs(&opt);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Workspace-wide observability primitives for the PSPC serving stack:
+//! **log-bucketed latency histograms**, **per-request tracing** and a
+//! **structured leveled logger** — all dependency-free (in-tree shims
+//! only) and lock-free on the hot paths.
+//!
+//! # Pieces
+//!
+//! * [`hist`] — [`LogHistogram`]: a fixed-size HDR-style histogram
+//!   (~2 significant digits) whose `record` is three `Relaxed` atomic
+//!   adds and whose scrape is atomic loads, so metric exposition can
+//!   never stall request recording. Snapshots derive p50/p90/p99/p999
+//!   from cumulative bucket counts and render directly into Prometheus
+//!   `_bucket`/`_sum`/`_count` series.
+//! * [`trace`] — [`Span`]/[`StageTimer`] carry a per-request trace ID
+//!   through the daemon's pipeline, attributing time to [`Stage`]s
+//!   (parse, cache probe, prepare, queue wait, execute, merge, write).
+//!   Completed [`RequestTrace`]s land in a bounded [`TraceRing`]
+//!   (`GET /debug/trace`) and a top-K [`SlowLog`] (`GET /debug/slow`).
+//! * [`log`] — `PSPC_LOG`-leveled `key=value` records on stderr via the
+//!   [`error!`], [`warn!`], [`info!`] and [`debug!`] macros.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pspc_obs::{LogHistogram, Span, Stage};
+//!
+//! let hist = LogHistogram::new();
+//! let mut span = Span::new();
+//! let sum: u64 = span.time(Stage::Execute, || (0..100u64).sum());
+//! assert_eq!(sum, 4950);
+//! hist.record(span.stage_ns()[Stage::Execute as usize]);
+//! let trace = span.finish("query", "ok", 100);
+//! assert!(trace.total_ns >= trace.stage_ns[Stage::Execute as usize]);
+//! assert_eq!(hist.snapshot().count(), 1);
+//! pspc_obs::info!("batch done", trace = trace.id, items = trace.items);
+//! ```
+
+pub mod hist;
+pub mod log;
+pub mod trace;
+
+pub use hist::{bucket_bounds, bucket_index, HistogramSnapshot, LogHistogram, NUM_BUCKETS};
+pub use log::{set_level, Level};
+pub use trace::{next_trace_id, RequestTrace, SlowLog, Span, Stage, StageTimer, TraceRing};

@@ -1,0 +1,309 @@
+//! A structured, leveled logger: one-line `key=value` records on stderr
+//! with UTC timestamps, gated by the `PSPC_LOG` environment variable.
+//!
+//! Levels are `error < warn < info < debug`; the active level comes from
+//! `PSPC_LOG` (default `info`, unknown values fall back to `info`) and
+//! can be overridden programmatically with [`set_level`]. The
+//! [`error!`](crate::error), [`warn!`](crate::warn),
+//! [`info!`](crate::info) and [`debug!`](crate::debug) macros check
+//! [`enabled`] *before* evaluating their message or field expressions,
+//! so a disabled `debug!` costs one atomic load and never allocates.
+//!
+//! Record shape (one line, machine-greppable):
+//!
+//! ```text
+//! ts=2026-08-08T12:34:56.789Z level=info msg="daemon listening" addr=127.0.0.1:7411
+//! ```
+//!
+//! `msg` is always quoted (with `"` and `\` escaped); field values are
+//! rendered through `Display` verbatim, so callers keep values
+//! space-free (ids, numbers, addresses, paths). Diagnostics go to
+//! stderr by design — stdout stays reserved for user-facing results
+//! (query answers, bench tables).
+
+use std::fmt::Display;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered `Error < Warn < Info < Debug`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The daemon cannot do what was asked of it.
+    Error = 0,
+    /// Something is off but service continues.
+    Warn = 1,
+    /// Lifecycle and notable events (the default level).
+    Info = 2,
+    /// Per-connection/per-request detail.
+    Debug = 3,
+}
+
+impl Level {
+    /// The level's lowercase name as it appears in records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a `PSPC_LOG` value (case-insensitive); `None` for unknown
+    /// strings.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialized from the environment".
+const UNINIT: u8 = u8::MAX;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn level_from_env() -> Level {
+    std::env::var("PSPC_LOG")
+        .ok()
+        .as_deref()
+        .and_then(Level::parse)
+        .unwrap_or(Level::Info)
+}
+
+/// The active maximum level (lazily initialized from `PSPC_LOG` on first
+/// use; default [`Level::Info`]).
+pub fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        UNINIT => {
+            let l = level_from_env();
+            // A concurrent first call may race; both read the same env
+            // var, so the outcome is identical either way.
+            MAX_LEVEL.store(l as u8, Ordering::Relaxed);
+            l
+        }
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Overrides the active level (e.g. for tests or a `--quiet` flag),
+/// bypassing `PSPC_LOG`.
+pub fn set_level(l: Level) {
+    MAX_LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether records at `l` are currently emitted. One atomic load on the
+/// fast path.
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l <= max_level()
+}
+
+/// Days-to-civil-date conversion (Howard Hinnant's algorithm), `z` being
+/// days since 1970-01-01.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + (m <= 2) as i64, m, d)
+}
+
+/// `unix_ms` as `YYYY-MM-DDThh:mm:ss.mmmZ`.
+pub fn format_timestamp(unix_ms: u64) -> String {
+    let secs = unix_ms / 1000;
+    let ms = unix_ms % 1000;
+    let (y, mo, d) = civil_from_days((secs / 86_400) as i64);
+    let tod = secs % 86_400;
+    format!(
+        "{y:04}-{mo:02}-{d:02}T{:02}:{:02}:{:02}.{ms:03}Z",
+        tod / 3600,
+        tod % 3600 / 60,
+        tod % 60,
+    )
+}
+
+/// Renders one record line (no trailing newline). Pure — unit-testable
+/// without capturing stderr.
+pub fn format_record(
+    level: Level,
+    unix_ms: u64,
+    msg: &dyn Display,
+    fields: &[(&str, &dyn Display)],
+) -> String {
+    use std::fmt::Write;
+    let mut line = format!(
+        "ts={} level={} msg=\"",
+        format_timestamp(unix_ms),
+        level.name()
+    );
+    let rendered = msg.to_string();
+    for c in rendered.chars() {
+        match c {
+            '"' => line.push_str("\\\""),
+            '\\' => line.push_str("\\\\"),
+            '\n' => line.push_str("\\n"),
+            c => line.push(c),
+        }
+    }
+    line.push('"');
+    for (k, v) in fields {
+        let _ = write!(line, " {k}={v}");
+    }
+    line
+}
+
+/// Emits one record to stderr (single `write` call, so concurrent
+/// records do not interleave mid-line). Called by the level macros
+/// after their [`enabled`] check; callers using it directly should gate
+/// on [`enabled`] themselves.
+pub fn emit(level: Level, msg: &dyn Display, fields: &[(&str, &dyn Display)]) {
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    let mut line = format_record(level, unix_ms, msg, fields);
+    line.push('\n');
+    let mut err = std::io::stderr().lock();
+    let _ = err.write_all(line.as_bytes());
+}
+
+/// Logs at [`Level::Error`]: `error!("msg", key = value, ...)`.
+#[macro_export]
+macro_rules! error {
+    ($msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::emit(
+                $crate::log::Level::Error,
+                &$msg,
+                &[$((stringify!($k), &$v as &dyn ::std::fmt::Display)),*],
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`]: `warn!("msg", key = value, ...)`.
+#[macro_export]
+macro_rules! warn {
+    ($msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::emit(
+                $crate::log::Level::Warn,
+                &$msg,
+                &[$((stringify!($k), &$v as &dyn ::std::fmt::Display)),*],
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Info`]: `info!("msg", key = value, ...)`.
+#[macro_export]
+macro_rules! info {
+    ($msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit(
+                $crate::log::Level::Info,
+                &$msg,
+                &[$((stringify!($k), &$v as &dyn ::std::fmt::Display)),*],
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`]: `debug!("msg", key = value, ...)`. Costs
+/// one atomic load when debug logging is off.
+#[macro_export]
+macro_rules! debug {
+    ($msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::emit(
+                $crate::log::Level::Debug,
+                &$msg,
+                &[$((stringify!($k), &$v as &dyn ::std::fmt::Display)),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn timestamps_are_civil_utc() {
+        assert_eq!(format_timestamp(0), "1970-01-01T00:00:00.000Z");
+        // 2026-08-08 00:00:00 UTC.
+        assert_eq!(
+            format_timestamp(1_786_147_200_000),
+            "2026-08-08T00:00:00.000Z"
+        );
+        // Leap-year February boundary: 2024-02-29 23:59:59.999 UTC.
+        assert_eq!(
+            format_timestamp(1_709_251_199_999),
+            "2024-02-29T23:59:59.999Z"
+        );
+    }
+
+    #[test]
+    fn records_are_one_line_key_value() {
+        let line = format_record(
+            Level::Info,
+            1_786_147_200_123,
+            &"daemon listening",
+            &[("addr", &"127.0.0.1:7411"), ("workers", &4)],
+        );
+        assert_eq!(
+            line,
+            "ts=2026-08-08T00:00:00.123Z level=info msg=\"daemon listening\" \
+             addr=127.0.0.1:7411 workers=4"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn message_quoting_escapes() {
+        let line = format_record(Level::Warn, 0, &"a \"b\" \\ c\nd", &[]);
+        assert!(line.contains("msg=\"a \\\"b\\\" \\\\ c\\nd\""));
+    }
+
+    #[test]
+    fn macros_compile_for_every_shape() {
+        // Level gating itself is covered via set_level; this pins the
+        // macro grammar (no fields, one field, trailing comma, String
+        // messages, expression values).
+        set_level(Level::Error);
+        crate::error!("plain");
+        crate::warn!("one", code = 7);
+        crate::info!(format!("built {}", "msg"), a = 1, b = "x",);
+        crate::debug!("fields", trace = 99u64, q = 2 + 2);
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+    }
+}

@@ -1,0 +1,467 @@
+//! Per-request tracing: stage-attributed spans, a bounded ring of
+//! completed request traces, and a top-K slow-query log.
+//!
+//! A [`Span`] is minted per request (with a process-unique trace ID) and
+//! threaded through the handler: each pipeline stage either times itself
+//! with a [`StageTimer`] guard or adds externally measured nanoseconds
+//! via [`Span::add`]. Finishing a span yields a [`RequestTrace`] — the
+//! stage breakdown plus request facts — which the daemon records into a
+//! [`TraceRing`] (`GET /debug/trace`) and a [`SlowLog`]
+//! (`GET /debug/slow`), and whose stage times feed the stage-labeled
+//! histograms on `/metrics`.
+//!
+//! Stage semantics (what each bucket of a request's wall time means) are
+//! documented on [`Stage`]; `queue_wait` and `execute` are measured by
+//! the engine workers and can overlap wall-clock-wise across chunks, so
+//! stages sum to *attributable* time, not necessarily the request's
+//! elapsed total.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Process-wide trace-ID mint (first issued ID is 1).
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a fresh process-unique trace ID.
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The instrumented stages of one request's pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Reading the request off the socket and parsing the pair list.
+    Parse = 0,
+    /// Probing the result cache (0 when the cache is disabled).
+    CacheProbe = 1,
+    /// Rank translation, ordering and chunk gathering before dispatch.
+    Prepare = 2,
+    /// Longest enqueue→dequeue delay over the batch's chunks: how long
+    /// admitted work sat behind the queue before a worker picked it up.
+    QueueWait = 3,
+    /// Summed worker execution time over the batch's chunks (cumulative
+    /// busy time, so it can exceed wall clock when chunks run in
+    /// parallel).
+    Execute = 4,
+    /// Scattering chunk answers back into input order.
+    Merge = 5,
+    /// Serializing and writing the response to the socket.
+    Write = 6,
+}
+
+impl Stage {
+    /// Number of stages (the length of per-trace stage arrays).
+    pub const COUNT: usize = 7;
+
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Parse,
+        Stage::CacheProbe,
+        Stage::Prepare,
+        Stage::QueueWait,
+        Stage::Execute,
+        Stage::Merge,
+        Stage::Write,
+    ];
+
+    /// The stage's label as exposed in metrics and trace JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::CacheProbe => "cache_probe",
+            Stage::Prepare => "prepare",
+            Stage::QueueWait => "queue_wait",
+            Stage::Execute => "execute",
+            Stage::Merge => "merge",
+            Stage::Write => "write",
+        }
+    }
+}
+
+/// A live trace of one request: a trace ID, a start instant and
+/// per-stage accumulated nanoseconds.
+#[derive(Debug)]
+pub struct Span {
+    id: u64,
+    start: Instant,
+    stage_ns: [u64; Stage::COUNT],
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Span {
+    /// Starts a span now, minting a fresh trace ID.
+    pub fn new() -> Self {
+        Span {
+            id: next_trace_id(),
+            start: Instant::now(),
+            stage_ns: [0; Stage::COUNT],
+        }
+    }
+
+    /// The span's trace ID.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Adds externally measured nanoseconds to a stage (for stages whose
+    /// duration is measured elsewhere, e.g. by engine workers).
+    #[inline]
+    pub fn add(&mut self, stage: Stage, ns: u64) {
+        self.stage_ns[stage as usize] += ns;
+    }
+
+    /// Replaces a stage's accumulated time with the maximum of the
+    /// current value and `ns` (for [`Stage::QueueWait`], where the
+    /// longest chunk delay is the meaningful figure).
+    #[inline]
+    pub fn add_max(&mut self, stage: Stage, ns: u64) {
+        let slot = &mut self.stage_ns[stage as usize];
+        *slot = (*slot).max(ns);
+    }
+
+    /// Times `f` and attributes its duration to `stage`.
+    #[inline]
+    pub fn time<T>(&mut self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(stage, t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// A guard that attributes its lifetime to `stage` when dropped.
+    pub fn timer(&mut self, stage: Stage) -> StageTimer<'_> {
+        StageTimer {
+            span: self,
+            stage,
+            t0: Instant::now(),
+        }
+    }
+
+    /// The accumulated per-stage nanoseconds.
+    pub fn stage_ns(&self) -> &[u64; Stage::COUNT] {
+        &self.stage_ns
+    }
+
+    /// Nanoseconds since the span started.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Completes the span into an immutable [`RequestTrace`], stamping
+    /// total latency and wall-clock completion time.
+    pub fn finish(self, kind: &'static str, status: &'static str, items: u64) -> RequestTrace {
+        RequestTrace {
+            id: self.id,
+            kind,
+            status,
+            items,
+            total_ns: self.start.elapsed().as_nanos() as u64,
+            stage_ns: self.stage_ns,
+            unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis() as u64),
+        }
+    }
+}
+
+/// RAII stage timer: attributes its lifetime to one stage of a [`Span`].
+pub struct StageTimer<'a> {
+    span: &'a mut Span,
+    stage: Stage,
+    t0: Instant,
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        self.span
+            .add(self.stage, self.t0.elapsed().as_nanos() as u64);
+    }
+}
+
+/// One completed, immutable request trace.
+#[derive(Clone, Debug)]
+pub struct RequestTrace {
+    /// Process-unique trace ID.
+    pub id: u64,
+    /// Request kind: `"query"` or `"insert"`.
+    pub kind: &'static str,
+    /// Outcome: `"ok"`, `"rejected"`, `"bad_request"` or `"conflict"`.
+    pub status: &'static str,
+    /// Pairs (queries) or edges (inserts) in the request.
+    pub items: u64,
+    /// End-to-end service latency, nanoseconds.
+    pub total_ns: u64,
+    /// Attributed nanoseconds per [`Stage`] (indexed by `Stage as
+    /// usize`).
+    pub stage_ns: [u64; Stage::COUNT],
+    /// Unix milliseconds at completion.
+    pub unix_ms: u64,
+}
+
+impl RequestTrace {
+    /// The trace as one JSON object. Every stage is emitted (zeros
+    /// included) so consumers can rely on a fixed shape.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!(
+            "{{\"trace_id\":{},\"kind\":\"{}\",\"status\":\"{}\",\"items\":{},\
+             \"total_us\":{:.1},\"unix_ms\":{},\"stages_us\":{{",
+            self.id,
+            self.kind,
+            self.status,
+            self.items,
+            self.total_ns as f64 / 1e3,
+            self.unix_ms,
+        );
+        for (k, stage) in Stage::ALL.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{}\":{:.1}",
+                stage.name(),
+                self.stage_ns[*stage as usize] as f64 / 1e3
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// A bounded ring of the most recently completed request traces
+/// (`GET /debug/trace`). Pushing past capacity evicts the oldest.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Mutex<VecDeque<RequestTrace>>,
+    capacity: usize,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` traces (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum traces held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records a completed trace, evicting the oldest when full.
+    pub fn push(&self, t: RequestTrace) {
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(t);
+    }
+
+    /// The `n` most recent traces, newest first.
+    pub fn recent(&self, n: usize) -> Vec<RequestTrace> {
+        let buf = self.buf.lock();
+        buf.iter().rev().take(n).cloned().collect()
+    }
+
+    /// Traces currently held.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether no traces were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+}
+
+/// A top-K slow-query log (`GET /debug/slow`): keeps the K slowest
+/// traces seen, sorted slowest first.
+///
+/// The common case — a request faster than the current K-th slowest —
+/// is a single `Relaxed` atomic load; only genuinely slow requests take
+/// the lock.
+#[derive(Debug)]
+pub struct SlowLog {
+    /// Slowest-first, at most `k` entries.
+    entries: Mutex<Vec<RequestTrace>>,
+    k: usize,
+    /// `total_ns` of the K-th slowest entry once the log is full; 0
+    /// before that. Requests at or below the floor skip the lock.
+    floor: AtomicU64,
+}
+
+impl SlowLog {
+    /// A log keeping the `k` slowest traces (minimum 1).
+    pub fn new(k: usize) -> Self {
+        SlowLog {
+            entries: Mutex::new(Vec::with_capacity(k.max(1))),
+            k: k.max(1),
+            floor: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum traces kept.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Offers a completed trace; it is kept only if it ranks among the K
+    /// slowest seen so far.
+    pub fn offer(&self, t: RequestTrace) {
+        // Fast path: the log is full and this request is not slower
+        // than its current floor.
+        if t.total_ns <= self.floor.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut entries = self.entries.lock();
+        // Re-check under the lock (the floor may have risen).
+        if entries.len() == self.k {
+            if t.total_ns <= entries[self.k - 1].total_ns {
+                return;
+            }
+            entries.pop();
+        }
+        let at = entries.partition_point(|e| e.total_ns >= t.total_ns);
+        entries.insert(at, t);
+        if entries.len() == self.k {
+            self.floor
+                .store(entries[self.k - 1].total_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// The `n` slowest traces, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<RequestTrace> {
+        let entries = self.entries.lock();
+        entries.iter().take(n).cloned().collect()
+    }
+
+    /// Traces currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether no traces were kept yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, total_ns: u64) -> RequestTrace {
+        RequestTrace {
+            id,
+            kind: "query",
+            status: "ok",
+            items: 1,
+            total_ns,
+            stage_ns: [0; Stage::COUNT],
+            unix_ms: 0,
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_increasing() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        let c = Span::new().id();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn span_accumulates_and_finishes() {
+        let mut span = Span::new();
+        span.add(Stage::Parse, 100);
+        span.add(Stage::Parse, 50);
+        span.add_max(Stage::QueueWait, 30);
+        span.add_max(Stage::QueueWait, 20);
+        let x = span.time(Stage::Merge, || 42);
+        assert_eq!(x, 42);
+        {
+            let _t = span.timer(Stage::Write);
+        }
+        let t = span.finish("query", "ok", 7);
+        assert_eq!(t.stage_ns[Stage::Parse as usize], 150);
+        assert_eq!(t.stage_ns[Stage::QueueWait as usize], 30, "max, not sum");
+        assert_eq!(t.stage_ns[Stage::CacheProbe as usize], 0);
+        assert_eq!(t.items, 7);
+        assert!(t.total_ns >= t.stage_ns[Stage::Merge as usize]);
+        let json = t.to_json();
+        for stage in Stage::ALL {
+            assert!(json.contains(&format!("\"{}\":", stage.name())), "{json}");
+        }
+        assert!(json.contains(&format!("\"trace_id\":{}", t.id)));
+        assert!(json.contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_returns_newest_first() {
+        let ring = TraceRing::new(3);
+        assert!(ring.is_empty());
+        for id in 1..=5 {
+            ring.push(trace(id, id * 100));
+        }
+        assert_eq!(ring.len(), 3);
+        let recent: Vec<u64> = ring.recent(10).iter().map(|t| t.id).collect();
+        assert_eq!(recent, vec![5, 4, 3], "newest first, 1 and 2 evicted");
+        let top1: Vec<u64> = ring.recent(1).iter().map(|t| t.id).collect();
+        assert_eq!(top1, vec![5]);
+    }
+
+    #[test]
+    fn slow_log_keeps_top_k_sorted() {
+        let log = SlowLog::new(3);
+        assert!(log.is_empty());
+        for (id, ns) in [(1, 500), (2, 100), (3, 900), (4, 50), (5, 700)] {
+            log.offer(trace(id, ns));
+        }
+        let slowest: Vec<(u64, u64)> = log.slowest(10).iter().map(|t| (t.id, t.total_ns)).collect();
+        assert_eq!(slowest, vec![(3, 900), (5, 700), (1, 500)]);
+        // A new slowest entry displaces the tail.
+        log.offer(trace(6, 800));
+        let slowest: Vec<u64> = log.slowest(10).iter().map(|t| t.id).collect();
+        assert_eq!(slowest, vec![3, 6, 5]);
+        // At-floor offers are rejected without changing the log.
+        log.offer(trace(7, 700));
+        assert_eq!(log.len(), 3);
+        let slowest: Vec<u64> = log.slowest(2).iter().map(|t| t.id).collect();
+        assert_eq!(slowest, vec![3, 6]);
+    }
+
+    #[test]
+    fn slow_log_floor_fast_path_matches_slow_path() {
+        // Concurrent offers must preserve the top-K invariant: after
+        // offering 0..N in any interleaving, the log holds the N-K
+        // largest.
+        let log = std::sync::Arc::new(SlowLog::new(8));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let log = std::sync::Arc::clone(&log);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        // Interleaved values across threads.
+                        log.offer(trace(t * 10_000 + i, i * 4 + t));
+                    }
+                });
+            }
+        });
+        let slowest: Vec<u64> = log.slowest(8).iter().map(|t| t.total_ns).collect();
+        // Global max is 999*4+3 = 3999; the top 8 distinct values are
+        // 3999, 3998, 3997, ... (each i,t combination is distinct).
+        let expect: Vec<u64> = (0..8).map(|k| 3999 - k).collect();
+        assert_eq!(slowest, expect);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based coverage of [`pspc_obs`]: the histogram's
+//! relative-error bound over arbitrary values, merge ≡ recording the
+//! union, quantile monotonicity in `q`, trace-ring eviction order and
+//! slow-log top-K invariants under arbitrary offer sequences.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use pspc_obs::{
+    bucket_bounds, bucket_index, LogHistogram, RequestTrace, SlowLog, Stage, TraceRing,
+};
+
+/// Strategy: values spanning every octave, not just the small ones a
+/// uniform `u64` range would hit with vanishing probability.
+fn arb_value() -> impl Strategy<Value = u64> {
+    (0u32..64, 0u64..u64::MAX).prop_map(|(shift, raw)| raw >> shift)
+}
+
+fn trace(id: u64, total_ns: u64) -> RequestTrace {
+    RequestTrace {
+        id,
+        kind: "query",
+        status: "ok",
+        items: 1,
+        total_ns,
+        stage_ns: [0; Stage::COUNT],
+        unix_ms: 0,
+    }
+}
+
+proptest! {
+    /// Every value lands in a bucket containing it, with the bucket
+    /// overestimating by less than the documented 1/32 relative error.
+    #[test]
+    fn value_lands_in_bucket_within_error_bound(v in arb_value()) {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        prop_assert!(lo <= v && v <= hi, "v={v} outside [{lo}, {hi}]");
+        if v > 0 {
+            let err = (hi - v) as f64 / v as f64;
+            prop_assert!(err < 1.0 / 32.0, "v={v}: relative error {err}");
+        } else {
+            prop_assert_eq!(hi, 0);
+        }
+    }
+
+    /// Merging histograms is indistinguishable from recording the
+    /// concatenated sample stream.
+    #[test]
+    fn merge_equals_recording_the_union(
+        xs in vec(arb_value(), 0..200),
+        ys in vec(arb_value(), 0..200),
+    ) {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let union = LogHistogram::new();
+        for &v in &xs {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge_from(&b);
+        let (sa, su) = (a.snapshot(), union.snapshot());
+        prop_assert_eq!(sa.count(), su.count());
+        prop_assert_eq!(sa.sum(), su.sum());
+        let (ca, cu): (Vec<_>, Vec<_>) =
+            (sa.cumulative_nonzero().collect(), su.cumulative_nonzero().collect());
+        prop_assert_eq!(ca, cu, "identical bucket series");
+    }
+
+    /// Quantiles are monotone non-decreasing in `q`, bounded by the
+    /// sample extremes' buckets, and exact-rank consistent with a
+    /// sorted copy of the samples (each quantile's bucket contains the
+    /// nearest-rank sample).
+    #[test]
+    fn quantiles_monotone_and_rank_consistent(mut xs in vec(arb_value(), 1..300)) {
+        let h = LogHistogram::new();
+        for &v in &xs {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        xs.sort_unstable();
+        let mut prev = 0u64;
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            let est = s.quantile(q);
+            prop_assert!(est >= prev, "quantile must be monotone in q");
+            prev = est;
+            // Nearest-rank ground truth: the estimate's bucket must
+            // contain the exact sample of that rank.
+            let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+            let exact = xs[rank - 1];
+            let (_, hi) = bucket_bounds(bucket_index(exact));
+            prop_assert_eq!(
+                est, hi,
+                "q={}: the estimate must be the exact rank-{} sample {}'s bucket bound",
+                q, rank, exact
+            );
+        }
+    }
+
+    /// The trace ring holds exactly the last `capacity` pushes, newest
+    /// first.
+    #[test]
+    fn ring_keeps_last_k_newest_first(
+        n in 0usize..40,
+        capacity in 1usize..10,
+        take in 0usize..15,
+    ) {
+        let ring = TraceRing::new(capacity);
+        for id in 0..n as u64 {
+            ring.push(trace(id, id));
+        }
+        let got: Vec<u64> = ring.recent(take).iter().map(|t| t.id).collect();
+        let expect: Vec<u64> = (0..n as u64).rev().take(take.min(capacity)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The slow log holds exactly the K slowest offers, slowest first,
+    /// regardless of offer order.
+    #[test]
+    fn slow_log_is_top_k(latencies in vec(0u64..1000, 0..60), k in 1usize..8) {
+        let log = SlowLog::new(k);
+        for (id, &ns) in latencies.iter().enumerate() {
+            log.offer(trace(id as u64, ns));
+        }
+        let got: Vec<u64> = log.slowest(k).iter().map(|t| t.total_ns).collect();
+        let mut expect = latencies.clone();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        expect.truncate(k);
+        prop_assert_eq!(got, expect);
+        // Stage breakdowns survive: every kept trace renders all stages.
+        for t in log.slowest(k) {
+            let json = t.to_json();
+            for stage in Stage::ALL {
+                prop_assert!(json.contains(&format!("\"{}\":", stage.name())));
+            }
+        }
+    }
+}

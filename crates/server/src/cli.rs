@@ -1,16 +1,21 @@
 //! The full `pspc` command-line surface: `serve`, `migrate`, remote
 //! `query` and remote `insert` are handled here, everything else
 //! delegates to [`pspc_service::cli`] (`build`, local `query`, `bench`).
+//!
+//! Results (answers, applied-edge counts) go to stdout; progress and
+//! lifecycle diagnostics are structured `PSPC_LOG` records on stderr.
 
 use crate::client::RemoteClient;
-use crate::server::serve;
+use crate::server::{serve_with_obs, ObsConfig};
 use pspc_core::SnapshotKind;
+use pspc_obs::info;
 use pspc_service::cli::{load_any_index, OutputFormat};
 use pspc_service::pairs::{read_pairs, write_answers, write_answers_json};
 use pspc_service::EngineConfig;
 
 const USAGE: &str = "usage: pspc serve <index> [--addr host:port] [--workers n] \
 [--queue-depth n] [--chunk n] [--no-sort] [--cache-capacity n] [--cache-shards n] \
+[--no-trace] \
 | pspc query --remote host:port \
 [--pairs <file|->] [--format tsv|json] [s t ...] | pspc insert --remote host:port \
 [--pairs <file|->] [u v ...] | pspc migrate <old> <new> | \
@@ -53,12 +58,14 @@ fn cmd_migrate(args: &[String]) -> Result<(), String> {
         SnapshotKind::Dynamic(i) => dyn_index_to_binary(i),
     };
     std::fs::write(new, &bytes).map_err(|e| format!("writing {new}: {e}"))?;
-    eprintln!(
-        "migrated {old} -> {new} ({} v2): {} vertices, loaded in {:.1}ms, wrote {} bytes",
-        snapshot.name(),
-        snapshot.num_vertices(),
-        load_secs * 1e3,
-        bytes.len()
+    info!(
+        "migrated snapshot",
+        old = old,
+        new = new,
+        kind = snapshot.name(),
+        vertices = snapshot.num_vertices(),
+        load_ms = format!("{:.1}", load_secs * 1e3),
+        bytes = bytes.len(),
     );
     Ok(())
 }
@@ -67,6 +74,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut index_path: Option<&str> = None;
     let mut addr = "127.0.0.1:7411".to_string();
     let mut cfg = EngineConfig::default();
+    let mut obs = ObsConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| -> Result<&String, String> {
@@ -102,6 +110,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --cache-shards: {e}"))?
             }
+            "--no-trace" => obs.tracing = false,
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}\n{USAGE}")),
             path => {
                 if index_path.is_some() {
@@ -115,38 +124,42 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     let index: pspc_service::IndexKind = load_any_index(index_path)?.into();
     let load_ms = t0.elapsed().as_secs_f64() * 1e3;
-    eprintln!(
-        "serving {index_path} ({} index, {} vertices, loaded in {load_ms:.1}ms) on {addr} ...",
-        index.name(),
-        index.num_vertices()
+    info!(
+        "index loaded",
+        path = index_path,
+        kind = index.name(),
+        vertices = index.num_vertices(),
+        load_ms = format!("{load_ms:.1}"),
     );
     let insertable = index.is_dynamic();
     if cfg.cache_capacity > 0 {
-        eprintln!(
-            "result cache enabled: ~{} entries across {} shards",
-            cfg.cache_capacity,
-            if cfg.cache_shards == 0 {
+        info!(
+            "result cache enabled",
+            capacity = cfg.cache_capacity,
+            shards = if cfg.cache_shards == 0 {
                 pspc_service::cache::DEFAULT_SHARDS
             } else {
                 cfg.cache_shards
-            }
+            },
         );
     }
-    let handle = serve(index, &addr, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+    // serve_with_obs logs "daemon listening" with the resolved address.
+    let handle =
+        serve_with_obs(index, &addr, cfg, obs).map_err(|e| format!("binding {addr}: {e}"))?;
     handle.record_index_load_ms(load_ms);
-    eprintln!(
-        "listening on {} (POST /query, {}GET /healthz, GET /metrics, POST /shutdown; \
-         binary protocol on the same port)",
-        handle.local_addr(),
-        if insertable { "POST /insert, " } else { "" }
+    info!(
+        "endpoints ready",
+        addr = handle.local_addr(),
+        insert = insertable,
+        endpoints = "/query,/insert,/healthz,/metrics,/debug/trace,/debug/slow,/shutdown",
     );
     let final_metrics = handle.wait();
-    eprintln!(
-        "shut down after {:.1}s: {} requests served, {} rejected, {} bad",
-        final_metrics.uptime_secs,
-        final_metrics.served,
-        final_metrics.rejected,
-        final_metrics.client_errors
+    info!(
+        "daemon exit",
+        uptime_secs = format!("{:.1}", final_metrics.uptime_secs),
+        served = final_metrics.served,
+        rejected = final_metrics.rejected,
+        bad = final_metrics.client_errors,
     );
     Ok(())
 }
@@ -209,11 +222,11 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
         OutputFormat::Json => write_answers_json(&pairs, &answers, out),
     }
     .map_err(|e| format!("writing answers: {e}"))?;
-    eprintln!(
-        "{} remote queries in {:.3}s ({:.0} queries/sec round-trip)",
-        pairs.len(),
-        secs,
-        pairs.len() as f64 / secs.max(1e-9)
+    info!(
+        "remote query round-trip",
+        queries = pairs.len(),
+        secs = format!("{secs:.3}"),
+        qps = format!("{:.0}", pairs.len() as f64 / secs.max(1e-9)),
     );
     Ok(())
 }

@@ -12,9 +12,12 @@
 //!   clients (encode/decode shared by daemon and client);
 //! * [`http`] — a hand-rolled HTTP/1.1 subset (no crates.io access, so
 //!   no framework) behind `POST /query`, `POST /insert`, `GET /healthz`,
-//!   `GET /metrics` and `POST /shutdown`;
-//! * [`metrics`] — served/rejected/in-flight counters plus p50/p99
-//!   request latency from a ring buffer;
+//!   `GET /metrics`, `GET /debug/trace`, `GET /debug/slow` and
+//!   `POST /shutdown`;
+//! * [`metrics`] — served/rejected/in-flight counters plus log-bucketed
+//!   latency histograms ([`pspc_obs::LogHistogram`]) for request,
+//!   insert and per-stage latencies, rendered as Prometheus text
+//!   exposition (`# HELP`/`# TYPE`, `_bucket`/`_sum`/`_count` series);
 //! * [`client`] — [`RemoteClient`], the binary-protocol client behind
 //!   `pspc query --remote`;
 //! * [`cli`] — the `pspc` binary: `serve` and remote `query` here,
@@ -33,6 +36,15 @@
 //! applied under a write lock while query chunks drain around it;
 //! insert totals surface as `pspc_inserts_total`. Inserting into a
 //! non-dynamic index is a clean HTTP 409 / binary `Conflict`.
+//!
+//! Every request is traced end to end (see [`server::ObsConfig`]): a
+//! process-unique trace ID plus per-stage latency attribution (parse,
+//! cache probe, prepare, queue wait, execute, merge, write) recorded
+//! into stage-labeled histograms on `/metrics`, a bounded ring of
+//! completed traces (`GET /debug/trace?n=`) and a top-K slow-query log
+//! (`GET /debug/slow?n=`). Lifecycle and per-request diagnostics are
+//! structured one-line `key=value` records on stderr, gated by
+//! `PSPC_LOG=error|warn|info|debug`.
 //!
 //! # Quick start
 //!
@@ -87,6 +99,6 @@ pub mod proto;
 pub mod server;
 
 pub use client::{query_remote, ClientError, RemoteClient};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{EngineGauges, Metrics, MetricsSnapshot};
 pub use proto::Response;
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with_obs, ObsConfig, ServerHandle};

@@ -1,77 +1,25 @@
-//! Live daemon metrics: counters, gauges and a latency ring buffer.
+//! Live daemon metrics: lock-free counters plus log-bucketed latency
+//! histograms, rendered as Prometheus text exposition.
 //!
-//! Counters are lock-free atomics bumped on every request; request
-//! service latencies go into a fixed-size ring buffer (the last
-//! [`RING_CAPACITY`] requests), from which `GET /metrics` derives p50/p99
-//! on demand. Sorting ≤4096 samples per scrape is microseconds of work,
-//! which keeps the request hot path free of any percentile bookkeeping.
+//! Counters are atomics bumped on every request; request, insert and
+//! per-stage latencies go into [`pspc_obs::LogHistogram`]s, whose
+//! `record` is three `Relaxed` atomic adds and whose scrape is atomic
+//! loads — a `GET /metrics` scrape can therefore *never* block request
+//! recording (there is no lock anywhere in this module), and the
+//! percentiles see every request since startup rather than a sliding
+//! window. [`MetricsSnapshot::render`] emits full Prometheus exposition:
+//! `# HELP`/`# TYPE` lines for every family, `_bucket`/`_sum`/`_count`
+//! series for the histograms (seconds, as Prometheus convention wants),
+//! per-worker busy-time/chunks gauges, and the scalar gauges.
 
-use parking_lot::Mutex;
-use pspc_service::CacheStats;
+use pspc_obs::{HistogramSnapshot, LogHistogram, Stage};
+use pspc_service::{CacheStats, WorkerStat};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Latency samples kept for percentile estimation.
-pub const RING_CAPACITY: usize = 4096;
-
-/// Fixed-size overwrite-oldest sample buffer.
-#[derive(Debug)]
-pub struct LatencyRing {
-    buf: Vec<u64>,
-    next: usize,
-    capacity: usize,
-}
-
-impl LatencyRing {
-    /// Ring holding at most `capacity` samples.
-    pub fn new(capacity: usize) -> Self {
-        LatencyRing {
-            buf: Vec::with_capacity(capacity.max(1)),
-            next: 0,
-            capacity: capacity.max(1),
-        }
-    }
-
-    /// Records one sample, evicting the oldest once full.
-    pub fn push(&mut self, v: u64) {
-        if self.buf.len() < self.capacity {
-            self.buf.push(v);
-        } else {
-            self.buf[self.next] = v;
-        }
-        self.next = (self.next + 1) % self.capacity;
-    }
-
-    /// Samples currently held.
-    pub fn len(&self) -> usize {
-        self.buf.len()
-    }
-
-    /// Whether no samples were recorded yet.
-    pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
-    }
-
-    /// Nearest-rank percentile (`q` in `0..=1`) of the held samples; 0 on
-    /// an empty ring. Shares the workspace percentile convention with
-    /// [`pspc_service::bench::percentile_nanos`]. One clone + sort per
-    /// call — callers needing several quantiles should take
-    /// [`LatencyRing::sorted`] once and use
-    /// [`pspc_service::bench::percentile_sorted_nanos`].
-    pub fn percentile(&self, q: f64) -> u64 {
-        pspc_service::bench::percentile_nanos(&mut self.buf.clone(), q)
-    }
-
-    /// The held samples, sorted ascending: one allocation + one sort,
-    /// from which any number of quantiles derive for free.
-    pub fn sorted(&self) -> Vec<u64> {
-        let mut s = self.buf.clone();
-        s.sort_unstable();
-        s
-    }
-}
-
-/// Shared live counters of one daemon.
+/// Shared live counters and histograms of one daemon. Everything here is
+/// lock-free: recording paths are `Relaxed` atomic adds, scrapes are
+/// atomic loads.
 #[derive(Debug)]
 pub struct Metrics {
     start: Instant,
@@ -94,10 +42,14 @@ pub struct Metrics {
     /// Well-formed inserts refused because the index is not dynamic
     /// (HTTP 409) — deliberately *not* counted as client errors.
     insert_conflicts: AtomicU64,
-    latency_ns: Mutex<LatencyRing>,
+    /// End-to-end query-request service latency.
+    request_latency: LogHistogram,
     /// Insert service latencies, kept apart from query latencies so a
     /// slow labeling repair does not pollute query percentiles.
-    insert_latency_ns: Mutex<LatencyRing>,
+    insert_latency: LogHistogram,
+    /// Per-stage attributed latency, indexed by `Stage as usize` (fed by
+    /// completed request traces).
+    stage_latency: [LogHistogram; Stage::COUNT],
 }
 
 impl Default for Metrics {
@@ -115,8 +67,9 @@ impl Default for Metrics {
             insert_requests: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             insert_conflicts: AtomicU64::new(0),
-            latency_ns: Mutex::new(LatencyRing::new(RING_CAPACITY)),
-            insert_latency_ns: Mutex::new(LatencyRing::new(RING_CAPACITY)),
+            request_latency: LogHistogram::new(),
+            insert_latency: LogHistogram::new(),
+            stage_latency: std::array::from_fn(|_| LogHistogram::new()),
         }
     }
 }
@@ -147,7 +100,7 @@ impl Metrics {
     pub fn record_served(&self, queries: usize, latency_ns: u64) {
         self.served.fetch_add(1, Ordering::Relaxed);
         self.queries.fetch_add(queries as u64, Ordering::Relaxed);
-        self.latency_ns.lock().push(latency_ns);
+        self.request_latency.record(latency_ns);
     }
 
     /// Records an admission-control rejection.
@@ -158,6 +111,15 @@ impl Metrics {
     /// Records a malformed request.
     pub fn record_client_error(&self) {
         self.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed trace's per-stage attribution into the
+    /// stage-labeled histograms. Every stage is recorded (zeros
+    /// included) so the per-stage sample counts line up.
+    pub fn record_stages(&self, stage_ns: &[u64; Stage::COUNT]) {
+        for (h, &ns) in self.stage_latency.iter().zip(stage_ns) {
+            h.record(ns);
+        }
     }
 
     /// Records how long the served snapshot took to load (gauge; the
@@ -183,7 +145,7 @@ impl Metrics {
     pub fn record_insert(&self, applied: u64, latency_ns: u64) {
         self.insert_requests.fetch_add(1, Ordering::Relaxed);
         self.inserts.fetch_add(applied, Ordering::Relaxed);
-        self.insert_latency_ns.lock().push(latency_ns);
+        self.insert_latency.record(latency_ns);
     }
 
     /// Records a well-formed insert refused because the served index is
@@ -193,18 +155,13 @@ impl Metrics {
         self.insert_conflicts.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Point-in-time copy of every counter (gauges are racy by nature).
-    /// Engine-side gauges come in through `engine` — the metrics store
-    /// holds only what the handlers record.
+    /// Point-in-time copy of every counter and histogram (gauges are
+    /// racy by nature; histogram snapshots are atomic loads and never
+    /// block recorders). Engine-side gauges come in through `engine` —
+    /// the metrics store holds only what the handlers record.
     pub fn snapshot(&self, engine: EngineGauges) -> MetricsSnapshot {
-        use pspc_service::bench::percentile_sorted_nanos;
-        // One clone + one sort per ring per scrape; both percentiles
-        // derive from the same sorted sample.
-        let (latency_samples, sorted) = {
-            let ring = self.latency_ns.lock();
-            (ring.len() as u64, ring.sorted())
-        };
-        let insert_sorted = self.insert_latency_ns.lock().sorted();
+        let request_hist = self.request_latency.snapshot();
+        let insert_hist = self.insert_latency.snapshot();
         MetricsSnapshot {
             uptime_secs: self.start.elapsed().as_secs_f64(),
             served: self.served.load(Ordering::Relaxed),
@@ -220,11 +177,21 @@ impl Metrics {
             insert_requests: self.insert_requests.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             insert_conflicts: self.insert_conflicts.load(Ordering::Relaxed),
-            latency_samples,
-            p50_us: percentile_sorted_nanos(&sorted, 0.50) as f64 / 1e3,
-            p99_us: percentile_sorted_nanos(&sorted, 0.99) as f64 / 1e3,
-            insert_p50_us: percentile_sorted_nanos(&insert_sorted, 0.50) as f64 / 1e3,
-            insert_p99_us: percentile_sorted_nanos(&insert_sorted, 0.99) as f64 / 1e3,
+            latency_samples: request_hist.count(),
+            p50_us: request_hist.quantile(0.50) as f64 / 1e3,
+            p90_us: request_hist.quantile(0.90) as f64 / 1e3,
+            p99_us: request_hist.quantile(0.99) as f64 / 1e3,
+            p999_us: request_hist.quantile(0.999) as f64 / 1e3,
+            insert_p50_us: insert_hist.quantile(0.50) as f64 / 1e3,
+            insert_p99_us: insert_hist.quantile(0.99) as f64 / 1e3,
+            request_hist,
+            insert_hist,
+            stage_hists: self
+                .stage_latency
+                .iter()
+                .map(LogHistogram::snapshot)
+                .collect(),
+            workers: engine.workers,
             cache: engine.cache,
         }
     }
@@ -233,18 +200,21 @@ impl Metrics {
 /// Live engine-side gauges sampled at scrape time and merged into a
 /// [`MetricsSnapshot`] (the engine owns these; the metrics store only
 /// holds handler-recorded counters).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct EngineGauges {
     /// Work chunks waiting in the engine's submission queue.
     pub queued_chunks: u64,
     /// The served index's generation counter (0 for static kinds).
     pub index_generation: u64,
+    /// Per-worker busy-time/chunk counters, index-aligned with worker
+    /// ids.
+    pub workers: Vec<WorkerStat>,
     /// Result-cache counters, when the cache is enabled.
     pub cache: Option<CacheStats>,
 }
 
-/// One scrape of the daemon's counters.
-#[derive(Clone, Copy, Debug)]
+/// One scrape of the daemon's counters and histograms.
+#[derive(Clone, Debug)]
 pub struct MetricsSnapshot {
     /// Seconds since the daemon started.
     pub uptime_secs: f64,
@@ -275,116 +245,387 @@ pub struct MetricsSnapshot {
     pub inserts: u64,
     /// Well-formed inserts refused with 409 (index not dynamic).
     pub insert_conflicts: u64,
-    /// Latency samples in the query ring.
+    /// Request latency samples recorded since startup.
     pub latency_samples: u64,
-    /// Median request service latency, microseconds.
+    /// Median request service latency, microseconds (log-bucketed: ≤3.2%
+    /// above the exact sample, like every quantile below).
     pub p50_us: f64,
+    /// 90th-percentile request service latency, microseconds.
+    pub p90_us: f64,
     /// 99th-percentile request service latency, microseconds.
     pub p99_us: f64,
+    /// 99.9th-percentile request service latency, microseconds.
+    pub p999_us: f64,
     /// Median insert service latency, microseconds.
     pub insert_p50_us: f64,
     /// 99th-percentile insert service latency, microseconds.
     pub insert_p99_us: f64,
+    /// The full request-latency histogram.
+    pub request_hist: HistogramSnapshot,
+    /// The full insert-latency histogram.
+    pub insert_hist: HistogramSnapshot,
+    /// Per-stage latency histograms, indexed by `Stage as usize`.
+    pub stage_hists: Vec<HistogramSnapshot>,
+    /// Per-worker busy-time/chunk counters.
+    pub workers: Vec<WorkerStat>,
     /// Result-cache counters; `None` when the cache is disabled (the
     /// `pspc_cache_*` lines are then omitted from the exposition).
     pub cache: Option<CacheStats>,
 }
 
-impl MetricsSnapshot {
-    /// Prometheus-style text exposition (`GET /metrics`). The
-    /// `pspc_cache_*` family appears only when the result cache is
-    /// enabled; `pspc_index_generation` is always present (constant 0
-    /// for static kinds).
-    pub fn render(&self) -> String {
-        let mut text = format!(
-            "pspc_uptime_seconds {:.3}\n\
-             pspc_requests_served_total {}\n\
-             pspc_queries_answered_total {}\n\
-             pspc_requests_rejected_total {}\n\
-             pspc_requests_bad_total {}\n\
-             pspc_requests_in_flight {}\n\
-             pspc_queue_chunks {}\n\
-             pspc_index_load_ms {:.2}\n\
-             pspc_index_label_bytes {}\n\
-             pspc_index_kind {}\n\
-             pspc_index_generation {}\n\
-             pspc_insert_requests_total {}\n\
-             pspc_inserts_total {}\n\
-             pspc_insert_conflicts_total {}\n\
-             pspc_insert_latency_p50_us {:.2}\n\
-             pspc_insert_latency_p99_us {:.2}\n\
-             pspc_latency_samples {}\n\
-             pspc_request_latency_p50_us {:.2}\n\
-             pspc_request_latency_p99_us {:.2}\n",
-            self.uptime_secs,
-            self.served,
-            self.queries,
-            self.rejected,
-            self.client_errors,
-            self.in_flight,
-            self.queued_chunks,
-            self.index_load_ms,
-            self.label_bytes,
-            self.index_kind,
-            self.index_generation,
-            self.insert_requests,
-            self.inserts,
-            self.insert_conflicts,
-            self.insert_p50_us,
-            self.insert_p99_us,
-            self.latency_samples,
-            self.p50_us,
-            self.p99_us,
+/// Appends `# HELP`/`# TYPE` header lines for one metric family.
+fn family(text: &mut String, name: &str, kind: &str, help: &str) {
+    use std::fmt::Write;
+    let _ = writeln!(text, "# HELP {name} {help}");
+    let _ = writeln!(text, "# TYPE {name} {kind}");
+}
+
+/// Appends one `name value` (or `name{label} value`) sample line.
+fn sample(text: &mut String, name: &str, labels: &str, value: impl std::fmt::Display) {
+    use std::fmt::Write;
+    let _ = writeln!(text, "{name}{labels} {value}");
+}
+
+/// Appends a full histogram family: HELP/TYPE, cumulative
+/// `_bucket{le="..."}` series over the non-empty buckets plus `+Inf`,
+/// `_sum` and `_count`. Bucket bounds and the sum are converted from
+/// nanoseconds to seconds (the Prometheus base unit).
+fn histogram(text: &mut String, name: &str, help: &str, extra: &str, h: &HistogramSnapshot) {
+    use std::fmt::Write;
+    family(text, name, "histogram", help);
+    let sep = if extra.is_empty() { "" } else { "," };
+    for (le_ns, cum) in h.cumulative_nonzero() {
+        let _ = writeln!(
+            text,
+            "{name}_bucket{{{extra}{sep}le=\"{}\"}} {cum}",
+            le_ns as f64 / 1e9
         );
-        if let Some(c) = self.cache {
+    }
+    let _ = writeln!(
+        text,
+        "{name}_bucket{{{extra}{sep}le=\"+Inf\"}} {}",
+        h.count()
+    );
+    let labels = if extra.is_empty() {
+        String::new()
+    } else {
+        format!("{{{extra}}}")
+    };
+    let _ = writeln!(text, "{name}_sum{labels} {}", h.sum() as f64 / 1e9);
+    let _ = writeln!(text, "{name}_count{labels} {}", h.count());
+}
+
+impl MetricsSnapshot {
+    /// Prometheus text exposition (`GET /metrics`): `# HELP`/`# TYPE`
+    /// for every family, histogram `_bucket`/`_sum`/`_count` series for
+    /// request, insert and per-stage latencies, per-worker gauges, and
+    /// the scalar counters/gauges. The `pspc_cache_*` family appears
+    /// only when the result cache is enabled; `pspc_index_generation` is
+    /// always present (constant 0 for static kinds).
+    pub fn render(&self) -> String {
+        let mut t = String::with_capacity(8192);
+        family(
+            &mut t,
+            "pspc_uptime_seconds",
+            "gauge",
+            "Seconds since the daemon started.",
+        );
+        sample(
+            &mut t,
+            "pspc_uptime_seconds",
+            "",
+            format_args!("{:.3}", self.uptime_secs),
+        );
+        family(
+            &mut t,
+            "pspc_requests_served_total",
+            "counter",
+            "Query requests answered.",
+        );
+        sample(&mut t, "pspc_requests_served_total", "", self.served);
+        family(
+            &mut t,
+            "pspc_queries_answered_total",
+            "counter",
+            "Individual queries answered.",
+        );
+        sample(&mut t, "pspc_queries_answered_total", "", self.queries);
+        family(
+            &mut t,
+            "pspc_requests_rejected_total",
+            "counter",
+            "Requests shed by admission control.",
+        );
+        sample(&mut t, "pspc_requests_rejected_total", "", self.rejected);
+        family(
+            &mut t,
+            "pspc_requests_bad_total",
+            "counter",
+            "Malformed requests.",
+        );
+        sample(&mut t, "pspc_requests_bad_total", "", self.client_errors);
+        family(
+            &mut t,
+            "pspc_requests_in_flight",
+            "gauge",
+            "Requests currently executing.",
+        );
+        sample(&mut t, "pspc_requests_in_flight", "", self.in_flight);
+        family(
+            &mut t,
+            "pspc_queue_chunks",
+            "gauge",
+            "Work chunks waiting in the engine submission queue.",
+        );
+        sample(&mut t, "pspc_queue_chunks", "", self.queued_chunks);
+        family(
+            &mut t,
+            "pspc_index_load_ms",
+            "gauge",
+            "Milliseconds the served snapshot took to load.",
+        );
+        sample(
+            &mut t,
+            "pspc_index_load_ms",
+            "",
+            format_args!("{:.2}", self.index_load_ms),
+        );
+        family(
+            &mut t,
+            "pspc_index_label_bytes",
+            "gauge",
+            "Label payload bytes of the served index.",
+        );
+        sample(&mut t, "pspc_index_label_bytes", "", self.label_bytes);
+        family(
+            &mut t,
+            "pspc_index_kind",
+            "gauge",
+            "Served index kind (0 undirected, 1 directed, 2 dynamic).",
+        );
+        sample(&mut t, "pspc_index_kind", "", self.index_kind);
+        family(
+            &mut t,
+            "pspc_index_generation",
+            "gauge",
+            "Index generation counter, advanced by applied inserts.",
+        );
+        sample(&mut t, "pspc_index_generation", "", self.index_generation);
+        family(
+            &mut t,
+            "pspc_insert_requests_total",
+            "counter",
+            "Accepted insert requests.",
+        );
+        sample(
+            &mut t,
+            "pspc_insert_requests_total",
+            "",
+            self.insert_requests,
+        );
+        family(
+            &mut t,
+            "pspc_inserts_total",
+            "counter",
+            "Edges actually applied by inserts.",
+        );
+        sample(&mut t, "pspc_inserts_total", "", self.inserts);
+        family(
+            &mut t,
+            "pspc_insert_conflicts_total",
+            "counter",
+            "Well-formed inserts refused because the index is not dynamic.",
+        );
+        sample(
+            &mut t,
+            "pspc_insert_conflicts_total",
+            "",
+            self.insert_conflicts,
+        );
+        family(
+            &mut t,
+            "pspc_insert_latency_p50_us",
+            "gauge",
+            "Median insert service latency, microseconds.",
+        );
+        sample(
+            &mut t,
+            "pspc_insert_latency_p50_us",
+            "",
+            format_args!("{:.2}", self.insert_p50_us),
+        );
+        family(
+            &mut t,
+            "pspc_insert_latency_p99_us",
+            "gauge",
+            "99th-percentile insert service latency, microseconds.",
+        );
+        sample(
+            &mut t,
+            "pspc_insert_latency_p99_us",
+            "",
+            format_args!("{:.2}", self.insert_p99_us),
+        );
+        family(
+            &mut t,
+            "pspc_latency_samples",
+            "gauge",
+            "Request latency samples recorded since startup.",
+        );
+        sample(&mut t, "pspc_latency_samples", "", self.latency_samples);
+        for (name, v, help) in [
+            (
+                "pspc_request_latency_p50_us",
+                self.p50_us,
+                "Median request service latency, microseconds.",
+            ),
+            (
+                "pspc_request_latency_p90_us",
+                self.p90_us,
+                "90th-percentile request service latency, microseconds.",
+            ),
+            (
+                "pspc_request_latency_p99_us",
+                self.p99_us,
+                "99th-percentile request service latency, microseconds.",
+            ),
+            (
+                "pspc_request_latency_p999_us",
+                self.p999_us,
+                "99.9th-percentile request service latency, microseconds.",
+            ),
+        ] {
+            family(&mut t, name, "gauge", help);
+            sample(&mut t, name, "", format_args!("{v:.2}"));
+        }
+        histogram(
+            &mut t,
+            "pspc_request_latency_seconds",
+            "End-to-end query request service latency.",
+            "",
+            &self.request_hist,
+        );
+        histogram(
+            &mut t,
+            "pspc_insert_latency_seconds",
+            "Insert request service latency.",
+            "",
+            &self.insert_hist,
+        );
+        // One labeled family for every pipeline stage: a single
+        // HELP/TYPE header, then each stage's full bucket series.
+        family(
+            &mut t,
+            "pspc_stage_latency_seconds",
+            "histogram",
+            "Per-request latency attributed to one pipeline stage.",
+        );
+        for (stage, h) in Stage::ALL.iter().zip(&self.stage_hists) {
             use std::fmt::Write;
-            let _ = write!(
-                text,
-                "pspc_cache_hits_total {}\n\
-                 pspc_cache_misses_total {}\n\
-                 pspc_cache_entries {}\n\
-                 pspc_cache_evictions_total {}\n",
-                c.hits, c.misses, c.entries, c.evictions,
+            let extra = format!("stage=\"{}\"", stage.name());
+            for (le_ns, cum) in h.cumulative_nonzero() {
+                let _ = writeln!(
+                    t,
+                    "pspc_stage_latency_seconds_bucket{{{extra},le=\"{}\"}} {cum}",
+                    le_ns as f64 / 1e9
+                );
+            }
+            let _ = writeln!(
+                t,
+                "pspc_stage_latency_seconds_bucket{{{extra},le=\"+Inf\"}} {}",
+                h.count()
+            );
+            let _ = writeln!(
+                t,
+                "pspc_stage_latency_seconds_sum{{{extra}}} {}",
+                h.sum() as f64 / 1e9
+            );
+            let _ = writeln!(
+                t,
+                "pspc_stage_latency_seconds_count{{{extra}}} {}",
+                h.count()
             );
         }
-        text
+        if !self.workers.is_empty() {
+            family(
+                &mut t,
+                "pspc_worker_busy_seconds",
+                "counter",
+                "Cumulative chunk-execution time per pool worker.",
+            );
+            for (i, w) in self.workers.iter().enumerate() {
+                sample(
+                    &mut t,
+                    "pspc_worker_busy_seconds",
+                    &format!("{{worker=\"{i}\"}}"),
+                    w.busy_ns as f64 / 1e9,
+                );
+            }
+            family(
+                &mut t,
+                "pspc_worker_chunks_total",
+                "counter",
+                "Work chunks executed per pool worker.",
+            );
+            for (i, w) in self.workers.iter().enumerate() {
+                sample(
+                    &mut t,
+                    "pspc_worker_chunks_total",
+                    &format!("{{worker=\"{i}\"}}"),
+                    w.chunks,
+                );
+            }
+        }
+        if let Some(c) = self.cache {
+            family(
+                &mut t,
+                "pspc_cache_hits_total",
+                "counter",
+                "Result-cache hits.",
+            );
+            sample(&mut t, "pspc_cache_hits_total", "", c.hits);
+            family(
+                &mut t,
+                "pspc_cache_misses_total",
+                "counter",
+                "Result-cache misses.",
+            );
+            sample(&mut t, "pspc_cache_misses_total", "", c.misses);
+            family(
+                &mut t,
+                "pspc_cache_entries",
+                "gauge",
+                "Live result-cache entries.",
+            );
+            sample(&mut t, "pspc_cache_entries", "", c.entries);
+            family(
+                &mut t,
+                "pspc_cache_evictions_total",
+                "counter",
+                "Result-cache evictions.",
+            );
+            sample(&mut t, "pspc_cache_evictions_total", "", c.evictions);
+        }
+        t
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn ring_overwrites_oldest_and_percentiles() {
-        let mut r = LatencyRing::new(4);
-        assert!(r.is_empty());
-        assert_eq!(r.percentile(0.5), 0);
-        for v in [10, 20, 30, 40] {
-            r.push(v);
-        }
-        assert_eq!(r.percentile(0.50), 20);
-        assert_eq!(r.percentile(0.99), 40);
-        r.push(50); // evicts 10
-        assert_eq!(r.len(), 4);
-        assert_eq!(r.percentile(0.25), 20);
-        assert_eq!(r.percentile(1.0), 50);
-        // sorted() agrees with per-call percentile() for every quantile.
-        let sorted = r.sorted();
-        assert_eq!(sorted, vec![20, 30, 40, 50]);
-        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
-            assert_eq!(
-                pspc_service::bench::percentile_sorted_nanos(&sorted, q),
-                r.percentile(q)
-            );
-        }
-    }
+    use std::sync::Arc;
 
     fn gauges(queued_chunks: u64) -> EngineGauges {
         EngineGauges {
             queued_chunks,
             ..EngineGauges::default()
         }
+    }
+
+    /// The log-bucketed quantile overestimates the exact value by less
+    /// than 1/32.
+    fn close(us: f64, exact_us: f64) -> bool {
+        us >= exact_us && us <= exact_us * (1.0 + 1.0 / 32.0)
     }
 
     #[test]
@@ -418,24 +659,108 @@ mod tests {
         assert_eq!(s.inserts, 3);
         assert_eq!(s.insert_conflicts, 1);
         assert_eq!(s.latency_samples, 1);
-        assert_eq!(s.insert_p50_us, 2.0);
-        assert_eq!(s.insert_p99_us, 8.0);
+        // Quantiles are log-bucketed: within the documented 1/32 bound
+        // of the exact samples (2 µs, 8 µs, 5 µs).
+        assert!(close(s.insert_p50_us, 2.0), "{}", s.insert_p50_us);
+        assert!(close(s.insert_p99_us, 8.0), "{}", s.insert_p99_us);
+        assert!(close(s.p50_us, 5.0), "{}", s.p50_us);
+        assert!(s.p50_us <= s.p90_us && s.p90_us <= s.p99_us && s.p99_us <= s.p999_us);
         let text = s.render();
-        assert!(text.contains("pspc_requests_served_total 1"));
-        assert!(text.contains("pspc_index_load_ms 12.50"));
-        assert!(text.contains("pspc_index_label_bytes 1234"));
-        assert!(text.contains("pspc_index_kind 2"));
-        assert!(text.contains("pspc_index_generation 0"));
-        assert!(text.contains("pspc_insert_requests_total 2"));
-        assert!(text.contains("pspc_inserts_total 3"));
-        assert!(text.contains("pspc_insert_conflicts_total 1"));
-        assert!(text.contains("pspc_insert_latency_p50_us 2.00"));
-        assert!(text.contains("pspc_insert_latency_p99_us 8.00"));
-        assert!(text.contains("pspc_request_latency_p50_us 5.00"));
+        assert!(text.contains("pspc_requests_served_total 1\n"));
+        assert!(text.contains("pspc_index_load_ms 12.50\n"));
+        assert!(text.contains("pspc_index_label_bytes 1234\n"));
+        assert!(text.contains("pspc_index_kind 2\n"));
+        assert!(text.contains("pspc_index_generation 0\n"));
+        assert!(text.contains("pspc_insert_requests_total 2\n"));
+        assert!(text.contains("pspc_inserts_total 3\n"));
+        assert!(text.contains("pspc_insert_conflicts_total 1\n"));
+        assert!(text.contains("# TYPE pspc_request_latency_seconds histogram"));
+        assert!(text.contains("pspc_request_latency_seconds_count 1\n"));
+        assert!(text.contains("pspc_insert_latency_seconds_count 2\n"));
+        assert!(
+            text.contains("pspc_request_latency_seconds_bucket{le=\"+Inf\"} 1"),
+            "+Inf bucket must close the series"
+        );
         assert!(
             !text.contains("pspc_cache_"),
             "cache lines must be omitted when the cache is disabled"
         );
+        assert!(
+            !text.contains("pspc_worker_"),
+            "worker lines need engine gauges"
+        );
+    }
+
+    #[test]
+    fn every_family_has_help_and_type() {
+        let m = Metrics::new();
+        m.record_served(1, 1_000);
+        m.record_insert(1, 2_000);
+        m.record_stages(&[10, 0, 20, 30, 500, 40, 50]);
+        let s = m.snapshot(EngineGauges {
+            queued_chunks: 0,
+            index_generation: 0,
+            workers: vec![
+                WorkerStat {
+                    busy_ns: 1_000_000,
+                    chunks: 3,
+                },
+                WorkerStat {
+                    busy_ns: 500_000,
+                    chunks: 1,
+                },
+            ],
+            cache: Some(CacheStats {
+                hits: 1,
+                misses: 2,
+                entries: 3,
+                evictions: 0,
+            }),
+        });
+        let text = s.render();
+        // Prometheus grammar: every sample's family must have been
+        // declared with a TYPE line before the sample appears.
+        let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.insert(rest.split_whitespace().next().unwrap().to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let name = line
+                .split(['{', ' '])
+                .next()
+                .expect("sample line has a name");
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|b| typed.contains(*b))
+                .unwrap_or(name);
+            assert!(typed.contains(base), "sample {name} lacks a TYPE header");
+            // And every sample line parses as `name[{labels}] value`.
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparsable sample value in {line:?}"
+            );
+        }
+        // Stage histograms: one labeled series per stage.
+        for stage in Stage::ALL {
+            assert!(
+                text.contains(&format!(
+                    "pspc_stage_latency_seconds_count{{stage=\"{}\"}} 1",
+                    stage.name()
+                )),
+                "missing stage series for {}",
+                stage.name()
+            );
+        }
+        assert!(text.contains("pspc_worker_chunks_total{worker=\"0\"} 3"));
+        assert!(text.contains("pspc_worker_chunks_total{worker=\"1\"} 1"));
+        assert!(text.contains("pspc_worker_busy_seconds{worker=\"0\"} 0.001"));
     }
 
     #[test]
@@ -444,6 +769,7 @@ mod tests {
         let s = m.snapshot(EngineGauges {
             queued_chunks: 0,
             index_generation: 5,
+            workers: Vec::new(),
             cache: Some(CacheStats {
                 hits: 10,
                 misses: 4,
@@ -453,10 +779,45 @@ mod tests {
         });
         assert_eq!(s.index_generation, 5);
         let text = s.render();
-        assert!(text.contains("pspc_index_generation 5"));
-        assert!(text.contains("pspc_cache_hits_total 10"));
-        assert!(text.contains("pspc_cache_misses_total 4"));
-        assert!(text.contains("pspc_cache_entries 3"));
-        assert!(text.contains("pspc_cache_evictions_total 1"));
+        assert!(text.contains("pspc_index_generation 5\n"));
+        assert!(text.contains("pspc_cache_hits_total 10\n"));
+        assert!(text.contains("pspc_cache_misses_total 4\n"));
+        assert!(text.contains("pspc_cache_entries 3\n"));
+        assert!(text.contains("pspc_cache_evictions_total 1\n"));
+    }
+
+    #[test]
+    fn scrape_never_blocks_recording() {
+        // The satellite pin: a concurrent scrape storm must not stall
+        // recorders (histogram snapshots are atomic loads — no lock is
+        // shared between record_served and snapshot). The old
+        // LatencyRing design held one Mutex for both; this test
+        // deadlocks/slows only if such a lock returns.
+        let m = Arc::new(Metrics::new());
+        let rounds = 20_000u64;
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..rounds {
+                        m.record_served(1, 1_000 + t * 997 + i % 1_000);
+                        m.record_stages(&[i % 100, 0, 10, 5, 200, 30, 40]);
+                    }
+                });
+            }
+            let m = Arc::clone(&m);
+            s.spawn(move || {
+                for _ in 0..300 {
+                    let snap = m.snapshot(EngineGauges::default());
+                    // Internal consistency of a concurrent scrape.
+                    assert_eq!(snap.latency_samples, snap.request_hist.count());
+                    let _ = snap.render();
+                }
+            });
+        });
+        let snap = m.snapshot(EngineGauges::default());
+        assert_eq!(snap.served, 2 * rounds);
+        assert_eq!(snap.request_hist.count(), 2 * rounds);
+        assert_eq!(snap.stage_hists[0].count(), 2 * rounds);
     }
 }

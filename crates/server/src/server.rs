@@ -18,9 +18,18 @@
 //!
 //! Query requests go through [`QueryEngine::try_run`]: when the
 //! submission queue cannot take a batch the daemon *sheds* it — HTTP 503
-//! / binary `Rejected` — instead of queueing unboundedly. `/metrics`
-//! exposes served/rejected/in-flight counters and p50/p99 request
-//! latency from a ring buffer.
+//! / binary `Rejected` — instead of queueing unboundedly.
+//!
+//! **Observability** (see [`ObsConfig`]): every request gets a
+//! [`Span`] with a process-unique trace ID, threaded through the engine
+//! so parse / cache-probe / prepare / queue-wait / execute / merge /
+//! write time is attributed per stage. Completed traces land in a
+//! bounded ring (`GET /debug/trace?n=`), a top-K slow-query log
+//! (`GET /debug/slow?n=`) and the stage-labeled histograms on
+//! `GET /metrics`, which renders full Prometheus text exposition
+//! (`# HELP`/`# TYPE`, histogram `_bucket`/`_sum`/`_count` series,
+//! per-worker gauges). Lifecycle and per-request diagnostics go through
+//! the structured `PSPC_LOG` logger on stderr.
 //!
 //! Shutdown (via [`ServerHandle::shutdown`], dropping the handle, or the
 //! `POST /shutdown` admin endpoint) is graceful: the accept loop stops,
@@ -29,6 +38,7 @@
 
 use crate::metrics::{EngineGauges, Metrics, MetricsSnapshot};
 use crate::{http, proto};
+use pspc_obs::{debug, info, warn, SlowLog, Span, Stage, TraceRing};
 use pspc_service::pairs::{read_pairs, write_answers, write_answers_json};
 use pspc_service::{EngineConfig, IndexKind, InsertError, QueryEngine, SubmitError};
 use std::io::{self, BufReader, Write};
@@ -42,9 +52,38 @@ const IDLE_POLL: Duration = Duration::from_millis(100);
 /// How long `finish` waits for handler threads to drain.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(15);
 
+/// Observability knobs of one daemon: request tracing and the sizes of
+/// the completed-trace ring and slow-query log.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Mint a [`Span`] per request and record stage-attributed traces
+    /// (default on; the overhead is a few clock reads per request).
+    /// When off, `/debug/trace` and `/debug/slow` stay empty and the
+    /// per-stage histograms on `/metrics` record nothing.
+    pub tracing: bool,
+    /// Completed traces retained for `GET /debug/trace` (oldest evicted
+    /// first).
+    pub trace_ring: usize,
+    /// Slowest requests retained for `GET /debug/slow`.
+    pub slow_log: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            tracing: true,
+            trace_ring: 256,
+            slow_log: 32,
+        }
+    }
+}
+
 struct Shared {
     engine: QueryEngine,
     metrics: Metrics,
+    obs: ObsConfig,
+    traces: TraceRing,
+    slow: SlowLog,
     shutdown: AtomicBool,
     active_conns: AtomicUsize,
     num_vertices: u32,
@@ -52,14 +91,57 @@ struct Shared {
 
 impl Shared {
     /// Samples the engine-owned gauges a `/metrics` scrape merges into
-    /// the snapshot: queue depth, index generation and (when enabled)
-    /// the result-cache counters.
+    /// the snapshot: queue depth, index generation, per-worker counters
+    /// and (when enabled) the result-cache counters.
     fn gauges(&self) -> EngineGauges {
         EngineGauges {
             queued_chunks: self.engine.queued_chunks() as u64,
             index_generation: self.engine.kind().generation(),
+            workers: self.engine.worker_stats(),
             cache: self.engine.cache().map(|c| c.stats()),
         }
+    }
+
+    /// Mints a request span when tracing is on.
+    fn span(&self) -> Option<Span> {
+        self.obs.tracing.then(Span::new)
+    }
+}
+
+/// Completes a request's span: stamps the write stage, logs the trace at
+/// debug level, feeds the per-stage histograms, and records it in the
+/// trace ring and slow log.
+fn finish_trace(
+    shared: &Shared,
+    span: Option<Span>,
+    kind: &'static str,
+    status: &'static str,
+    items: u64,
+    write_ns: u64,
+) {
+    let Some(mut span) = span else { return };
+    span.add(Stage::Write, write_ns);
+    let trace = span.finish(kind, status, items);
+    debug!(
+        "request traced",
+        trace_id = trace.id,
+        kind = trace.kind,
+        status = trace.status,
+        items = trace.items,
+        total_us = format!("{:.1}", trace.total_ns as f64 / 1e3),
+    );
+    shared.metrics.record_stages(&trace.stage_ns);
+    shared.slow.offer(trace.clone());
+    shared.traces.push(trace);
+}
+
+/// The protocol-level status label a response maps to in traces.
+fn response_status(r: &proto::Response) -> &'static str {
+    match r {
+        proto::Response::Answers(_) | proto::Response::Applied(_) => "ok",
+        proto::Response::Rejected(_) => "rejected",
+        proto::Response::BadRequest(_) => "bad_request",
+        proto::Response::Conflict(_) => "conflict",
     }
 }
 
@@ -74,7 +156,8 @@ impl Drop for ConnGuard {
 
 /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
 /// `index` — any [`IndexKind`], or a bare index convertible into one —
-/// on a fresh engine configured by `engine_cfg`.
+/// on a fresh engine configured by `engine_cfg`, with default
+/// observability ([`ObsConfig::default`]: tracing on).
 ///
 /// Returns immediately; the accept loop runs on a background thread
 /// until the handle shuts it down.
@@ -83,6 +166,16 @@ pub fn serve(
     addr: &str,
     engine_cfg: EngineConfig,
 ) -> io::Result<ServerHandle> {
+    serve_with_obs(index, addr, engine_cfg, ObsConfig::default())
+}
+
+/// [`serve`] with explicit observability configuration.
+pub fn serve_with_obs(
+    index: impl Into<IndexKind>,
+    addr: &str,
+    engine_cfg: EngineConfig,
+    obs: ObsConfig,
+) -> io::Result<ServerHandle> {
     let index = index.into();
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
@@ -90,13 +183,24 @@ pub fn serve(
     let metrics = Metrics::new();
     metrics.set_label_bytes(index.label_bytes() as u64);
     metrics.set_index_kind(index.code());
+    let index_kind = index.code();
     let shared = Arc::new(Shared {
         engine: QueryEngine::with_kind(index, engine_cfg),
         metrics,
+        obs,
+        traces: TraceRing::new(obs.trace_ring),
+        slow: SlowLog::new(obs.slow_log),
         shutdown: AtomicBool::new(false),
         active_conns: AtomicUsize::new(0),
         num_vertices,
     });
+    info!(
+        "daemon listening",
+        addr = local_addr,
+        index_kind = index_kind,
+        vertices = num_vertices,
+        tracing = obs.tracing,
+    );
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::Builder::new()
         .name("pspc-accept".into())
@@ -105,12 +209,16 @@ pub fn serve(
                 if accept_shared.shutdown.load(Ordering::Acquire) {
                     break;
                 }
-                let Ok(stream) = stream else {
-                    // Transient accept errors (EMFILE under fd
-                    // exhaustion, ECONNABORTED) must not hot-spin the
-                    // accept thread while handlers hold the fds.
-                    std::thread::sleep(Duration::from_millis(10));
-                    continue;
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    Err(e) => {
+                        // Transient accept errors (EMFILE under fd
+                        // exhaustion, ECONNABORTED) must not hot-spin the
+                        // accept thread while handlers hold the fds.
+                        warn!("transient accept error", error = e);
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
                 };
                 accept_shared.active_conns.fetch_add(1, Ordering::Acquire);
                 let guard = ConnGuard(Arc::clone(&accept_shared));
@@ -151,6 +259,18 @@ impl ServerHandle {
         self.shared.metrics.snapshot(self.shared.gauges())
     }
 
+    /// The `n` most recently completed request traces, newest first
+    /// (same data `GET /debug/trace` serves).
+    pub fn recent_traces(&self, n: usize) -> Vec<pspc_obs::RequestTrace> {
+        self.shared.traces.recent(n)
+    }
+
+    /// The `n` slowest requests seen, slowest first (same data
+    /// `GET /debug/slow` serves).
+    pub fn slowest_traces(&self, n: usize) -> Vec<pspc_obs::RequestTrace> {
+        self.shared.slow.slowest(n)
+    }
+
     /// Records how long the served snapshot took to load, surfacing it
     /// as the `pspc_index_load_ms` gauge. The loader (e.g. `pspc serve`)
     /// calls this right after [`serve`] with the wall-clock it measured.
@@ -179,18 +299,33 @@ impl ServerHandle {
     }
 
     fn trigger(&self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+        if !self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            info!("shutdown requested", addr = self.local_addr);
+        }
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
     }
 
     fn finish(&mut self) {
-        if let Some(h) = self.accept.take() {
+        let joined = if let Some(h) = self.accept.take() {
             let _ = h.join();
-        }
+            true
+        } else {
+            false
+        };
         let deadline = Instant::now() + DRAIN_DEADLINE;
         while self.shared.active_conns.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
+        }
+        if joined {
+            let m = &self.shared.metrics;
+            let snap = m.snapshot(self.shared.gauges());
+            info!(
+                "daemon stopped",
+                addr = self.local_addr,
+                served = snap.served,
+                rejected = snap.rejected,
+            );
         }
         // The engine itself drains in `Shared`'s drop (here, unless a
         // stuck handler still holds a reference past the deadline).
@@ -265,7 +400,18 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
         Wait::Ready(b) => b,
         Wait::Eof | Wait::Shutdown => return Ok(()),
     };
-    if sniff == proto::REQUEST_MAGIC || sniff == proto::INSERT_MAGIC {
+    let binary = sniff == proto::REQUEST_MAGIC || sniff == proto::INSERT_MAGIC;
+    if pspc_obs::log::enabled(pspc_obs::Level::Debug) {
+        let peer = stream
+            .peer_addr()
+            .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+        debug!(
+            "connection accepted",
+            peer = peer,
+            protocol = if binary { "binary" } else { "http" },
+        );
+    }
+    if binary {
         serve_binary(shared, stream)
     } else {
         serve_http(shared, stream)
@@ -273,8 +419,10 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
 }
 
 /// Validates ids and answers one batch, mapping engine rejections to
-/// protocol-level responses.
-fn answer_batch(shared: &Shared, pairs: &[(u32, u32)]) -> proto::Response {
+/// protocol-level responses. When a span is supplied, the engine
+/// attributes cache-probe / prepare / queue-wait / execute / merge time
+/// to it.
+fn answer_batch(shared: &Shared, pairs: &[(u32, u32)], span: Option<&mut Span>) -> proto::Response {
     if pairs.len() > proto::MAX_PAIRS {
         shared.metrics.record_client_error();
         return proto::Response::BadRequest(format!(
@@ -292,7 +440,11 @@ fn answer_batch(shared: &Shared, pairs: &[(u32, u32)]) -> proto::Response {
     }
     let _in_flight = shared.metrics.enter();
     let t0 = Instant::now();
-    match shared.engine.try_run(pairs) {
+    let result = match span {
+        Some(s) => shared.engine.try_run_traced(pairs, s),
+        None => shared.engine.try_run(pairs),
+    };
+    match result {
         Ok((answers, _)) => {
             shared
                 .metrics
@@ -312,8 +464,13 @@ fn answer_batch(shared: &Shared, pairs: &[(u32, u32)]) -> proto::Response {
 
 /// Validates and applies one batch of edge insertions, mapping engine
 /// rejections to protocol-level responses (shared by `POST /insert` and
-/// the binary `PSI1` frame).
-fn apply_inserts(shared: &Shared, edges: &[(u32, u32)]) -> proto::Response {
+/// the binary `PSI1` frame). A supplied span attributes the index
+/// mutation to the execute stage.
+fn apply_inserts(
+    shared: &Shared,
+    edges: &[(u32, u32)],
+    span: Option<&mut Span>,
+) -> proto::Response {
     if edges.len() > proto::MAX_PAIRS {
         shared.metrics.record_client_error();
         return proto::Response::BadRequest(format!(
@@ -323,11 +480,15 @@ fn apply_inserts(shared: &Shared, edges: &[(u32, u32)]) -> proto::Response {
         ));
     }
     // Inserts are requests too: they hold the in-flight gauge and feed
-    // their own latency ring, so write traffic is observable without
-    // polluting query percentiles.
+    // their own latency histogram, so write traffic is observable
+    // without polluting query percentiles.
     let _in_flight = shared.metrics.enter();
     let t0 = Instant::now();
-    match shared.engine.apply_inserts(edges) {
+    let result = match span {
+        Some(s) => s.time(Stage::Execute, || shared.engine.apply_inserts(edges)),
+        None => shared.engine.apply_inserts(edges),
+    };
+    match result {
         Ok(applied) => {
             shared
                 .metrics
@@ -362,21 +523,55 @@ fn serve_binary(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                 Wait::Eof | Wait::Shutdown => return Ok(()),
             }
         }
+        // The span starts once bytes are available — keep-alive idle
+        // time between requests is not part of any request's trace.
+        let mut span = shared.span();
+        let t_read = Instant::now();
         let frame = match proto::read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
             Ok(None) => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 shared.metrics.record_client_error();
-                proto::write_response(&mut writer, &proto::Response::BadRequest(e.to_string()))?;
+                let msg = e.to_string();
+                let t_write = Instant::now();
+                proto::write_response(&mut writer, &proto::Response::BadRequest(msg))?;
+                if let Some(s) = span.as_mut() {
+                    s.add(Stage::Parse, t_read.elapsed().as_nanos() as u64);
+                }
+                finish_trace(
+                    shared,
+                    span,
+                    "query",
+                    "bad_request",
+                    0,
+                    t_write.elapsed().as_nanos() as u64,
+                );
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
-        let response = match &frame {
-            proto::Frame::Query(pairs) => answer_batch(shared, pairs),
-            proto::Frame::Insert(edges) => apply_inserts(shared, edges),
+        if let Some(s) = span.as_mut() {
+            s.add(Stage::Parse, t_read.elapsed().as_nanos() as u64);
+        }
+        let (kind, items) = match &frame {
+            proto::Frame::Query(pairs) => ("query", pairs.len() as u64),
+            proto::Frame::Insert(edges) => ("insert", edges.len() as u64),
         };
+        let response = match &frame {
+            proto::Frame::Query(pairs) => answer_batch(shared, pairs, span.as_mut()),
+            proto::Frame::Insert(edges) => apply_inserts(shared, edges, span.as_mut()),
+        };
+        let status = response_status(&response);
+        let t_write = Instant::now();
         proto::write_response(&mut writer, &response)?;
+        finish_trace(
+            shared,
+            span,
+            kind,
+            status,
+            items,
+            t_write.elapsed().as_nanos() as u64,
+        );
     }
 }
 
@@ -399,6 +594,19 @@ fn http_text<W: Write>(
     )
 }
 
+/// Renders a list of traces as a JSON array (one `to_json` object each).
+fn traces_json(traces: &[pspc_obs::RequestTrace]) -> String {
+    let mut body = String::from("[");
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&t.to_json());
+    }
+    body.push_str("]\n");
+    body
+}
+
 fn serve_http(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream.try_clone()?;
@@ -409,6 +617,10 @@ fn serve_http(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                 Wait::Eof | Wait::Shutdown => return Ok(()),
             }
         }
+        // Span and read clock start once request bytes are available, so
+        // keep-alive idle time is excluded from the parse stage.
+        let mut span = shared.span();
+        let t_read = Instant::now();
         let req = match http::read_request(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => return Ok(()),
@@ -419,6 +631,9 @@ fn serve_http(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
             }
             Err(e) => return Err(e),
         };
+        if let Some(s) = span.as_mut() {
+            s.add(Stage::Parse, t_read.elapsed().as_nanos() as u64);
+        }
         let keep_alive = !req.wants_close();
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => http_text(&mut writer, 200, "OK", "ok\n", keep_alive)?,
@@ -426,46 +641,101 @@ fn serve_http(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                 let body = shared.metrics.snapshot(shared.gauges()).render();
                 http_text(&mut writer, 200, "OK", &body, keep_alive)?;
             }
+            ("GET", "/debug/trace") => {
+                let n = req
+                    .query_param("n")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(32);
+                let body = traces_json(&shared.traces.recent(n));
+                http::write_response(
+                    &mut writer,
+                    200,
+                    "OK",
+                    "application/json",
+                    body.as_bytes(),
+                    keep_alive,
+                )?;
+            }
+            ("GET", "/debug/slow") => {
+                let n = req
+                    .query_param("n")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| shared.slow.capacity());
+                let body = traces_json(&shared.slow.slowest(n));
+                http::write_response(
+                    &mut writer,
+                    200,
+                    "OK",
+                    "application/json",
+                    body.as_bytes(),
+                    keep_alive,
+                )?;
+            }
             ("POST", "/query") => {
                 let json = req.query_param("format") == Some("json");
-                match read_pairs(req.body.as_slice()) {
-                    Ok(pairs) => match answer_batch(shared, &pairs) {
-                        proto::Response::Answers(answers) => {
-                            let mut body = Vec::new();
-                            let (ctype, res) = if json {
-                                (
-                                    "application/json",
-                                    write_answers_json(&pairs, &answers, &mut body),
-                                )
-                            } else {
-                                (
-                                    "text/tab-separated-values",
-                                    write_answers(&pairs, &answers, &mut body),
-                                )
-                            };
-                            res.expect("writing to a Vec cannot fail");
-                            http::write_response(&mut writer, 200, "OK", ctype, &body, keep_alive)?;
+                let parsed = match span.as_mut() {
+                    Some(s) => s.time(Stage::Parse, || read_pairs(req.body.as_slice())),
+                    None => read_pairs(req.body.as_slice()),
+                };
+                match parsed {
+                    Ok(pairs) => {
+                        let response = answer_batch(shared, &pairs, span.as_mut());
+                        let status = response_status(&response);
+                        let t_write = Instant::now();
+                        match response {
+                            proto::Response::Answers(answers) => {
+                                let mut body = Vec::new();
+                                let (ctype, res) = if json {
+                                    (
+                                        "application/json",
+                                        write_answers_json(&pairs, &answers, &mut body),
+                                    )
+                                } else {
+                                    (
+                                        "text/tab-separated-values",
+                                        write_answers(&pairs, &answers, &mut body),
+                                    )
+                                };
+                                res.expect("writing to a Vec cannot fail");
+                                http::write_response(
+                                    &mut writer,
+                                    200,
+                                    "OK",
+                                    ctype,
+                                    &body,
+                                    keep_alive,
+                                )?;
+                            }
+                            proto::Response::Rejected(msg) => http_text(
+                                &mut writer,
+                                503,
+                                "Service Unavailable",
+                                &format!("{msg}\n"),
+                                keep_alive,
+                            )?,
+                            proto::Response::BadRequest(msg) => http_text(
+                                &mut writer,
+                                400,
+                                "Bad Request",
+                                &format!("{msg}\n"),
+                                keep_alive,
+                            )?,
+                            proto::Response::Applied(_) | proto::Response::Conflict(_) => {
+                                unreachable!("answer_batch never produces insert responses")
+                            }
                         }
-                        proto::Response::Rejected(msg) => http_text(
-                            &mut writer,
-                            503,
-                            "Service Unavailable",
-                            &format!("{msg}\n"),
-                            keep_alive,
-                        )?,
-                        proto::Response::BadRequest(msg) => http_text(
-                            &mut writer,
-                            400,
-                            "Bad Request",
-                            &format!("{msg}\n"),
-                            keep_alive,
-                        )?,
-                        proto::Response::Applied(_) | proto::Response::Conflict(_) => {
-                            unreachable!("answer_batch never produces insert responses")
-                        }
-                    },
+                        finish_trace(
+                            shared,
+                            span.take(),
+                            "query",
+                            status,
+                            pairs.len() as u64,
+                            t_write.elapsed().as_nanos() as u64,
+                        );
+                    }
                     Err(e) => {
                         shared.metrics.record_client_error();
+                        let t_write = Instant::now();
                         http_text(
                             &mut writer,
                             400,
@@ -473,50 +743,90 @@ fn serve_http(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                             &format!("{e}\n"),
                             keep_alive,
                         )?;
+                        finish_trace(
+                            shared,
+                            span.take(),
+                            "query",
+                            "bad_request",
+                            0,
+                            t_write.elapsed().as_nanos() as u64,
+                        );
                     }
                 }
             }
-            ("POST", "/insert") => match read_pairs(req.body.as_slice()) {
-                Ok(edges) => match apply_inserts(shared, &edges) {
-                    proto::Response::Applied(applied) => http_text(
-                        &mut writer,
-                        200,
-                        "OK",
-                        &format!("applied {applied} of {} edges\n", edges.len()),
-                        keep_alive,
-                    )?,
-                    proto::Response::Conflict(msg) => http_text(
-                        &mut writer,
-                        409,
-                        "Conflict",
-                        &format!("{msg}\n"),
-                        keep_alive,
-                    )?,
-                    proto::Response::BadRequest(msg) => http_text(
-                        &mut writer,
-                        400,
-                        "Bad Request",
-                        &format!("{msg}\n"),
-                        keep_alive,
-                    )?,
-                    proto::Response::Answers(_) | proto::Response::Rejected(_) => {
-                        unreachable!("apply_inserts never produces answers or admission rejections")
+            ("POST", "/insert") => {
+                let parsed = match span.as_mut() {
+                    Some(s) => s.time(Stage::Parse, || read_pairs(req.body.as_slice())),
+                    None => read_pairs(req.body.as_slice()),
+                };
+                match parsed {
+                    Ok(edges) => {
+                        let response = apply_inserts(shared, &edges, span.as_mut());
+                        let status = response_status(&response);
+                        let t_write = Instant::now();
+                        match response {
+                            proto::Response::Applied(applied) => http_text(
+                                &mut writer,
+                                200,
+                                "OK",
+                                &format!("applied {applied} of {} edges\n", edges.len()),
+                                keep_alive,
+                            )?,
+                            proto::Response::Conflict(msg) => http_text(
+                                &mut writer,
+                                409,
+                                "Conflict",
+                                &format!("{msg}\n"),
+                                keep_alive,
+                            )?,
+                            proto::Response::BadRequest(msg) => http_text(
+                                &mut writer,
+                                400,
+                                "Bad Request",
+                                &format!("{msg}\n"),
+                                keep_alive,
+                            )?,
+                            proto::Response::Answers(_) | proto::Response::Rejected(_) => {
+                                unreachable!(
+                                    "apply_inserts never produces answers or admission rejections"
+                                )
+                            }
+                        }
+                        finish_trace(
+                            shared,
+                            span.take(),
+                            "insert",
+                            status,
+                            edges.len() as u64,
+                            t_write.elapsed().as_nanos() as u64,
+                        );
                     }
-                },
-                Err(e) => {
-                    shared.metrics.record_client_error();
-                    http_text(
-                        &mut writer,
-                        400,
-                        "Bad Request",
-                        &format!("{e}\n"),
-                        keep_alive,
-                    )?;
+                    Err(e) => {
+                        shared.metrics.record_client_error();
+                        let t_write = Instant::now();
+                        http_text(
+                            &mut writer,
+                            400,
+                            "Bad Request",
+                            &format!("{e}\n"),
+                            keep_alive,
+                        )?;
+                        finish_trace(
+                            shared,
+                            span.take(),
+                            "insert",
+                            "bad_request",
+                            0,
+                            t_write.elapsed().as_nanos() as u64,
+                        );
+                    }
                 }
-            },
+            }
             ("POST", "/shutdown") => {
                 http_text(&mut writer, 200, "OK", "shutting down\n", false)?;
-                shared.shutdown.store(true, Ordering::Release);
+                if !shared.shutdown.swap(true, Ordering::AcqRel) {
+                    info!("shutdown requested", via = "POST /shutdown");
+                }
                 // Wake the accept loop so `wait` observes the flag.
                 if let Ok(addr) = stream.local_addr() {
                     let _ = TcpStream::connect(addr);

@@ -544,3 +544,143 @@ fn post_shutdown_endpoint_stops_a_waiting_server() {
     assert_eq!(m.served, 1);
     assert!(TcpStream::connect(&addr).is_err());
 }
+
+/// Extracts every `"key":value` numeric field named `key` from a JSON
+/// trace dump, in order of appearance.
+fn json_numbers(text: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    text.match_indices(&needle)
+        .map(|(at, _)| {
+            let rest = &text[at + needle.len()..];
+            let end = rest
+                .find(|c: char| c != '.' && !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn debug_endpoints_expose_traces_and_slow_log() {
+    let index = small_index();
+    let (handle, addr) = start(&index, EngineConfig::default());
+    let batch = pairs(64, 300, 7);
+    let mut body = Vec::new();
+    for &(s, t) in &batch {
+        writeln!(body, "{s} {t}").unwrap();
+    }
+    for _ in 0..5 {
+        let (status, _) = http_request(&addr, "POST", "/query", &body);
+        assert!(status.contains("200"), "{status}");
+    }
+    // Malformed requests are traced too, with their own status.
+    let (status, _) = http_request(&addr, "POST", "/query", b"not numbers\n");
+    assert!(status.contains("400"), "{status}");
+
+    // /debug/trace: newest first, every stage present in every object.
+    let (status, trace_body) = http_request(&addr, "GET", "/debug/trace?n=4", &[]);
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(trace_body).unwrap();
+    assert!(text.starts_with('['), "{text}");
+    assert_eq!(text.matches("\"trace_id\":").count(), 4, "{text}");
+    for stage in [
+        "parse",
+        "cache_probe",
+        "prepare",
+        "queue_wait",
+        "execute",
+        "merge",
+        "write",
+    ] {
+        assert_eq!(
+            text.matches(&format!("\"{stage}\":")).count(),
+            4,
+            "stage {stage} missing from a trace: {text}"
+        );
+    }
+    let newest_first = json_numbers(&text, "trace_id");
+    assert!(
+        newest_first.windows(2).all(|w| w[0] > w[1]),
+        "traces must be newest first: {newest_first:?}"
+    );
+    assert!(
+        text.find("\"status\":\"bad_request\"").unwrap() < text.find("\"status\":\"ok\"").unwrap(),
+        "the malformed request is the most recent trace: {text}"
+    );
+
+    // /debug/slow: slowest first, populated stage breakdown.
+    let (status, slow_body) = http_request(&addr, "GET", "/debug/slow", &[]);
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(slow_body).unwrap();
+    let totals = json_numbers(&text, "total_us");
+    assert!(totals.len() >= 6, "all six requests rank in the top 32");
+    assert!(
+        totals.windows(2).all(|w| w[0] >= w[1]),
+        "slow log must be slowest first: {totals:?}"
+    );
+    // The slowest trace is a real query: its engine stages are nonzero.
+    let first = &text[..text.find("}}").unwrap()];
+    for stage in ["prepare", "execute", "merge"] {
+        let v = json_numbers(first, stage);
+        assert!(
+            v.first().is_some_and(|&us| us > 0.0),
+            "slowest trace lacks {stage} attribution: {first}"
+        );
+    }
+
+    // The same traces fed the stage-labeled histograms on /metrics.
+    let (status, metrics_body) = http_request(&addr, "GET", "/metrics", &[]);
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(metrics_body).unwrap();
+    assert!(text.contains("# TYPE pspc_stage_latency_seconds histogram"));
+    for stage in pspc_obs::Stage::ALL {
+        assert!(
+            text.contains(&format!(
+                "pspc_stage_latency_seconds_count{{stage=\"{}\"}} 6",
+                stage.name()
+            )),
+            "stage {} count off:\n{text}",
+            stage.name()
+        );
+    }
+    assert!(text.contains("# TYPE pspc_request_latency_seconds histogram"));
+    assert!(text.contains("pspc_request_latency_seconds_bucket{le=\"+Inf\"} 5"));
+    assert!(text.contains("pspc_worker_chunks_total{worker=\"0\"}"));
+
+    let m = handle.shutdown();
+    assert_eq!(m.stage_hists[pspc_obs::Stage::Execute as usize].count(), 6);
+    assert!(m.stage_hists[pspc_obs::Stage::Execute as usize].sum() > 0);
+}
+
+#[test]
+fn tracing_can_be_disabled_without_losing_service() {
+    use pspc_server::server::{serve_with_obs, ObsConfig};
+    let index = small_index();
+    let handle = serve_with_obs(
+        index.clone(),
+        "127.0.0.1:0",
+        EngineConfig::default(),
+        ObsConfig {
+            tracing: false,
+            ..ObsConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr().to_string();
+    let ps = pairs(50, 300, 11);
+    assert_eq!(
+        RemoteClient::connect(&addr)
+            .unwrap()
+            .query_batch(&ps)
+            .unwrap(),
+        index.query_batch_sequential(&ps)
+    );
+    let (status, body) = http_request(&addr, "GET", "/debug/trace", &[]);
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, b"[]\n", "no traces recorded with tracing off");
+    let (_, body) = http_request(&addr, "GET", "/debug/slow", &[]);
+    assert_eq!(body, b"[]\n");
+    let m = handle.shutdown();
+    assert_eq!(m.served, 1, "service itself is unaffected");
+    assert!(m.stage_hists.iter().all(|h| h.count() == 0));
+}

@@ -37,6 +37,7 @@ use pspc_core::serialize::{
 use pspc_core::{DynamicDistanceIndex, SnapshotKind, SpcIndex};
 use pspc_graph::digraph::DiGraphBuilder;
 use pspc_graph::io::{load_or_build_cache_verbose, read_edge_list_file, CacheOutcome};
+use pspc_obs::{info, warn};
 use pspc_order::OrderingStrategy;
 
 const USAGE: &str = "usage: pspc build <edges> -o <index> [--order o] [--landmarks k] \
@@ -180,49 +181,52 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         let (g, outcome) =
             load_or_build_cache_verbose(input).map_err(|e| format!("reading {input}: {e}"))?;
         match outcome {
-            CacheOutcome::Hit => eprintln!("loaded binary cache for {input}"),
-            CacheOutcome::Built => eprintln!("parsed {input}, wrote binary cache"),
-            CacheOutcome::Refreshed => eprintln!("cache was stale; re-parsed {input}"),
+            CacheOutcome::Hit => info!("loaded binary graph cache", input = input),
+            CacheOutcome::Built => info!("parsed graph; wrote binary cache", input = input),
+            CacheOutcome::Refreshed => info!("graph cache was stale; re-parsed", input = input),
             CacheOutcome::BuiltUncached => {
-                eprintln!("warning: parsed {input} but could not write its binary cache")
+                warn!(
+                    "parsed graph but could not write its binary cache",
+                    input = input
+                )
             }
         }
         g
     } else {
         read_edge_list_file(input).map_err(|e| format!("reading {input}: {e}"))?
     };
-    eprintln!(
-        "building index for {} vertices / {} edges ...",
-        g.num_vertices(),
-        g.num_edges()
+    info!(
+        "building index",
+        vertices = g.num_vertices(),
+        edges = g.num_edges(),
     );
     let bytes = match kind {
         BuildKind::Undirected => {
             let (index, _) = build_pspc(&g, &config);
             let s = index.stats();
-            eprintln!(
-                "built in {:.2}s: {} entries, {:.2} MiB, avg label {:.1}",
-                s.total_seconds(),
-                s.total_entries,
-                s.size_mib(),
-                s.avg_label_size
+            info!(
+                "index built",
+                secs = format!("{:.2}", s.total_seconds()),
+                entries = s.total_entries,
+                mib = format!("{:.2}", s.size_mib()),
+                avg_label = format!("{:.1}", s.avg_label_size),
             );
             index_to_binary(&index)
         }
         BuildKind::Dynamic => {
             let t0 = std::time::Instant::now();
             let index = DynamicDistanceIndex::build(&g, config.ordering);
-            eprintln!(
-                "built dynamic distance index in {:.2}s: {} entries",
-                t0.elapsed().as_secs_f64(),
-                index.num_entries()
+            info!(
+                "dynamic distance index built",
+                secs = format!("{:.2}", t0.elapsed().as_secs_f64()),
+                entries = index.num_entries(),
             );
             dyn_index_to_binary(&index)
         }
         BuildKind::Directed => unreachable!("handled above"),
     };
     std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
-    eprintln!("index snapshot written to {output} ({} bytes)", bytes.len());
+    info!("index snapshot written", path = output, bytes = bytes.len());
     Ok(())
 }
 
@@ -235,10 +239,10 @@ fn build_directed(input: &str, output: &str, config: &PspcConfig) -> Result<(), 
     let arcs =
         read_pairs(std::io::BufReader::new(f)).map_err(|e| format!("reading {input}: {e}"))?;
     let g = DiGraphBuilder::new().arcs(arcs).build();
-    eprintln!(
-        "building directed index for {} vertices / {} arcs ...",
-        g.num_vertices(),
-        g.num_arcs()
+    info!(
+        "building directed index",
+        vertices = g.num_vertices(),
+        arcs = g.num_arcs(),
     );
     let di_config = DiPspcConfig {
         threads: config.threads,
@@ -246,15 +250,15 @@ fn build_directed(input: &str, output: &str, config: &PspcConfig) -> Result<(), 
     };
     let index = build_di_pspc(&g, &di_config);
     let s = index.stats();
-    eprintln!(
-        "built in {:.2}s: {} entries (Lin + Lout), {:.2} MiB",
-        s.total_seconds(),
-        s.total_entries,
-        s.size_mib()
+    info!(
+        "directed index built",
+        secs = format!("{:.2}", s.total_seconds()),
+        entries = s.total_entries,
+        mib = format!("{:.2}", s.size_mib()),
     );
     let bytes = di_index_to_binary(&index);
     std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
-    eprintln!("index snapshot written to {output} ({} bytes)", bytes.len());
+    info!("index snapshot written", path = output, bytes = bytes.len());
     Ok(())
 }
 
@@ -379,12 +383,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         OutputFormat::Json => crate::pairs::write_answers_json(&pairs, &answers, out),
     }
     .map_err(|e| format!("writing answers: {e}"))?;
-    eprintln!(
-        "{} queries on {} workers in {:.3}s ({:.0} queries/sec)",
-        report.queries,
-        report.workers,
-        report.wall_secs,
-        report.qps()
+    info!(
+        "query batch complete",
+        queries = report.queries,
+        workers = report.workers,
+        secs = format!("{:.3}", report.wall_secs),
+        qps = format!("{:.0}", report.qps()),
     );
     Ok(())
 }

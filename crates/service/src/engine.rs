@@ -43,6 +43,8 @@ use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use pspc_core::SpcIndex;
 use pspc_graph::{SpcAnswer, VertexId};
+use pspc_obs::{Span, Stage};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -162,14 +164,47 @@ struct Task {
     hi: usize,
     /// Chunk index (for the input-order merge).
     chunk: usize,
+    /// When the chunk entered the submission queue (for the queue-wait
+    /// stage of request traces).
+    enqueued: Instant,
     /// Record per-query latencies.
     time_queries: bool,
     /// Per-batch reply queue.
     reply: Sender<Part>,
 }
 
-/// `(chunk index, answers, per-query nanoseconds)`.
-type Part = (usize, Vec<SpcAnswer>, Vec<u64>);
+/// `(chunk index, answers, per-query nanoseconds, queue-wait ns,
+/// execution ns)` — the last two feed request traces and the per-worker
+/// gauges.
+type Part = (usize, Vec<SpcAnswer>, Vec<u64>, u64, u64);
+
+/// Per-worker busy-time/chunk counters, indexed by worker id. Always on:
+/// the cost is two `Relaxed` `fetch_add`s per *chunk* (≥1024 queries by
+/// default), invisible next to the chunk's execution itself.
+struct WorkerStats {
+    busy_ns: Box<[AtomicU64]>,
+    chunks: Box<[AtomicU64]>,
+}
+
+impl WorkerStats {
+    fn new(workers: usize) -> Self {
+        WorkerStats {
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            chunks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// One pool worker's lifetime counters, as sampled for metrics
+/// (`pspc_worker_busy_seconds` / `pspc_worker_chunks_total`): pool
+/// imbalance shows up as busy-time skew across workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Nanoseconds this worker spent executing chunks.
+    pub busy_ns: u64,
+    /// Chunks this worker executed.
+    pub chunks: u64,
+}
 
 /// Recycler for the answer buffers that shuttle between workers and
 /// submitters.
@@ -209,10 +244,19 @@ impl BufferPool {
     }
 }
 
-fn worker_loop(index: Arc<IndexKind>, rx: Receiver<Task>, buffers: Arc<BufferPool>) {
+fn worker_loop(
+    index: Arc<IndexKind>,
+    rx: Receiver<Task>,
+    buffers: Arc<BufferPool>,
+    stats: Arc<WorkerStats>,
+    id: usize,
+) {
     // recv() drains every queued chunk before reporting disconnect, so a
     // shutdown never drops admitted work.
     while let Ok(task) = rx.recv() {
+        let dequeued = Instant::now();
+        // Saturating: Instant::duration_since never goes negative.
+        let wait_ns = dequeued.duration_since(task.enqueued).as_nanos() as u64;
         let slice = &task.batch[task.lo..task.hi];
         let mut out = buffers.take();
         let mut lat = Vec::new();
@@ -224,9 +268,12 @@ fn worker_loop(index: Arc<IndexKind>, rx: Receiver<Task>, buffers: Arc<BufferPoo
         } else {
             index.query_rank_batch_into(slice, &mut out);
         }
+        let exec_ns = dequeued.elapsed().as_nanos() as u64;
+        stats.busy_ns[id].fetch_add(exec_ns, Ordering::Relaxed);
+        stats.chunks[id].fetch_add(1, Ordering::Relaxed);
         // A submitter that vanished (disconnected reply) is not an error
         // for the pool; the work is simply discarded.
-        let _ = task.reply.send((task.chunk, out, lat));
+        let _ = task.reply.send((task.chunk, out, lat, wait_ns, exec_ns));
     }
 }
 
@@ -250,6 +297,8 @@ pub struct QueryEngine {
     submit_lock: Mutex<()>,
     /// Recycled answer buffers shared by workers and submitters.
     buffers: Arc<BufferPool>,
+    /// Per-worker busy-time/chunk counters (always on).
+    worker_stats: Arc<WorkerStats>,
     /// The hot-pair result cache, when `cfg.cache_capacity > 0`. Probed
     /// before chunking and back-filled after; entries are stamped with
     /// the index generation so inserts invalidate implicitly.
@@ -288,14 +337,16 @@ impl QueryEngine {
         // plus a healthy margin of parts awaiting their submitter's
         // scatter; beyond that, returns are dropped rather than hoarded.
         let buffers = Arc::new(BufferPool::new(4 * workers + 16));
+        let worker_stats = Arc::new(WorkerStats::new(workers));
         let handles = (0..workers)
             .map(|i| {
                 let index = Arc::clone(&index);
                 let rx = rx.clone();
                 let buffers = Arc::clone(&buffers);
+                let stats = Arc::clone(&worker_stats);
                 std::thread::Builder::new()
                     .name(format!("pspc-worker-{i}"))
-                    .spawn(move || worker_loop(index, rx, buffers))
+                    .spawn(move || worker_loop(index, rx, buffers, stats, i))
                     .expect("spawning engine worker")
             })
             .collect();
@@ -308,8 +359,23 @@ impl QueryEngine {
             handles,
             submit_lock: Mutex::new(()),
             buffers,
+            worker_stats,
             cache,
         }
+    }
+
+    /// Lifetime busy-time/chunk counters per pool worker (index-aligned
+    /// with worker ids). Racy-but-coherent gauges for metrics endpoints.
+    pub fn worker_stats(&self) -> Vec<WorkerStat> {
+        self.worker_stats
+            .busy_ns
+            .iter()
+            .zip(self.worker_stats.chunks.iter())
+            .map(|(b, c)| WorkerStat {
+                busy_ns: b.load(Ordering::Relaxed),
+                chunks: c.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// The result cache, when enabled ([`EngineConfig::cache_capacity`]
@@ -409,7 +475,7 @@ impl QueryEngine {
     /// Answers a batch and reports wall-clock facts.
     pub fn run_with_report(&self, pairs: &[(VertexId, VertexId)]) -> (Vec<SpcAnswer>, BatchReport) {
         let (answers, report, _) = self
-            .execute(pairs, false, false)
+            .execute(pairs, false, false, None)
             .expect("blocking submission cannot be rejected");
         (answers, report)
     }
@@ -422,7 +488,22 @@ impl QueryEngine {
         &self,
         pairs: &[(VertexId, VertexId)],
     ) -> Result<(Vec<SpcAnswer>, BatchReport), SubmitError> {
-        let (answers, report, _) = self.execute(pairs, false, true)?;
+        let (answers, report, _) = self.execute(pairs, false, true, None)?;
+        Ok((answers, report))
+    }
+
+    /// [`QueryEngine::try_run`] with per-stage attribution into `span`:
+    /// cache-probe, prepare (rank translate + order + dispatch),
+    /// queue-wait (longest chunk enqueue→dequeue delay), execute (summed
+    /// worker busy time over the batch's chunks) and merge. The daemon
+    /// threads each request's [`Span`] through here so `/debug/trace`,
+    /// `/debug/slow` and the stage histograms see inside the engine.
+    pub fn try_run_traced(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        span: &mut Span,
+    ) -> Result<(Vec<SpcAnswer>, BatchReport), SubmitError> {
+        let (answers, report, _) = self.execute(pairs, false, true, Some(span))?;
         Ok((answers, report))
     }
 
@@ -435,7 +516,7 @@ impl QueryEngine {
         &self,
         pairs: &[(VertexId, VertexId)],
     ) -> (Vec<SpcAnswer>, BatchReport, Vec<u64>) {
-        self.execute(pairs, true, false)
+        self.execute(pairs, true, false, None)
             .expect("blocking submission cannot be rejected")
     }
 
@@ -467,13 +548,14 @@ impl QueryEngine {
         pairs: &[(VertexId, VertexId)],
         time_queries: bool,
         admission: bool,
+        mut span: Option<&mut Span>,
     ) -> Result<(Vec<SpcAnswer>, BatchReport, Vec<u64>), SubmitError> {
         let Some(cache) = &self.cache else {
-            return self.execute_pool(pairs, time_queries, admission);
+            return self.execute_pool(pairs, time_queries, admission, span);
         };
         let n = pairs.len();
         if n == 0 {
-            return self.execute_pool(pairs, time_queries, admission);
+            return self.execute_pool(pairs, time_queries, admission, span);
         }
         let t0 = Instant::now();
         // Load the generation *before* computing anything: an insert
@@ -501,12 +583,15 @@ impl QueryEngine {
                 }
             }
         }
+        if let Some(s) = span.as_mut() {
+            s.add(Stage::CacheProbe, t0.elapsed().as_nanos() as u64);
+        }
 
         let (chunks, workers) = if missing_pairs.is_empty() {
             (0, 0)
         } else {
             let (sub_answers, sub_report, sub_lat) =
-                self.execute_pool(&missing_pairs, time_queries, admission)?;
+                self.execute_pool(&missing_pairs, time_queries, admission, span)?;
             for (k, &i) in missing_idx.iter().enumerate() {
                 answers[i as usize] = sub_answers[k];
                 cache.insert(missing_pairs[k], sub_answers[k], generation);
@@ -531,6 +616,7 @@ impl QueryEngine {
         pairs: &[(VertexId, VertexId)],
         time_queries: bool,
         admission: bool,
+        mut span: Option<&mut Span>,
     ) -> Result<(Vec<SpcAnswer>, BatchReport, Vec<u64>), SubmitError> {
         let n = pairs.len();
         let chunk = self.cfg.chunk_size.max(1);
@@ -573,6 +659,7 @@ impl QueryEngine {
             lo: c * chunk,
             hi: (c * chunk + chunk).min(n),
             chunk: c,
+            enqueued: Instant::now(),
             time_queries,
             reply: reply_tx.clone(),
         };
@@ -604,6 +691,11 @@ impl QueryEngine {
             }
         }
         drop(reply_tx);
+        if let Some(s) = span.as_mut() {
+            // Everything up to and including dispatch: rank translation,
+            // ordering, gathering, admission and the sends.
+            s.add(Stage::Prepare, t0.elapsed().as_nanos() as u64);
+        }
 
         // Collect every chunk's part, then merge in chunk order: keeps
         // the answer scatter cache-friendly and the latency vector
@@ -615,13 +707,24 @@ impl QueryEngine {
                 Err(_) => panic!("engine worker terminated with a batch in flight"),
             }
         }
-        parts.sort_unstable_by_key(|&(c, _, _)| c);
+        parts.sort_unstable_by_key(|&(c, ..)| c);
+        if let Some(s) = span.as_mut() {
+            for &(_, _, _, wait_ns, exec_ns) in &parts {
+                // Queue wait is the *longest* chunk delay (the batch
+                // cannot finish sooner); execution is *summed* worker
+                // busy time, so it can exceed wall clock when chunks ran
+                // in parallel.
+                s.add_max(Stage::QueueWait, wait_ns);
+                s.add(Stage::Execute, exec_ns);
+            }
+        }
+        let merge_t0 = Instant::now();
         let mut answers = vec![SpcAnswer::UNREACHABLE; n];
         let mut latencies = Vec::new();
         if time_queries {
             latencies.reserve(n);
         }
-        for (c, out, lat) in parts {
+        for (c, out, lat, _, _) in parts {
             let lo = c * chunk;
             for (k, &a) in out.iter().enumerate() {
                 answers[order[lo + k] as usize] = a;
@@ -629,6 +732,9 @@ impl QueryEngine {
             // Thread the drained buffer back to the workers.
             self.buffers.put(out);
             latencies.extend(lat);
+        }
+        if let Some(s) = span.as_mut() {
+            s.add(Stage::Merge, merge_t0.elapsed().as_nanos() as u64);
         }
 
         let report = BatchReport {
@@ -882,6 +988,56 @@ mod tests {
             report.chunks <= 32usize.div_ceil(8),
             "only the cold residue is chunked: {report:?}"
         );
+    }
+
+    #[test]
+    fn traced_run_attributes_stages_and_worker_stats() {
+        let e = engine(EngineConfig {
+            workers: 2,
+            chunk_size: 64,
+            sort_by_rank: true,
+            ..EngineConfig::default()
+        });
+        let ps = pairs(300, 300, 77);
+        let mut span = Span::new();
+        let (answers, report) = e.try_run_traced(&ps, &mut span).expect("idle queue");
+        assert_eq!(answers, e.index().query_batch_sequential(&ps));
+        let st = span.stage_ns();
+        assert!(st[Stage::Prepare as usize] > 0, "prepare attributed");
+        assert!(st[Stage::Execute as usize] > 0, "execution attributed");
+        assert!(st[Stage::Merge as usize] > 0, "merge attributed");
+        assert_eq!(
+            st[Stage::CacheProbe as usize],
+            0,
+            "no cache, no probe stage"
+        );
+        let stats = e.worker_stats();
+        assert_eq!(stats.len(), 2, "one entry per pool worker");
+        assert_eq!(
+            stats.iter().map(|w| w.chunks).sum::<u64>(),
+            report.chunks as u64,
+            "every chunk lands in exactly one worker's counter"
+        );
+        assert!(stats.iter().map(|w| w.busy_ns).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn traced_full_cache_hit_probes_without_executing() {
+        let e = engine(EngineConfig {
+            workers: 2,
+            chunk_size: 64,
+            cache_capacity: 4096,
+            ..EngineConfig::default()
+        });
+        let ps = pairs(128, 300, 55);
+        e.run(&ps); // warm the cache
+        let mut span = Span::new();
+        let (answers, report) = e.try_run_traced(&ps, &mut span).expect("idle queue");
+        assert_eq!(answers, e.index().query_batch_sequential(&ps));
+        assert_eq!(report.chunks, 0, "full hit submits nothing");
+        let st = span.stage_ns();
+        assert!(st[Stage::CacheProbe as usize] > 0, "probe attributed");
+        assert_eq!(st[Stage::Execute as usize], 0, "no pool work on a hit");
     }
 
     #[test]

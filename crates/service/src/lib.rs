@@ -77,5 +77,7 @@ pub mod pairs;
 
 pub use bench::{run_bench, BenchReport};
 pub use cache::{AnswerCache, CacheStats};
-pub use engine::{BatchReport, EngineConfig, QueryEngine, SubmitError, DEFAULT_QUEUE_DEPTH};
+pub use engine::{
+    BatchReport, EngineConfig, QueryEngine, SubmitError, WorkerStat, DEFAULT_QUEUE_DEPTH,
+};
 pub use kind::{IndexKind, InsertError};

@@ -32,5 +32,6 @@ fn main() {
     exp13_directed_dynamic(&opt);
     exp14_cache(&opt);
     exp15_obs(&opt);
+    exp16_workload(&opt);
     eprintln!("full evaluation complete");
 }

@@ -213,6 +213,28 @@ impl HistogramSnapshot {
         bucket_bounds(NUM_BUCKETS - 1).1
     }
 
+    /// The samples recorded between `earlier` and `self`, as a snapshot
+    /// of its own: per-bucket saturating subtraction, with `count` and
+    /// `sum` re-derived so quantiles of the delta are exactly the
+    /// quantiles of the samples that arrived in between. Both snapshots
+    /// must come from the same (monotonically growing) histogram; a
+    /// mismatched pair degrades gracefully to clamped-at-zero buckets.
+    /// This is what windowed p50/p99 time series are built from.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter())
+            .map(|(&now, &then)| now.saturating_sub(then))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets: buckets.into_boxed_slice(),
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
     /// The non-empty buckets as `(upper bound, cumulative count)` pairs
     /// in ascending value order — exactly the series a Prometheus
     /// histogram's `_bucket{le="..."}` samples need (the caller appends
@@ -349,6 +371,33 @@ mod tests {
         for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
             assert_eq!(sa.quantile(q), su.quantile(q));
         }
+    }
+
+    #[test]
+    fn delta_isolates_the_samples_in_between() {
+        let h = LogHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        for v in [5u64, 5, 1_000] {
+            h.record(v);
+        }
+        let d = h.snapshot().delta(&before);
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.sum(), 1_010);
+        assert_eq!(d.quantile(0.5), 5);
+        // Quantiles match a histogram that only saw the new samples.
+        let fresh = LogHistogram::new();
+        for v in [5u64, 5, 1_000] {
+            fresh.record(v);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(d.quantile(q), fresh.snapshot().quantile(q));
+        }
+        // Delta against itself is empty.
+        let s = h.snapshot();
+        assert!(s.delta(&s).is_empty());
     }
 
     #[test]

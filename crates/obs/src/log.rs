@@ -2,8 +2,9 @@
 //! with UTC timestamps, gated by the `PSPC_LOG` environment variable.
 //!
 //! Levels are `error < warn < info < debug`; the active level comes from
-//! `PSPC_LOG` (default `info`, unknown values fall back to `info`) and
-//! can be overridden programmatically with [`set_level`]. The
+//! `PSPC_LOG` (default `info`, unknown values fall back to `info`,
+//! `off`/`none` silences everything including errors) and can be
+//! overridden programmatically with [`set_level`] / [`set_off`]. The
 //! [`error!`](crate::error), [`warn!`](crate::warn),
 //! [`info!`](crate::info) and [`debug!`](crate::debug) macros check
 //! [`enabled`] *before* evaluating their message or field expressions,
@@ -67,45 +68,72 @@ impl Level {
 /// Sentinel meaning "not yet initialized from the environment".
 const UNINIT: u8 = u8::MAX;
 
+/// Stored filter value meaning "emit nothing" (`PSPC_LOG=off`). Levels
+/// are stored shifted up by one so `0` can sit below [`Level::Error`].
+const OFF: u8 = 0;
+
 static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
 
-fn level_from_env() -> Level {
-    std::env::var("PSPC_LOG")
-        .ok()
-        .as_deref()
-        .and_then(Level::parse)
-        .unwrap_or(Level::Info)
+/// Stored filter encoding: `OFF` (0) silences everything; a level `l`
+/// is stored as `l as u8 + 1`.
+fn encode(l: Level) -> u8 {
+    l as u8 + 1
+}
+
+fn filter_from_env() -> u8 {
+    match std::env::var("PSPC_LOG").ok().as_deref() {
+        Some(s) if matches!(s.trim().to_ascii_lowercase().as_str(), "off" | "none") => OFF,
+        Some(s) => Level::parse(s).map_or(encode(Level::Info), encode),
+        None => encode(Level::Info),
+    }
+}
+
+/// The current stored filter, lazily initialized from `PSPC_LOG`.
+#[inline]
+fn current_filter() -> u8 {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        UNINIT => {
+            let f = filter_from_env();
+            // A concurrent first call may race; both read the same env
+            // var, so the outcome is identical either way.
+            MAX_LEVEL.store(f, Ordering::Relaxed);
+            f
+        }
+        f => f,
+    }
 }
 
 /// The active maximum level (lazily initialized from `PSPC_LOG` on first
-/// use; default [`Level::Info`]).
-pub fn max_level() -> Level {
-    match MAX_LEVEL.load(Ordering::Relaxed) {
-        UNINIT => {
-            let l = level_from_env();
-            // A concurrent first call may race; both read the same env
-            // var, so the outcome is identical either way.
-            MAX_LEVEL.store(l as u8, Ordering::Relaxed);
-            l
-        }
-        0 => Level::Error,
-        1 => Level::Warn,
-        2 => Level::Info,
-        _ => Level::Debug,
+/// use; default [`Level::Info`]). `None` when the logger is fully
+/// silenced (`PSPC_LOG=off` or [`set_off`]).
+pub fn max_level() -> Option<Level> {
+    match current_filter() {
+        OFF => None,
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        _ => Some(Level::Debug),
     }
 }
 
 /// Overrides the active level (e.g. for tests or a `--quiet` flag),
 /// bypassing `PSPC_LOG`.
 pub fn set_level(l: Level) {
-    MAX_LEVEL.store(l as u8, Ordering::Relaxed);
+    MAX_LEVEL.store(encode(l), Ordering::Relaxed);
+}
+
+/// Fully silences the logger (the programmatic equivalent of
+/// `PSPC_LOG=off`): every level, including [`Level::Error`], stops
+/// emitting until [`set_level`] re-enables one.
+pub fn set_off() {
+    MAX_LEVEL.store(OFF, Ordering::Relaxed);
 }
 
 /// Whether records at `l` are currently emitted. One atomic load on the
 /// fast path.
 #[inline]
 pub fn enabled(l: Level) -> bool {
-    l <= max_level()
+    encode(l) <= current_filter()
 }
 
 /// Days-to-civil-date conversion (Howard Hinnant's algorithm), `z` being
@@ -292,8 +320,12 @@ mod tests {
         assert!(line.contains("msg=\"a \\\"b\\\" \\\\ c\\nd\""));
     }
 
+    /// Serializes tests that mutate the process-global level filter.
+    static LEVEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn macros_compile_for_every_shape() {
+        let _g = LEVEL_LOCK.lock().unwrap();
         // Level gating itself is covered via set_level; this pins the
         // macro grammar (no fields, one field, trailing comma, String
         // messages, expression values).
@@ -305,5 +337,20 @@ mod tests {
         set_level(Level::Info);
         assert!(enabled(Level::Info));
         assert!(!enabled(Level::Debug));
+    }
+
+    #[test]
+    fn off_silences_every_level() {
+        let _g = LEVEL_LOCK.lock().unwrap();
+        set_off();
+        assert_eq!(max_level(), None);
+        for l in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert!(!enabled(l), "{} must be silenced when off", l.name());
+        }
+        // The macros stay safe to call while silenced.
+        crate::error!("dropped", code = 1);
+        set_level(Level::Info);
+        assert_eq!(max_level(), Some(Level::Info));
+        assert!(enabled(Level::Error));
     }
 }

@@ -106,9 +106,27 @@ impl Span {
         }
     }
 
+    /// Starts a span now under a caller-supplied trace ID (trace-context
+    /// propagation: a client or upstream hop already minted the ID and
+    /// every hop of the request should share it).
+    pub fn with_id(id: u64) -> Self {
+        Span {
+            id,
+            start: Instant::now(),
+            stage_ns: [0; Stage::COUNT],
+        }
+    }
+
     /// The span's trace ID.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Replaces the span's trace ID (propagation when the external ID is
+    /// only known after the request is parsed — the span keeps its start
+    /// instant and accumulated stages).
+    pub fn set_id(&mut self, id: u64) {
+        self.id = id;
     }
 
     /// Adds externally measured nanoseconds to a stage (for stages whose
@@ -379,6 +397,21 @@ mod tests {
         let b = next_trace_id();
         let c = Span::new().id();
         assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn spans_carry_propagated_trace_ids() {
+        let span = Span::with_id(0xDEAD_BEEF);
+        assert_eq!(span.id(), 0xDEAD_BEEF);
+        let trace = span.finish("query", "ok", 1);
+        assert_eq!(trace.id, 0xDEAD_BEEF);
+        let mut span = Span::new();
+        span.add(Stage::Parse, 10);
+        span.set_id(42);
+        assert_eq!(span.id(), 42);
+        let trace = span.finish("query", "ok", 1);
+        assert_eq!(trace.id, 42);
+        assert_eq!(trace.stage_ns[Stage::Parse as usize], 10);
     }
 
     #[test]

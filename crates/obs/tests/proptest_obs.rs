@@ -1,12 +1,18 @@
 //! Property-based coverage of [`pspc_obs`]: the histogram's
 //! relative-error bound over arbitrary values, merge ≡ recording the
-//! union, quantile monotonicity in `q`, trace-ring eviction order and
-//! slow-log top-K invariants under arbitrary offer sequences.
+//! union, quantile monotonicity in `q`, trace-ring eviction order,
+//! slow-log top-K invariants under arbitrary offer sequences, and the
+//! sketch guarantees — HyperLogLog relative error ≤ 2% vs the exact
+//! distinct count on streams up to 1M pairs, and SpaceSaving's
+//! `error ≤ N/k` count bound under adversarial skew.
+
+use std::collections::HashSet;
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use pspc_obs::{
-    bucket_bounds, bucket_index, LogHistogram, RequestTrace, SlowLog, Stage, TraceRing,
+    bucket_bounds, bucket_index, HyperLogLog, LogHistogram, RequestTrace, SlowLog, SpaceSaving,
+    Stage, TraceRing,
 };
 
 /// Strategy: values spanning every octave, not just the small ones a
@@ -135,6 +141,131 @@ proptest! {
             let json = t.to_json();
             for stage in Stage::ALL {
                 prop_assert!(json.contains(&format!("\"{}\":", stage.name())));
+            }
+        }
+    }
+}
+
+/// Deterministic xorshift64* stream generator for the sketch properties.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+proptest! {
+    // Streams run to 1M pairs; a handful of (deterministically seeded)
+    // cases keeps the debug-profile test suite fast.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// HyperLogLog estimates stay within 2% of the exact distinct count
+    /// on random streams up to 1M pairs, across sparse and dense
+    /// representations and arbitrary duplication rates.
+    #[test]
+    fn hll_within_two_percent_of_exact(
+        seed in 1u64..u64::MAX,
+        len_exp in 10u32..20,
+        universe_exp in 6u32..22,
+    ) {
+        let len = 1usize << len_exp; // up to 1M (2^19 ≈ 524k, plus the 1M unit pin below)
+        let universe = 1u64 << universe_exp;
+        let mut state = seed | 1;
+        let mut hll = HyperLogLog::new();
+        let mut exact = HashSet::new();
+        for _ in 0..len {
+            let pair = xorshift(&mut state) % universe;
+            hll.insert(pair);
+            exact.insert(pair);
+        }
+        let err = (hll.estimate() - exact.len() as f64).abs() / exact.len() as f64;
+        prop_assert!(
+            err <= 0.02,
+            "distinct={} estimate={:.1} rel_err={:.4}",
+            exact.len(),
+            hll.estimate(),
+            err
+        );
+    }
+}
+
+/// The satellite's upper end, pinned exactly: a 1M-pair stream (drawn
+/// from a ~2M universe so the exact distinct count is non-trivial) stays
+/// within 2% relative error.
+#[test]
+fn hll_one_million_pair_stream_within_two_percent() {
+    let mut state = 0x00C0_FFEE_u64;
+    let mut hll = HyperLogLog::new();
+    let mut exact = HashSet::new();
+    for _ in 0..1_000_000u32 {
+        let pair = xorshift(&mut state) % (1 << 21);
+        hll.insert(pair);
+        exact.insert(pair);
+    }
+    let err = (hll.estimate() - exact.len() as f64).abs() / exact.len() as f64;
+    assert!(
+        err <= 0.02,
+        "distinct={} estimate={:.1} rel_err={:.4}",
+        exact.len(),
+        hll.estimate(),
+        err
+    );
+}
+
+proptest! {
+    /// SpaceSaving under adversarial skew: a few heavy keys buried in a
+    /// stream of never-repeating keys (the worst case for counter
+    /// eviction). Every reported count is an upper bound on the true
+    /// frequency with error ≤ N/k, and every key whose true frequency
+    /// exceeds N/k is monitored.
+    #[test]
+    fn spacesaving_error_bounded_by_n_over_k(
+        seed in 1u64..u64::MAX,
+        k in 2usize..48,
+        heavies in 1u64..6,
+        len in 1_000usize..20_000,
+    ) {
+        let mut state = seed | 1;
+        let mut ss = SpaceSaving::new(k);
+        let mut exact: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut fresh = 1_000_000u64; // unique-key counter, disjoint from heavy ids
+        for _ in 0..len {
+            let r = xorshift(&mut state);
+            // Half the stream hammers the heavy keys, half is an
+            // adversarial churn of keys never seen again.
+            let key = if r.is_multiple_of(2) {
+                r % heavies
+            } else {
+                fresh += 1;
+                fresh
+            };
+            ss.offer(key);
+            *exact.entry(key).or_default() += 1;
+        }
+        let n = ss.total();
+        prop_assert_eq!(n, len as u64);
+        let bound = n / k as u64;
+        let monitored: HashSet<u64> = ss.entries().iter().map(|h| h.key).collect();
+        for h in ss.entries() {
+            let truth = exact[&h.key];
+            prop_assert!(h.error <= bound, "error {} > N/k = {}", h.error, bound);
+            prop_assert!(h.count >= truth, "count {} undercounts true {}", h.count, truth);
+            prop_assert!(
+                h.guaranteed() <= truth,
+                "guaranteed {} overcounts true {}",
+                h.guaranteed(),
+                truth
+            );
+        }
+        for (&key, &truth) in &exact {
+            if truth > bound {
+                prop_assert!(
+                    monitored.contains(&key),
+                    "key {} with true frequency {} > N/k = {} must be monitored",
+                    key,
+                    truth,
+                    bound
+                );
             }
         }
     }

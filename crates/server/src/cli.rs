@@ -15,9 +15,10 @@ use pspc_service::EngineConfig;
 
 const USAGE: &str = "usage: pspc serve <index> [--addr host:port] [--workers n] \
 [--queue-depth n] [--chunk n] [--no-sort] [--cache-capacity n] [--cache-shards n] \
-[--no-trace] \
+[--cache-adaptive] [--no-trace] [--no-sketch] \
 | pspc query --remote host:port \
-[--pairs <file|->] [--format tsv|json] [s t ...] | pspc insert --remote host:port \
+[--pairs <file|->] [--format tsv|json] [--trace-id n] [s t ...] | \
+pspc insert --remote host:port \
 [--pairs <file|->] [u v ...] | pspc migrate <old> <new> | \
 pspc build|query|bench ... (see `pspc help` for the local subcommands)";
 
@@ -110,7 +111,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --cache-shards: {e}"))?
             }
+            // Let the advisor resize the result cache between windows.
+            "--cache-adaptive" => cfg.cache_adaptive = true,
             "--no-trace" => obs.tracing = false,
+            // Disable the workload sketches (HLL + heavy hitters +
+            // time-series); /debug/hotspots then reports enabled:false.
+            "--no-sketch" => cfg.workload_sketch = false,
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}\n{USAGE}")),
             path => {
                 if index_path.is_some() {
@@ -143,6 +149,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             },
         );
     }
+    if cfg.cache_adaptive {
+        if cfg.cache_capacity == 0 {
+            return Err("serve: --cache-adaptive needs a cache; give --cache-capacity > 0".into());
+        }
+        info!(
+            "adaptive cache advisor enabled",
+            capacity = cfg.cache_capacity
+        );
+    }
     // serve_with_obs logs "daemon listening" with the resolved address.
     let handle =
         serve_with_obs(index, &addr, cfg, obs).map_err(|e| format!("binding {addr}: {e}"))?;
@@ -151,7 +166,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "endpoints ready",
         addr = handle.local_addr(),
         insert = insertable,
-        endpoints = "/query,/insert,/healthz,/metrics,/debug/trace,/debug/slow,/shutdown",
+        endpoints = "/query,/insert,/healthz,/metrics,/debug/trace,/debug/slow,\
+                     /debug/hotspots,/debug/timeseries,/shutdown",
     );
     let final_metrics = handle.wait();
     info!(
@@ -168,6 +184,7 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
     let mut remote: Option<String> = None;
     let mut pairs_src: Option<String> = None;
     let mut format = OutputFormat::Tsv;
+    let mut trace_id: Option<u64> = None;
     let mut inline: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -178,6 +195,15 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
             "--remote" => remote = Some(value("--remote")?.clone()),
             "--pairs" => pairs_src = Some(value("--pairs")?.clone()),
             "--format" => format = value("--format")?.parse()?,
+            // Propagate a caller-chosen correlation ID to the daemon
+            // (PSQ2 frame); it shows up in the daemon's /debug/trace.
+            "--trace-id" => {
+                trace_id = Some(
+                    value("--trace-id")?
+                        .parse()
+                        .map_err(|e| format!("bad --trace-id: {e}"))?,
+                )
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}\n{USAGE}")),
             other => inline.push(other.to_string()),
         }
@@ -212,9 +238,11 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
     let mut client =
         RemoteClient::connect(&remote).map_err(|e| format!("connecting to {remote}: {e}"))?;
     let t0 = std::time::Instant::now();
-    let answers = client
-        .query_batch(&pairs)
-        .map_err(|e| format!("querying {remote}: {e}"))?;
+    let answers = match trace_id {
+        Some(id) => client.query_batch_traced(id, &pairs),
+        None => client.query_batch(&pairs),
+    }
+    .map_err(|e| format!("querying {remote}: {e}"))?;
     let secs = t0.elapsed().as_secs_f64();
     let out = std::io::stdout().lock();
     match format {
@@ -304,6 +332,18 @@ mod tests {
         assert!(run(&s(&["query", "--remote"])).is_err()); // missing value
         assert!(run(&s(&["query", "--remote", "x", "--bogus"])).is_err());
         assert!(run(&s(&["query", "--remote", "x", "1"])).is_err()); // odd ids
+        assert!(run(&s(&[
+            "query",
+            "--remote",
+            "x",
+            "--trace-id",
+            "zap",
+            "0",
+            "1"
+        ]))
+        .is_err());
+        assert!(run(&s(&["query", "--remote", "x", "--trace-id"])).is_err());
+        assert!(run(&s(&["serve", "--cache-adaptive"])).is_err()); // missing index
         assert!(run(&s(&["insert"])).is_err()); // missing --remote
         assert!(run(&s(&["insert", "--remote", "x", "--bogus"])).is_err());
         assert!(run(&s(&["insert", "--remote", "x", "1"])).is_err()); // odd ids

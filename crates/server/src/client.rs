@@ -63,6 +63,23 @@ impl RemoteClient {
     /// Answers one batch; answers are index-aligned with `pairs`.
     pub fn query_batch(&mut self, pairs: &[(u32, u32)]) -> Result<Vec<SpcAnswer>, ClientError> {
         proto::write_request(&mut self.writer, pairs)?;
+        self.read_answers()
+    }
+
+    /// Answers one batch, propagating a client-chosen trace ID (the
+    /// `PSQ2` frame): the daemon stamps `trace_id` onto the request's
+    /// span, so it appears verbatim in `GET /debug/trace` and the
+    /// structured log for cross-service correlation.
+    pub fn query_batch_traced(
+        &mut self,
+        trace_id: u64,
+        pairs: &[(u32, u32)],
+    ) -> Result<Vec<SpcAnswer>, ClientError> {
+        proto::write_request_traced(&mut self.writer, trace_id, pairs)?;
+        self.read_answers()
+    }
+
+    fn read_answers(&mut self) -> Result<Vec<SpcAnswer>, ClientError> {
         match proto::read_response(&mut self.reader)? {
             Response::Answers(answers) => Ok(answers),
             Response::Applied(_) => Err(unexpected("insert acknowledgement to a query")),

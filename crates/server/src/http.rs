@@ -56,6 +56,16 @@ impl Request {
             (k == key).then_some(v)
         })
     }
+
+    /// Numeric query parameter with a default: absent → `Ok(default)`,
+    /// present but non-numeric → `Err(raw value)` so the handler can
+    /// answer 400 instead of silently substituting the default.
+    pub fn query_usize(&self, key: &str, default: usize) -> Result<usize, &str> {
+        match self.query_param(key) {
+            None => Ok(default),
+            Some(v) => v.parse::<usize>().map_err(|_| v),
+        }
+    }
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -165,6 +175,15 @@ mod tests {
         assert_eq!(req.header("host"), Some("x"));
         assert!(req.wants_close());
         assert_eq!(req.body, b"0 1\n");
+    }
+
+    #[test]
+    fn numeric_query_params_distinguish_absent_from_malformed() {
+        let wire = "GET /debug/trace?n=12&bad=zap HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut wire.as_bytes()).unwrap().unwrap();
+        assert_eq!(req.query_usize("n", 32), Ok(12));
+        assert_eq!(req.query_usize("absent", 32), Ok(32));
+        assert_eq!(req.query_usize("bad", 32), Err("zap"));
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //!   clients (encode/decode shared by daemon and client);
 //! * [`http`] — a hand-rolled HTTP/1.1 subset (no crates.io access, so
 //!   no framework) behind `POST /query`, `POST /insert`, `GET /healthz`,
-//!   `GET /metrics`, `GET /debug/trace`, `GET /debug/slow` and
+//!   `GET /metrics`, `GET /debug/trace`, `GET /debug/slow`,
+//!   `GET /debug/hotspots`, `GET /debug/timeseries` and
 //!   `POST /shutdown`;
 //! * [`metrics`] — served/rejected/in-flight counters plus log-bucketed
 //!   latency histograms ([`pspc_obs::LogHistogram`]) for request,
@@ -24,8 +25,8 @@
 //!   `build`/local `query`/`bench` delegated to [`pspc_service::cli`].
 //!
 //! Both protocols share one port: connections opening with the bytes
-//! `"PSQ1"` or `"PSI1"` speak the binary protocol, everything else is
-//! parsed as HTTP.
+//! `"PSQ1"`, `"PSQ2"` (traced query) or `"PSI1"` speak the binary
+//! protocol, everything else is parsed as HTTP.
 //!
 //! The daemon serves whichever index kind its snapshot holds
 //! ([`pspc_service::IndexKind`]): undirected `SPC(s, t)`, directed
@@ -42,9 +43,19 @@
 //! cache probe, prepare, queue wait, execute, merge, write) recorded
 //! into stage-labeled histograms on `/metrics`, a bounded ring of
 //! completed traces (`GET /debug/trace?n=`) and a top-K slow-query log
-//! (`GET /debug/slow?n=`). Lifecycle and per-request diagnostics are
-//! structured one-line `key=value` records on stderr, gated by
-//! `PSPC_LOG=error|warn|info|debug`.
+//! (`GET /debug/slow?n=`). Clients may supply their own correlation ID
+//! — the `x-pspc-trace-id` header over HTTP, the `PSQ2` frame (or
+//! `pspc query --remote --trace-id`) over the binary protocol — and the
+//! daemon adopts it verbatim. The engine's streaming workload sketches
+//! (HyperLogLog distinct pairs, SpaceSaving heavy hitters, windowed
+//! time series) surface on `GET /debug/hotspots`,
+//! `GET /debug/timeseries` and the `pspc_distinct_pairs_estimate` /
+//! `pspc_hot_pair_share` / `pspc_window_*` metric families; under
+//! `pspc serve --cache-adaptive` the advisor resizes the result cache
+//! toward the distinct-pair estimate between windows. Lifecycle and
+//! per-request diagnostics are structured one-line `key=value` records
+//! on stderr, gated by `PSPC_LOG=error|warn|info|debug` (`off`
+//! silences everything).
 //!
 //! # Quick start
 //!
@@ -99,6 +110,6 @@ pub mod proto;
 pub mod server;
 
 pub use client::{query_remote, ClientError, RemoteClient};
-pub use metrics::{EngineGauges, Metrics, MetricsSnapshot};
+pub use metrics::{EngineGauges, Metrics, MetricsSnapshot, WorkloadGauges};
 pub use proto::Response;
 pub use server::{serve, serve_with_obs, ObsConfig, ServerHandle};

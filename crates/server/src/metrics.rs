@@ -12,7 +12,7 @@
 //! series for the histograms (seconds, as Prometheus convention wants),
 //! per-worker busy-time/chunks gauges, and the scalar gauges.
 
-use pspc_obs::{HistogramSnapshot, LogHistogram, Stage};
+use pspc_obs::{HistogramSnapshot, LogHistogram, Stage, WindowStats};
 use pspc_service::{CacheStats, WorkerStat};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -193,6 +193,7 @@ impl Metrics {
                 .collect(),
             workers: engine.workers,
             cache: engine.cache,
+            workload: engine.workload,
         }
     }
 }
@@ -211,6 +212,26 @@ pub struct EngineGauges {
     pub workers: Vec<WorkerStat>,
     /// Result-cache counters, when the cache is enabled.
     pub cache: Option<CacheStats>,
+    /// Workload-sketch gauges, when the sketch is enabled.
+    pub workload: Option<WorkloadGauges>,
+}
+
+/// Workload-intelligence gauges sampled from the engine's streaming
+/// sketches at scrape time.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadGauges {
+    /// Pairs recorded by the workload sketch since startup.
+    pub total_pairs: u64,
+    /// HyperLogLog++ distinct-pair estimate.
+    pub distinct_pairs: f64,
+    /// Guaranteed traffic share of the hottest `(s, t)` pair (`0..=1`).
+    pub hot_pair_share: f64,
+    /// Advisor-recommended cache capacity; `None` before the first
+    /// verdict or when the advisor is not running.
+    pub recommended_capacity: Option<u64>,
+    /// Newest time-series window (open or last closed); `None` before
+    /// any traffic lands.
+    pub window: Option<WindowStats>,
 }
 
 /// One scrape of the daemon's counters and histograms.
@@ -271,6 +292,10 @@ pub struct MetricsSnapshot {
     /// Result-cache counters; `None` when the cache is disabled (the
     /// `pspc_cache_*` lines are then omitted from the exposition).
     pub cache: Option<CacheStats>,
+    /// Workload-sketch gauges; `None` when the sketch is disabled (the
+    /// `pspc_workload_*`, `pspc_distinct_*`, `pspc_hot_*` and
+    /// `pspc_window_*` lines are then omitted).
+    pub workload: Option<WorkloadGauges>,
 }
 
 /// Appends `# HELP`/`# TYPE` header lines for one metric family.
@@ -606,6 +631,75 @@ impl MetricsSnapshot {
             );
             sample(&mut t, "pspc_cache_evictions_total", "", c.evictions);
         }
+        if let Some(w) = &self.workload {
+            family(
+                &mut t,
+                "pspc_workload_pairs_total",
+                "counter",
+                "Query pairs recorded by the workload sketch.",
+            );
+            sample(&mut t, "pspc_workload_pairs_total", "", w.total_pairs);
+            family(
+                &mut t,
+                "pspc_distinct_pairs_estimate",
+                "gauge",
+                "HyperLogLog estimate of distinct (s, t) pairs seen.",
+            );
+            sample(
+                &mut t,
+                "pspc_distinct_pairs_estimate",
+                "",
+                format_args!("{:.1}", w.distinct_pairs),
+            );
+            family(
+                &mut t,
+                "pspc_hot_pair_share",
+                "gauge",
+                "Guaranteed traffic share of the hottest (s, t) pair.",
+            );
+            sample(
+                &mut t,
+                "pspc_hot_pair_share",
+                "",
+                format_args!("{:.6}", w.hot_pair_share),
+            );
+            if let Some(rc) = w.recommended_capacity {
+                family(
+                    &mut t,
+                    "pspc_cache_recommended_capacity",
+                    "gauge",
+                    "Cache capacity the adaptive advisor recommends.",
+                );
+                sample(&mut t, "pspc_cache_recommended_capacity", "", rc);
+            }
+            if let Some(win) = &w.window {
+                for (name, v, help) in [
+                    (
+                        "pspc_window_qps",
+                        win.qps,
+                        "Queries per second over the newest time-series window.",
+                    ),
+                    (
+                        "pspc_window_hit_ratio",
+                        win.hit_rate,
+                        "Cache hit ratio over the newest time-series window.",
+                    ),
+                    (
+                        "pspc_window_p50_us",
+                        win.p50_us,
+                        "Median request latency in the newest window, microseconds.",
+                    ),
+                    (
+                        "pspc_window_p99_us",
+                        win.p99_us,
+                        "99th-percentile request latency in the newest window, microseconds.",
+                    ),
+                ] {
+                    family(&mut t, name, "gauge", help);
+                    sample(&mut t, name, "", format_args!("{v:.3}"));
+                }
+            }
+        }
         t
     }
 }
@@ -716,6 +810,24 @@ mod tests {
                 entries: 3,
                 evictions: 0,
             }),
+            workload: Some(WorkloadGauges {
+                total_pairs: 100,
+                distinct_pairs: 42.5,
+                hot_pair_share: 0.25,
+                recommended_capacity: Some(1024),
+                window: Some(WindowStats {
+                    start_unix_s: 1_700_000_000,
+                    span_secs: 10,
+                    requests: 4,
+                    queries: 100,
+                    cache_hits: 25,
+                    qps: 10.0,
+                    hit_rate: 0.25,
+                    p50_us: 12.5,
+                    p99_us: 80.0,
+                    open: false,
+                }),
+            }),
         });
         let text = s.render();
         // Prometheus grammar: every sample's family must have been
@@ -776,6 +888,7 @@ mod tests {
                 entries: 3,
                 evictions: 1,
             }),
+            workload: None,
         });
         assert_eq!(s.index_generation, 5);
         let text = s.render();
@@ -784,6 +897,54 @@ mod tests {
         assert!(text.contains("pspc_cache_misses_total 4\n"));
         assert!(text.contains("pspc_cache_entries 3\n"));
         assert!(text.contains("pspc_cache_evictions_total 1\n"));
+    }
+
+    #[test]
+    fn workload_gauges_render_when_enabled() {
+        let m = Metrics::new();
+        let mut g = EngineGauges {
+            workload: Some(WorkloadGauges {
+                total_pairs: 5000,
+                distinct_pairs: 321.4,
+                hot_pair_share: 0.125,
+                recommended_capacity: Some(512),
+                window: Some(WindowStats {
+                    start_unix_s: 1_700_000_000,
+                    span_secs: 10,
+                    requests: 10,
+                    queries: 5000,
+                    cache_hits: 625,
+                    qps: 500.0,
+                    hit_rate: 0.125,
+                    p50_us: 40.0,
+                    p99_us: 900.0,
+                    open: true,
+                }),
+            }),
+            ..EngineGauges::default()
+        };
+        let text = m.snapshot(g.clone()).render();
+        assert!(text.contains("pspc_workload_pairs_total 5000\n"));
+        assert!(text.contains("pspc_distinct_pairs_estimate 321.4\n"));
+        assert!(text.contains("pspc_hot_pair_share 0.125000\n"));
+        assert!(text.contains("pspc_cache_recommended_capacity 512\n"));
+        assert!(text.contains("pspc_window_qps 500.000\n"));
+        assert!(text.contains("pspc_window_hit_ratio 0.125\n"));
+        assert!(text.contains("pspc_window_p50_us 40.000\n"));
+        assert!(text.contains("pspc_window_p99_us 900.000\n"));
+        // Before any traffic or advisor verdict the optional lines
+        // vanish but the sketch totals stay.
+        let w = g.workload.as_mut().unwrap();
+        w.recommended_capacity = None;
+        w.window = None;
+        let text = m.snapshot(g).render();
+        assert!(text.contains("pspc_workload_pairs_total"));
+        assert!(!text.contains("pspc_cache_recommended_capacity"));
+        assert!(!text.contains("pspc_window_qps"));
+        // And a disabled sketch renders none of the family.
+        let text = m.snapshot(EngineGauges::default()).render();
+        assert!(!text.contains("pspc_workload_pairs_total"));
+        assert!(!text.contains("pspc_distinct_pairs_estimate"));
     }
 
     #[test]

@@ -13,8 +13,17 @@
 //!
 //! ```text
 //! query:   "PSQ1"  u32 n  n × { u32 s, u32 t }
+//! traced:  "PSQ2"  u64 trace_id  u32 n  n × { u32 s, u32 t }
 //! insert:  "PSI1"  u32 n  n × { u32 u, u32 v }   (dynamic indexes only)
 //! ```
+//!
+//! A traced query is a query with a client-supplied trace ID prepended;
+//! the daemon stamps that ID onto the request's [`pspc_obs::Span`] so
+//! the client's correlation ID shows up verbatim in `GET /debug/trace`
+//! and the structured log (HTTP clients get the same via the
+//! `x-pspc-trace-id` header). Servers that predate `PSQ2` close the
+//! connection on the unknown magic, so clients should only send it
+//! when they actually have an ID to propagate.
 //!
 //! Response (server → client), one per request:
 //!
@@ -45,6 +54,10 @@ use std::io::{self, Read, Write};
 /// binary clients from HTTP ones.
 pub const REQUEST_MAGIC: [u8; 4] = *b"PSQ1";
 
+/// First bytes of a binary-protocol query request carrying a
+/// client-supplied trace ID (the versioned `PSQ1` frame extension).
+pub const TRACED_REQUEST_MAGIC: [u8; 4] = *b"PSQ2";
+
 /// First bytes of a binary-protocol edge-insertion request.
 pub const INSERT_MAGIC: [u8; 4] = *b"PSI1";
 
@@ -59,6 +72,14 @@ pub const MAX_PAIRS: usize = 1 << 22;
 pub enum Frame {
     /// Answer this batch of `(s, t)` queries.
     Query(Vec<(u32, u32)>),
+    /// Answer this batch, stamping the client-supplied trace ID onto
+    /// the request span so it appears in `/debug/trace` and the log.
+    QueryTraced {
+        /// Client-chosen correlation ID, echoed into the daemon's span.
+        trace_id: u64,
+        /// The `(s, t)` batch, exactly as in [`Frame::Query`].
+        pairs: Vec<(u32, u32)>,
+    },
     /// Apply these undirected edge insertions (dynamic indexes only).
     Insert(Vec<(u32, u32)>),
 }
@@ -83,15 +104,23 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-fn write_pairs_frame<W: Write>(w: &mut W, magic: &[u8; 4], pairs: &[(u32, u32)]) -> io::Result<()> {
+fn write_pairs_frame<W: Write>(
+    w: &mut W,
+    magic: &[u8; 4],
+    trace_id: Option<u64>,
+    pairs: &[(u32, u32)],
+) -> io::Result<()> {
     if pairs.len() > MAX_PAIRS {
         return Err(invalid(format!(
             "batch of {} pairs exceeds the protocol cap of {MAX_PAIRS}",
             pairs.len()
         )));
     }
-    let mut buf = Vec::with_capacity(8 + pairs.len() * 8);
+    let mut buf = Vec::with_capacity(16 + pairs.len() * 8);
     buf.extend_from_slice(magic);
+    if let Some(id) = trace_id {
+        buf.extend_from_slice(&id.to_le_bytes());
+    }
     buf.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
     for &(s, t) in pairs {
         buf.extend_from_slice(&s.to_le_bytes());
@@ -103,22 +132,42 @@ fn write_pairs_frame<W: Write>(w: &mut W, magic: &[u8; 4], pairs: &[(u32, u32)])
 
 /// Encodes one query request frame.
 pub fn write_request<W: Write>(w: &mut W, pairs: &[(u32, u32)]) -> io::Result<()> {
-    write_pairs_frame(w, &REQUEST_MAGIC, pairs)
+    write_pairs_frame(w, &REQUEST_MAGIC, None, pairs)
+}
+
+/// Encodes one traced query request frame (`PSQ2`): a query with the
+/// client's correlation ID prepended.
+pub fn write_request_traced<W: Write>(
+    w: &mut W,
+    trace_id: u64,
+    pairs: &[(u32, u32)],
+) -> io::Result<()> {
+    write_pairs_frame(w, &TRACED_REQUEST_MAGIC, Some(trace_id), pairs)
 }
 
 /// Encodes one edge-insertion request frame.
 pub fn write_insert<W: Write>(w: &mut W, edges: &[(u32, u32)]) -> io::Result<()> {
-    write_pairs_frame(w, &INSERT_MAGIC, edges)
+    write_pairs_frame(w, &INSERT_MAGIC, None, edges)
 }
 
 /// Decodes one request frame of either kind. Returns `Ok(None)` on a
 /// clean end of stream (the client closed between requests).
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    enum Kind {
+        Query,
+        QueryTraced(u64),
+        Insert,
+    }
     let mut magic = [0u8; 4];
-    let insert = match read_exact_or_eof(r, &mut magic)? {
+    let kind = match read_exact_or_eof(r, &mut magic)? {
         false => return Ok(None),
-        true if magic == REQUEST_MAGIC => false,
-        true if magic == INSERT_MAGIC => true,
+        true if magic == REQUEST_MAGIC => Kind::Query,
+        true if magic == TRACED_REQUEST_MAGIC => {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            Kind::QueryTraced(u64::from_le_bytes(b))
+        }
+        true if magic == INSERT_MAGIC => Kind::Insert,
         true => return Err(invalid("bad request magic")),
     };
     let n = read_u32(r)? as usize;
@@ -138,10 +187,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
             )
         })
         .collect();
-    Ok(Some(if insert {
-        Frame::Insert(pairs)
-    } else {
-        Frame::Query(pairs)
+    Ok(Some(match kind {
+        Kind::Query => Frame::Query(pairs),
+        Kind::QueryTraced(trace_id) => Frame::QueryTraced { trace_id, pairs },
+        Kind::Insert => Frame::Insert(pairs),
     }))
 }
 
@@ -275,6 +324,41 @@ mod tests {
     }
 
     #[test]
+    fn traced_request_round_trips_the_client_trace_id() {
+        let pairs = vec![(4u32, 2), (0, u32::MAX)];
+        for trace_id in [0u64, 1, 0xDEAD_BEEF_CAFE_F00D, u64::MAX] {
+            let mut wire = Vec::new();
+            write_request_traced(&mut wire, trace_id, &pairs).unwrap();
+            assert_eq!(&wire[..4], b"PSQ2");
+            assert_eq!(
+                read_frame(&mut wire.as_slice()).unwrap(),
+                Some(Frame::QueryTraced {
+                    trace_id,
+                    pairs: pairs.clone()
+                })
+            );
+        }
+        // An empty traced batch is legal, like an empty plain query.
+        let mut wire = Vec::new();
+        write_request_traced(&mut wire, 7, &[]).unwrap();
+        assert_eq!(
+            read_frame(&mut wire.as_slice()).unwrap(),
+            Some(Frame::QueryTraced {
+                trace_id: 7,
+                pairs: Vec::new()
+            })
+        );
+    }
+
+    #[test]
+    fn traced_request_truncated_inside_the_trace_id_errors() {
+        let mut wire = Vec::new();
+        write_request_traced(&mut wire, u64::MAX, &[(1, 2)]).unwrap();
+        wire.truncate(9); // mid-trace-id
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
     fn clean_eof_is_none_and_mid_frame_eof_errors() {
         assert_eq!(read_frame(&mut [].as_slice()).unwrap(), None);
         for write in [write_request, write_insert] {
@@ -321,9 +405,12 @@ mod tests {
 
     #[test]
     fn oversized_request_header_is_refused_without_allocation() {
-        for magic in [REQUEST_MAGIC, INSERT_MAGIC] {
+        for magic in [REQUEST_MAGIC, TRACED_REQUEST_MAGIC, INSERT_MAGIC] {
             let mut wire = Vec::new();
             wire.extend_from_slice(&magic);
+            if magic == TRACED_REQUEST_MAGIC {
+                wire.extend_from_slice(&42u64.to_le_bytes());
+            }
             wire.extend_from_slice(&u32::MAX.to_le_bytes());
             assert!(read_frame(&mut wire.as_slice()).is_err());
         }

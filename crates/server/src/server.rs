@@ -28,15 +28,23 @@
 //! (`GET /debug/slow?n=`) and the stage-labeled histograms on
 //! `GET /metrics`, which renders full Prometheus text exposition
 //! (`# HELP`/`# TYPE`, histogram `_bucket`/`_sum`/`_count` series,
-//! per-worker gauges). Lifecycle and per-request diagnostics go through
-//! the structured `PSPC_LOG` logger on stderr.
+//! per-worker gauges) with `Content-Type: text/plain; version=0.0.4`.
+//! Clients may supply their own trace ID — `x-pspc-trace-id` header
+//! over HTTP, the `PSQ2` traced-query frame over the binary protocol —
+//! and it is stamped onto the request's span verbatim, so one ID
+//! correlates a request across services. The engine's streaming
+//! workload sketches surface on `GET /debug/hotspots` (HyperLogLog
+//! distinct-pair estimate, SpaceSaving hot pairs / hot sources) and
+//! `GET /debug/timeseries` (per-window qps, hit rate, p50/p99).
+//! Lifecycle and per-request diagnostics go through the structured
+//! `PSPC_LOG` logger on stderr (`PSPC_LOG=off` silences it).
 //!
 //! Shutdown (via [`ServerHandle::shutdown`], dropping the handle, or the
 //! `POST /shutdown` admin endpoint) is graceful: the accept loop stops,
 //! handler threads finish their in-flight request and close, and the
 //! engine pool drains its queue before its workers exit.
 
-use crate::metrics::{EngineGauges, Metrics, MetricsSnapshot};
+use crate::metrics::{EngineGauges, Metrics, MetricsSnapshot, WorkloadGauges};
 use crate::{http, proto};
 use pspc_obs::{debug, info, warn, SlowLog, Span, Stage, TraceRing};
 use pspc_service::pairs::{read_pairs, write_answers, write_answers_json};
@@ -99,6 +107,16 @@ impl Shared {
             index_generation: self.engine.kind().generation(),
             workers: self.engine.worker_stats(),
             cache: self.engine.cache().map(|c| c.stats()),
+            workload: self.engine.workload().map(|w| WorkloadGauges {
+                total_pairs: w.total_pairs(),
+                distinct_pairs: w.distinct_pairs(),
+                hot_pair_share: w.hot_pair_share(),
+                recommended_capacity: self.engine.recommended_cache_capacity(),
+                window: self
+                    .engine
+                    .timeseries()
+                    .and_then(|r| r.recent(1, unix_now_s()).into_iter().next()),
+            }),
         }
     }
 
@@ -106,6 +124,14 @@ impl Shared {
     fn span(&self) -> Option<Span> {
         self.obs.tracing.then(Span::new)
     }
+}
+
+/// Unix seconds now — the clock the workload time-series windows on.
+fn unix_now_s() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 /// Completes a request's span: stamps the write stage, logs the trace at
@@ -400,7 +426,9 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
         Wait::Ready(b) => b,
         Wait::Eof | Wait::Shutdown => return Ok(()),
     };
-    let binary = sniff == proto::REQUEST_MAGIC || sniff == proto::INSERT_MAGIC;
+    let binary = sniff == proto::REQUEST_MAGIC
+        || sniff == proto::TRACED_REQUEST_MAGIC
+        || sniff == proto::INSERT_MAGIC;
     if pspc_obs::log::enabled(pspc_obs::Level::Debug) {
         let peer = stream
             .peer_addr()
@@ -555,10 +583,19 @@ fn serve_binary(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
         }
         let (kind, items) = match &frame {
             proto::Frame::Query(pairs) => ("query", pairs.len() as u64),
+            proto::Frame::QueryTraced { pairs, .. } => ("query", pairs.len() as u64),
             proto::Frame::Insert(edges) => ("insert", edges.len() as u64),
         };
         let response = match &frame {
             proto::Frame::Query(pairs) => answer_batch(shared, pairs, span.as_mut()),
+            proto::Frame::QueryTraced { trace_id, pairs } => {
+                // Adopt the client's correlation ID: the trace lands in
+                // /debug/trace and the log under the ID the client chose.
+                if let Some(s) = span.as_mut() {
+                    s.set_id(*trace_id);
+                }
+                answer_batch(shared, pairs, span.as_mut())
+            }
             proto::Frame::Insert(edges) => apply_inserts(shared, edges, span.as_mut()),
         };
         let status = response_status(&response);
@@ -592,6 +629,120 @@ fn http_text<W: Write>(
         body.as_bytes(),
         ka,
     )
+}
+
+/// Answers 400 for a present-but-non-numeric query parameter (absent
+/// parameters take defaults; garbage must not be silently ignored).
+fn bad_param<W: Write>(
+    shared: &Shared,
+    w: &mut W,
+    key: &str,
+    raw: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    shared.metrics.record_client_error();
+    http_text(
+        w,
+        400,
+        "Bad Request",
+        &format!("query parameter {key}={raw:?} is not a number\n"),
+        keep_alive,
+    )
+}
+
+/// Renders the workload sketch as JSON for `GET /debug/hotspots`:
+/// distinct-pair estimate, total traffic, and the top-`n` hot pairs and
+/// hot source vertices with their SpaceSaving error bounds.
+fn hotspots_json(shared: &Shared, n: usize) -> String {
+    use std::fmt::Write;
+    let Some(w) = shared.engine.workload() else {
+        return "{\"enabled\":false}\n".into();
+    };
+    // Heavy hitters are folded in on the engine's sketcher thread; give
+    // it a bounded moment to catch up so the rankings reflect all
+    // completed batches (under sustained load the current values are
+    // served as-is).
+    shared
+        .engine
+        .workload_quiesce(std::time::Duration::from_millis(250));
+    let mut body = String::with_capacity(1024);
+    let _ = write!(
+        body,
+        "{{\"enabled\":true,\"total_pairs\":{},\"distinct_pairs_estimate\":{:.1},\
+         \"hot_pair_share\":{:.6}",
+        w.total_pairs(),
+        w.distinct_pairs(),
+        w.hot_pair_share(),
+    );
+    match shared.engine.recommended_cache_capacity() {
+        Some(rc) => {
+            let _ = write!(body, ",\"recommended_cache_capacity\":{rc}");
+        }
+        None => body.push_str(",\"recommended_cache_capacity\":null"),
+    }
+    body.push_str(",\"hot_pairs\":[");
+    for (i, h) in w.hot_pairs(n).iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"s\":{},\"t\":{},\"count\":{},\"error\":{}}}",
+            h.key.0, h.key.1, h.count, h.error
+        );
+    }
+    body.push_str("],\"hot_sources\":[");
+    for (i, h) in w.hot_sources(n).iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"vertex\":{},\"count\":{},\"error\":{}}}",
+            h.key, h.count, h.error
+        );
+    }
+    body.push_str("]}\n");
+    body
+}
+
+/// Renders the windowed time-series as JSON for `GET /debug/timeseries`:
+/// the `n` newest windows (the still-open one first), each with qps, hit
+/// rate and windowed latency quantiles.
+fn timeseries_json(shared: &Shared, n: usize) -> String {
+    use std::fmt::Write;
+    let Some(ring) = shared.engine.timeseries() else {
+        return "{\"enabled\":false}\n".into();
+    };
+    let mut body = String::with_capacity(1024);
+    let _ = write!(
+        body,
+        "{{\"enabled\":true,\"window_secs\":{},\"windows\":[",
+        ring.window_secs()
+    );
+    for (i, w) in ring.recent(n, unix_now_s()).iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"start_unix_s\":{},\"span_secs\":{},\"requests\":{},\"queries\":{},\
+             \"cache_hits\":{},\"qps\":{:.3},\"hit_rate\":{:.4},\"p50_us\":{:.2},\
+             \"p99_us\":{:.2},\"open\":{}}}",
+            w.start_unix_s,
+            w.span_secs,
+            w.requests,
+            w.queries,
+            w.cache_hits,
+            w.qps,
+            w.hit_rate,
+            w.p50_us,
+            w.p99_us,
+            w.open
+        );
+    }
+    body.push_str("]}\n");
+    body
 }
 
 /// Renders a list of traces as a JSON array (one `to_json` object each).
@@ -633,44 +784,84 @@ fn serve_http(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
         };
         if let Some(s) = span.as_mut() {
             s.add(Stage::Parse, t_read.elapsed().as_nanos() as u64);
+            // Adopt a client-supplied correlation ID (decimal u64): the
+            // request's trace shows up in /debug/trace under that ID.
+            if let Some(id) = req.header("x-pspc-trace-id").and_then(|v| v.parse().ok()) {
+                s.set_id(id);
+            }
         }
         let keep_alive = !req.wants_close();
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => http_text(&mut writer, 200, "OK", "ok\n", keep_alive)?,
             ("GET", "/metrics") => {
                 let body = shared.metrics.snapshot(shared.gauges()).render();
-                http_text(&mut writer, 200, "OK", &body, keep_alive)?;
-            }
-            ("GET", "/debug/trace") => {
-                let n = req
-                    .query_param("n")
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .unwrap_or(32);
-                let body = traces_json(&shared.traces.recent(n));
+                // Prometheus scrapers negotiate on the exposition
+                // version, not just text/plain.
                 http::write_response(
                     &mut writer,
                     200,
                     "OK",
-                    "application/json",
+                    "text/plain; version=0.0.4",
                     body.as_bytes(),
                     keep_alive,
                 )?;
             }
-            ("GET", "/debug/slow") => {
-                let n = req
-                    .query_param("n")
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .unwrap_or_else(|| shared.slow.capacity());
-                let body = traces_json(&shared.slow.slowest(n));
-                http::write_response(
-                    &mut writer,
-                    200,
-                    "OK",
-                    "application/json",
-                    body.as_bytes(),
-                    keep_alive,
-                )?;
-            }
+            ("GET", "/debug/trace") => match req.query_usize("n", 32) {
+                Ok(n) => {
+                    let body = traces_json(&shared.traces.recent(n));
+                    http::write_response(
+                        &mut writer,
+                        200,
+                        "OK",
+                        "application/json",
+                        body.as_bytes(),
+                        keep_alive,
+                    )?;
+                }
+                Err(raw) => bad_param(shared, &mut writer, "n", raw, keep_alive)?,
+            },
+            ("GET", "/debug/slow") => match req.query_usize("n", shared.slow.capacity()) {
+                Ok(n) => {
+                    let body = traces_json(&shared.slow.slowest(n));
+                    http::write_response(
+                        &mut writer,
+                        200,
+                        "OK",
+                        "application/json",
+                        body.as_bytes(),
+                        keep_alive,
+                    )?;
+                }
+                Err(raw) => bad_param(shared, &mut writer, "n", raw, keep_alive)?,
+            },
+            ("GET", "/debug/hotspots") => match req.query_usize("n", 16) {
+                Ok(n) => {
+                    let body = hotspots_json(shared, n);
+                    http::write_response(
+                        &mut writer,
+                        200,
+                        "OK",
+                        "application/json",
+                        body.as_bytes(),
+                        keep_alive,
+                    )?;
+                }
+                Err(raw) => bad_param(shared, &mut writer, "n", raw, keep_alive)?,
+            },
+            ("GET", "/debug/timeseries") => match req.query_usize("n", 16) {
+                Ok(n) => {
+                    let body = timeseries_json(shared, n);
+                    http::write_response(
+                        &mut writer,
+                        200,
+                        "OK",
+                        "application/json",
+                        body.as_bytes(),
+                        keep_alive,
+                    )?;
+                }
+                Err(raw) => bad_param(shared, &mut writer, "n", raw, keep_alive)?,
+            },
             ("POST", "/query") => {
                 let json = req.query_param("format") == Some("json");
                 let parsed = match span.as_mut() {

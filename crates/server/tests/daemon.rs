@@ -652,6 +652,222 @@ fn debug_endpoints_expose_traces_and_slow_log() {
     assert!(m.stage_hists[pspc_obs::Stage::Execute as usize].sum() > 0);
 }
 
+/// Like [`http_request`] but with one extra header line, returning the
+/// raw response head as well (for content-type assertions).
+fn http_request_raw(
+    addr: &str,
+    method: &str,
+    path: &str,
+    extra_header: &str,
+    body: &[u8],
+) -> (String, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let extra = if extra_header.is_empty() {
+        String::new()
+    } else {
+        format!("{extra_header}\r\n")
+    };
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: t\r\n{extra}content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete response headers");
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    let status = head.lines().next().unwrap().to_string();
+    (status, head, raw[head_end + 4..].to_vec())
+}
+
+#[test]
+fn metrics_content_type_is_versioned_prometheus_exposition() {
+    let index = small_index();
+    let (handle, addr) = start(&index, EngineConfig::default());
+    let (status, head, body) = http_request_raw(&addr, "GET", "/metrics", "", b"");
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "Prometheus scrapers negotiate on the exposition version:\n{head}"
+    );
+    assert!(String::from_utf8_lossy(&body).contains("pspc_uptime_seconds"));
+    handle.shutdown();
+}
+
+#[test]
+fn non_numeric_debug_params_get_400_not_silent_defaults() {
+    let index = small_index();
+    let (handle, addr) = start(&index, EngineConfig::default());
+    for path in [
+        "/debug/trace?n=zebra",
+        "/debug/slow?n=",
+        "/debug/hotspots?n=-3",
+        "/debug/timeseries?n=1.5",
+    ] {
+        let (status, body) = http_request(&addr, "GET", path, b"");
+        assert!(status.contains("400"), "{path}: {status}");
+        assert!(
+            String::from_utf8_lossy(&body).contains("is not a number"),
+            "{path}: {body:?}"
+        );
+    }
+    // Absent and well-formed values still work.
+    for path in ["/debug/trace", "/debug/trace?n=4", "/debug/timeseries?n=2"] {
+        let (status, _) = http_request(&addr, "GET", path, b"");
+        assert!(status.contains("200"), "{path}: {status}");
+    }
+    let m = handle.shutdown();
+    assert_eq!(m.client_errors, 4, "each bad parameter is a client error");
+}
+
+#[test]
+fn hotspot_and_timeseries_endpoints_expose_the_workload_sketch() {
+    let index = small_index();
+    let (handle, addr) = start(
+        &index,
+        EngineConfig {
+            workers: 2,
+            cache_capacity: 512,
+            ..EngineConfig::default()
+        },
+    );
+
+    // Skewed traffic: pair (7, 9) dominates, source 7 dominates.
+    let mut client = RemoteClient::connect(&addr).unwrap();
+    let mut batch: Vec<(u32, u32)> = vec![(7, 9); 60];
+    batch.extend(pairs(40, 300, 13));
+    for _ in 0..4 {
+        client.query_batch(&batch).unwrap();
+    }
+
+    let (status, body) = http_request(&addr, "GET", "/debug/hotspots?n=4", b"");
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"enabled\":true"), "{text}");
+    let totals = json_numbers(&text, "total_pairs");
+    assert_eq!(totals, vec![400.0], "{text}");
+    assert!(
+        json_numbers(&text, "distinct_pairs_estimate")[0] > 0.0,
+        "{text}"
+    );
+    // The dominant pair leads the hot-pair list with its true count.
+    let hot_pairs_at = text.find("\"hot_pairs\":[").unwrap();
+    let first_hot = &text[hot_pairs_at..];
+    assert!(
+        first_hot.starts_with("\"hot_pairs\":[{\"s\":7,\"t\":9,\"count\":240"),
+        "{text}"
+    );
+    assert!(text.contains("\"hot_sources\":[{\"vertex\":7,"), "{text}");
+    assert!(
+        json_numbers(&text, "hot_pair_share")[0] > 0.5,
+        "60% of traffic is one pair: {text}"
+    );
+
+    // The time series has at least the open window, with live rates.
+    let (status, body) = http_request(&addr, "GET", "/debug/timeseries", b"");
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"enabled\":true"), "{text}");
+    assert!(text.contains("\"window_secs\":10"), "{text}");
+    let queries = json_numbers(&text, "queries");
+    assert!(
+        !queries.is_empty() && queries.iter().sum::<f64>() == 400.0,
+        "{text}"
+    );
+    assert!(json_numbers(&text, "qps")[0] > 0.0, "{text}");
+    assert!(
+        json_numbers(&text, "hit_rate")[0] > 0.0,
+        "repeat batches hit the cache: {text}"
+    );
+    assert!(json_numbers(&text, "p99_us")[0] > 0.0, "{text}");
+
+    // The same sketch feeds the metric families.
+    let (status, body) = http_request(&addr, "GET", "/metrics", b"");
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("pspc_workload_pairs_total 400"), "{text}");
+    assert!(text.contains("pspc_distinct_pairs_estimate"), "{text}");
+    assert!(text.contains("pspc_hot_pair_share"), "{text}");
+    assert!(text.contains("pspc_window_qps"), "{text}");
+    assert!(text.contains("pspc_window_hit_ratio"), "{text}");
+    assert!(text.contains("pspc_window_p50_us"), "{text}");
+    assert!(text.contains("pspc_window_p99_us"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn disabled_workload_sketch_reports_cleanly_everywhere() {
+    let index = small_index();
+    let (handle, addr) = start(
+        &index,
+        EngineConfig {
+            workload_sketch: false,
+            ..EngineConfig::default()
+        },
+    );
+    let mut client = RemoteClient::connect(&addr).unwrap();
+    client.query_batch(&pairs(50, 300, 17)).unwrap();
+    for path in ["/debug/hotspots", "/debug/timeseries"] {
+        let (status, body) = http_request(&addr, "GET", path, b"");
+        assert!(status.contains("200"), "{path}: {status}");
+        assert_eq!(body, b"{\"enabled\":false}\n", "{path}");
+    }
+    let (_, body) = http_request(&addr, "GET", "/metrics", b"");
+    let text = String::from_utf8(body).unwrap();
+    assert!(!text.contains("pspc_workload_pairs_total"), "{text}");
+    assert!(!text.contains("pspc_window_qps"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn client_trace_ids_round_trip_over_both_protocols() {
+    let index = small_index();
+    let (handle, addr) = start(&index, EngineConfig::default());
+    let ps = pairs(20, 300, 23);
+    let mut body = Vec::new();
+    for &(s, t) in &ps {
+        writeln!(body, "{s} {t}").unwrap();
+    }
+
+    // HTTP: the x-pspc-trace-id header is adopted verbatim.
+    let (status, _, _) =
+        http_request_raw(&addr, "POST", "/query", "x-pspc-trace-id: 424242", &body);
+    assert!(status.contains("200"), "{status}");
+
+    // Binary: the PSQ2 frame carries the ID; answers stay identical to
+    // the untraced path.
+    let mut client = RemoteClient::connect(&addr).unwrap();
+    let traced = client.query_batch_traced(987_654_321_987, &ps).unwrap();
+    assert_eq!(traced, index.query_batch_sequential(&ps));
+
+    // Both IDs appear verbatim in /debug/trace.
+    let (status, trace_body) = http_request(&addr, "GET", "/debug/trace?n=8", b"");
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(trace_body).unwrap();
+    assert!(text.contains("\"trace_id\":424242,"), "{text}");
+    assert!(text.contains("\"trace_id\":987654321987,"), "{text}");
+
+    // An unparsable header is ignored, not adopted (process-unique IDs
+    // keep flowing) — and service is unaffected.
+    let (status, _, _) = http_request_raw(
+        &addr,
+        "POST",
+        "/query",
+        "x-pspc-trace-id: not-a-number",
+        &body,
+    );
+    assert!(status.contains("200"), "{status}");
+    let m = handle.shutdown();
+    assert_eq!(m.served, 3);
+    assert_eq!(m.client_errors, 0);
+}
+
 #[test]
 fn tracing_can_be_disabled_without_losing_service() {
     use pspc_server::server::{serve_with_obs, ObsConfig};

@@ -8,7 +8,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use pspc_graph::SpcAnswer;
 use pspc_server::proto::{
-    read_frame, read_response, write_insert, write_request, write_response, Frame, Response,
+    read_frame, read_response, write_insert, write_request, write_request_traced, write_response,
+    Frame, Response,
 };
 
 fn arb_answer() -> impl Strategy<Value = SpcAnswer> {
@@ -51,6 +52,28 @@ proptest! {
         prop_assert_eq!(read_frame(&mut r).unwrap(), Some(Frame::Query(vec![(1, 2)])));
         prop_assert_eq!(read_frame(&mut r).unwrap(), Some(Frame::Insert(vec![(3, 4)])));
         prop_assert_eq!(read_frame(&mut r).unwrap(), Some(Frame::Query(vec![(5, 6)])));
+        prop_assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn traced_request_frames_round_trip(
+        trace_id in any::<u64>(),
+        pairs in vec((any::<u32>(), any::<u32>()), 0..300),
+    ) {
+        let mut wire = Vec::new();
+        write_request_traced(&mut wire, trace_id, &pairs).unwrap();
+        let got = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(got, Some(Frame::QueryTraced { trace_id, pairs: pairs.clone() }));
+        // Traced and untraced frames interleave on one stream.
+        let mut stream = Vec::new();
+        write_request(&mut stream, &[(1, 2)]).unwrap();
+        write_request_traced(&mut stream, trace_id, &pairs).unwrap();
+        let mut r = stream.as_slice();
+        prop_assert_eq!(read_frame(&mut r).unwrap(), Some(Frame::Query(vec![(1, 2)])));
+        prop_assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some(Frame::QueryTraced { trace_id, pairs })
+        );
         prop_assert_eq!(read_frame(&mut r).unwrap(), None);
     }
 

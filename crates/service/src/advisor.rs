@@ -1,0 +1,108 @@
+//! The adaptive cache advisor: turns the engine's streaming workload
+//! sketch into a concrete [`AnswerCache`](crate::AnswerCache) capacity
+//! recommendation.
+//!
+//! The working-set size of point-to-point query traffic is exactly what
+//! the HyperLogLog distinct-pair estimate measures: a cache that holds
+//! ~every distinct pair in flight converts all repeat traffic into hits,
+//! while anything much larger is wasted memory. The advisor recommends
+//!
+//! ```text
+//! recommended = clamp(distinct_estimate × HEADROOM, MIN_CAPACITY, MAX_CAPACITY)
+//! ```
+//!
+//! with a 25% headroom over the estimate (absorbing HLL error plus churn
+//! at the CLOCK hand). The recommendation is published as the
+//! `pspc_cache_recommended_capacity` gauge regardless of mode; under
+//! `pspc serve --cache-adaptive` the engine additionally applies it —
+//! once per time-series window, and only when it drifts beyond
+//! [`RESIZE_THRESHOLD`] from the live capacity, so a steady workload
+//! never thrashes the cache. A workload that already hits ≥
+//! [`HIT_RATE_TARGET`] with a *smaller* cache than recommended is left
+//! alone: the observed hit rate is the ground truth the estimate only
+//! approximates.
+
+/// Floor for recommendations: below this, cache bookkeeping outweighs
+/// the 2-hop merges it saves.
+pub const MIN_CAPACITY: usize = 256;
+
+/// Ceiling for recommendations (~4M entries, the same bound the daemon
+/// accepts for `--cache-capacity`).
+pub const MAX_CAPACITY: usize = 1 << 22;
+
+/// Headroom multiplied onto the distinct-pair estimate.
+pub const HEADROOM: f64 = 1.25;
+
+/// Relative drift between recommended and live capacity before a resize
+/// is worth it.
+pub const RESIZE_THRESHOLD: f64 = 0.25;
+
+/// Hit rate at which the current cache is declared good enough even if
+/// smaller than the recommendation.
+pub const HIT_RATE_TARGET: f64 = 0.95;
+
+/// One advisory verdict, derived from the live sketch and cache gauges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheAdvice {
+    /// Distinct-pair estimate the verdict was computed from.
+    pub distinct_estimate: f64,
+    /// Live cache capacity at verdict time.
+    pub live_capacity: usize,
+    /// Observed lifetime hit rate at verdict time (`0..=1`).
+    pub hit_rate: f64,
+    /// Recommended total capacity (the
+    /// `pspc_cache_recommended_capacity` gauge).
+    pub recommended: usize,
+    /// Whether an adaptive engine should resize now.
+    pub resize: bool,
+}
+
+/// Computes the advisor verdict. Pure — unit-testable without an engine.
+pub fn advise(distinct_estimate: f64, live_capacity: usize, hit_rate: f64) -> CacheAdvice {
+    let recommended = ((distinct_estimate * HEADROOM) as usize).clamp(MIN_CAPACITY, MAX_CAPACITY);
+    let drift = (recommended as f64 - live_capacity as f64).abs() / live_capacity.max(1) as f64;
+    let shrinking = recommended < live_capacity;
+    // Resize on real drift; but never grow a cache that is already
+    // converting the workload into hits.
+    let resize = drift > RESIZE_THRESHOLD && (shrinking || hit_rate < HIT_RATE_TARGET);
+    CacheAdvice {
+        distinct_estimate,
+        live_capacity,
+        hit_rate,
+        recommended,
+        resize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommendation_tracks_the_estimate_with_headroom() {
+        let a = advise(10_000.0, 1024, 0.3);
+        assert_eq!(a.recommended, 12_500);
+        assert!(a.resize, "10× drift with a cold hit rate must resize");
+        let a = advise(100.0, 1024, 0.3);
+        assert_eq!(a.recommended, MIN_CAPACITY, "floor applies");
+        let a = advise(1e9, 1024, 0.3);
+        assert_eq!(a.recommended, MAX_CAPACITY, "ceiling applies");
+    }
+
+    #[test]
+    fn small_drift_or_satisfied_cache_is_left_alone() {
+        // Within the threshold: no resize.
+        let a = advise(1000.0, 1280, 0.5);
+        assert_eq!(a.recommended, 1250);
+        assert!(!a.resize, "2% drift is noise");
+        // Big recommended growth, but the cache already hits 97%:
+        // the observed hit rate wins.
+        let a = advise(100_000.0, 4096, 0.97);
+        assert!(a.recommended > 4096 * 2);
+        assert!(!a.resize, "a satisfied cache is not grown");
+        // Shrinking is always honored — memory back for free.
+        let a = advise(1_000.0, 100_000, 0.99);
+        assert!(a.resize, "shrink even at a high hit rate");
+        assert!(a.recommended < 100_000);
+    }
+}

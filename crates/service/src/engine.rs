@@ -37,19 +37,55 @@
 //! the channel hands out every queued chunk before reporting disconnect,
 //! so in-flight batches complete and only then do workers exit.
 
+use crate::advisor;
 use crate::cache::AnswerCache;
 use crate::kind::{IndexKind, InsertError};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use pspc_core::SpcIndex;
 use pspc_graph::{SpcAnswer, VertexId};
-use pspc_obs::{Span, Stage};
+use pspc_obs::{Span, Stage, TimeSeriesRing, WorkloadSketch, DEFAULT_HEAVY_HITTERS};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Default bound of the submission queue, in chunks.
 pub const DEFAULT_QUEUE_DEPTH: usize = 4096;
+
+/// Default workload time-series window length, in seconds.
+pub const DEFAULT_WINDOW_SECS: u64 = 10;
+
+/// Closed windows the workload time-series ring retains.
+const TIMESERIES_CAPACITY: usize = 64;
+
+/// Sketcher backlog (in pairs) up to which heavy-hitter recording stays
+/// exact; each further doubling of the backlog doubles the sampling
+/// stride. Low-rate workloads (anything the duty-cycled sketcher drains
+/// within a couple of chunks of lag) stay exact; at saturation the
+/// backlog a single [`SKETCHER_MAX_IDLE`] accumulates must map to a
+/// stride near [`SKETCHER_MAX_STRIDE`], or drains outgrow the idle
+/// budget and the sketcher's CPU share climbs back over the bar.
+const SKETCHER_EXACT_BACKLOG: usize = 2 * 1024;
+
+/// Upper bound on the sketcher's sampling stride under overload: 1-in-64
+/// recording caps the heavy-hitter cost near the totals path's, at the
+/// price of ±64-ish noise on reported counts.
+const SKETCHER_MAX_STRIDE: usize = 64;
+
+/// After each drain the sketcher idles this many times the drain's busy
+/// time, capping its steady-state CPU share near `1/(ratio+1)` ≈ 0.4%
+/// of one core. Backlog alone is not enough of a throttle: on a
+/// single-core host the sketcher can keep its queue short by stealing a
+/// large CPU share from the serving threads, and only an explicit duty
+/// cycle forces the backlog (and with it the sampling stride) to grow
+/// instead. At the maximum stride the sketcher samples a full-rate
+/// stream comfortably within this budget.
+const SKETCHER_IDLE_RATIO: u32 = 255;
+
+/// Bound on one duty-cycle pause, so drains — and therefore
+/// [`QueryEngine::workload_quiesce`] and shutdown — never lag a burst
+/// by more than this.
+const SKETCHER_MAX_IDLE: std::time::Duration = std::time::Duration::from_millis(100);
 
 /// Tuning knobs for [`QueryEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +111,18 @@ pub struct EngineConfig {
     /// Cache shard count (0 = [`crate::cache::DEFAULT_SHARDS`]); ignored
     /// when the cache is disabled.
     pub cache_shards: usize,
+    /// Feed the streaming workload sketch (distinct-pair HLL, heavy
+    /// hitters, windowed time series) from every batch. On by default —
+    /// recording is wait-free and a few nanoseconds per pair; the flag
+    /// exists so the overhead bench can measure exactly that.
+    pub workload_sketch: bool,
+    /// Workload time-series window length in seconds
+    /// (0 = [`DEFAULT_WINDOW_SECS`]).
+    pub window_secs: u64,
+    /// Let the cache advisor resize the result cache between windows
+    /// (`pspc serve --cache-adaptive`). Without it the advisor only
+    /// publishes its recommendation.
+    pub cache_adaptive: bool,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +134,9 @@ impl Default for EngineConfig {
             queue_depth: 0,
             cache_capacity: 0,
             cache_shards: 0,
+            workload_sketch: true,
+            window_secs: 0,
+            cache_adaptive: false,
         }
     }
 }
@@ -206,6 +257,125 @@ pub struct WorkerStat {
     pub chunks: u64,
 }
 
+/// The engine's workload-analytics state: the streaming sketch, the
+/// windowed time-series ring, the advisor's latest verdict and the
+/// background sketcher thread.
+///
+/// Recording splits in two so the request path never takes the sketch
+/// locks: totals (HLL + pair counter) are wait-free and recorded
+/// inline, while the heavy-hitter updates — `O(k)` with three
+/// index-map touches per pair on distinct-heavy traffic — are shipped
+/// to the sketcher thread through an unbounded channel. `pending`
+/// counts shipped-but-unprocessed batches so readers that need the
+/// hitters up to date ([`QueryEngine::workload_quiesce`]) can wait for
+/// the queue to drain.
+struct WorkloadState {
+    sketch: Arc<WorkloadSketch>,
+    ring: TimeSeriesRing,
+    /// Latest recommended cache capacity (0 until the first verdict).
+    recommended: AtomicU64,
+    /// Window id the advisor last ran for (one verdict per window).
+    advised_window: AtomicU64,
+    /// Batches shipped to the sketcher and not yet folded in.
+    pending: Arc<AtomicU64>,
+    /// `None` only during teardown.
+    hitter_tx: Option<Sender<Vec<(VertexId, VertexId)>>>,
+    sketcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkloadState {
+    fn new(window_secs: u64) -> Self {
+        let sketch = Arc::new(WorkloadSketch::new(DEFAULT_HEAVY_HITTERS));
+        let pending = Arc::new(AtomicU64::new(0));
+        let (hitter_tx, hitter_rx) = channel::unbounded::<Vec<(VertexId, VertexId)>>();
+        let sketcher = {
+            let sketch = Arc::clone(&sketch);
+            let pending = Arc::clone(&pending);
+            std::thread::Builder::new()
+                .name("pspc-sketcher".into())
+                .spawn(move || {
+                    while let Ok(batch) = hitter_rx.recv() {
+                        // Drain whatever has queued up behind this batch
+                        // and derive a sampling stride from the backlog:
+                        // exact recording while the sketcher keeps up,
+                        // systematic 1-in-`stride` sampling once the
+                        // serving threads outpace it — heavy-hitter
+                        // counts stay unbiased and the sketcher's CPU
+                        // share stays bounded instead of competing with
+                        // request processing.
+                        let mut batches = vec![batch];
+                        while let Ok(more) = hitter_rx.try_recv() {
+                            batches.push(more);
+                        }
+                        let queued: usize = batches.iter().map(Vec::len).sum();
+                        let stride = (queued / SKETCHER_EXACT_BACKLOG)
+                            .next_power_of_two()
+                            .min(SKETCHER_MAX_STRIDE);
+                        let t0 = Instant::now();
+                        for b in &batches {
+                            sketch.record_hitters_sampled(b, stride);
+                        }
+                        pending.fetch_sub(batches.len() as u64, Ordering::Release);
+                        // Duty cycle: pay for the busy time just spent
+                        // with a proportionally longer pause before the
+                        // next drain. Sends during the pause enqueue
+                        // without waking anyone, so the per-batch cost
+                        // on the serving threads stays a cheap push.
+                        let idle = (t0.elapsed() * SKETCHER_IDLE_RATIO).min(SKETCHER_MAX_IDLE);
+                        if !idle.is_zero() {
+                            std::thread::sleep(idle);
+                        }
+                    }
+                })
+                .expect("spawning sketcher thread")
+        };
+        WorkloadState {
+            sketch,
+            ring: TimeSeriesRing::new(window_secs, TIMESERIES_CAPACITY),
+            recommended: AtomicU64::new(0),
+            advised_window: AtomicU64::new(0),
+            pending,
+            hitter_tx: Some(hitter_tx),
+            sketcher: Some(sketcher),
+        }
+    }
+
+    /// Ships one batch's heavy-hitter updates to the sketcher thread,
+    /// falling back to inline recording during teardown.
+    fn ship_hitters(&self, pairs: &[(VertexId, VertexId)]) {
+        self.pending.fetch_add(1, Ordering::Release);
+        let shipped = self
+            .hitter_tx
+            .as_ref()
+            .is_some_and(|tx| tx.send(pairs.to_vec()).is_ok());
+        if !shipped {
+            self.sketch.record_hitters(pairs);
+            self.pending.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.hitter_tx.take();
+        if let Some(h) = self.sketcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkloadState {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Wall-clock unix seconds (0 before the epoch, which cannot happen on a
+/// sane clock).
+fn unix_now_s() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
 /// Recycler for the answer buffers that shuttle between workers and
 /// submitters.
 ///
@@ -303,6 +473,9 @@ pub struct QueryEngine {
     /// before chunking and back-filled after; entries are stamped with
     /// the index generation so inserts invalidate implicitly.
     cache: Option<AnswerCache>,
+    /// Workload analytics (sketches + time series + advisor), when
+    /// `cfg.workload_sketch`.
+    workload: Option<WorkloadState>,
 }
 
 impl QueryEngine {
@@ -352,6 +525,12 @@ impl QueryEngine {
             .collect();
         let cache = (cfg.cache_capacity > 0)
             .then(|| AnswerCache::new(cfg.cache_capacity, cfg.cache_shards));
+        let window_secs = if cfg.window_secs == 0 {
+            DEFAULT_WINDOW_SECS
+        } else {
+            cfg.window_secs
+        };
+        let workload = cfg.workload_sketch.then(|| WorkloadState::new(window_secs));
         QueryEngine {
             index,
             cfg,
@@ -361,6 +540,7 @@ impl QueryEngine {
             buffers,
             worker_stats,
             cache,
+            workload,
         }
     }
 
@@ -383,6 +563,115 @@ impl QueryEngine {
     /// [`crate::cache::AnswerCache::stats`].
     pub fn cache(&self) -> Option<&AnswerCache> {
         self.cache.as_ref()
+    }
+
+    /// The streaming workload sketch (distinct-pair HLL + heavy
+    /// hitters), when [`EngineConfig::workload_sketch`] is on — the data
+    /// behind `GET /debug/hotspots` and the `pspc_distinct_pairs_*`
+    /// metric families.
+    pub fn workload(&self) -> Option<&WorkloadSketch> {
+        self.workload.as_ref().map(|w| w.sketch.as_ref())
+    }
+
+    /// Waits (bounded by `timeout`) for the background sketcher thread
+    /// to fold every shipped batch into the heavy-hitter sketches, so a
+    /// subsequent [`WorkloadSketch::hot_pairs`] /
+    /// [`WorkloadSketch::hot_sources`] read reflects all completed
+    /// batches. Returns `true` once the queue is drained, `false` on
+    /// timeout (under sustained load the queue may never be empty —
+    /// callers serve the current values either way). Totals (distinct
+    /// estimate, pair counter) are recorded inline and never need this.
+    pub fn workload_quiesce(&self, timeout: std::time::Duration) -> bool {
+        let Some(w) = &self.workload else { return true };
+        let deadline = Instant::now() + timeout;
+        while w.pending.load(Ordering::Acquire) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    /// The windowed serving time series (qps, hit rate, windowed
+    /// p50/p99), when [`EngineConfig::workload_sketch`] is on — the data
+    /// behind `GET /debug/timeseries` and the `pspc_window_*` gauges.
+    pub fn timeseries(&self) -> Option<&TimeSeriesRing> {
+        self.workload.as_ref().map(|w| &w.ring)
+    }
+
+    /// The advisor's most recent recommended cache capacity (`None`
+    /// while the workload sketch is off or before the first verdict).
+    pub fn recommended_cache_capacity(&self) -> Option<u64> {
+        let w = self.workload.as_ref()?;
+        match w.recommended.load(Ordering::Relaxed) {
+            0 => None,
+            r => Some(r),
+        }
+    }
+
+    /// Computes a fresh advisor verdict from the live sketch and cache
+    /// gauges without applying it (`None` when the workload sketch is
+    /// off). The applied path runs once per window inside the batch
+    /// pipeline; this is for inspection (benches, debug endpoints).
+    pub fn cache_advice(&self) -> Option<advisor::CacheAdvice> {
+        let w = self.workload.as_ref()?;
+        Some(advisor::advise(
+            w.sketch.distinct_pairs(),
+            self.cache.as_ref().map_or(0, AnswerCache::capacity),
+            self.cache_hit_rate(),
+        ))
+    }
+
+    /// Lifetime cache hit rate in `0..=1` (0 without a cache or before
+    /// any probe).
+    fn cache_hit_rate(&self) -> f64 {
+        self.cache.as_ref().map_or(0.0, |c| {
+            let s = c.stats();
+            let probes = s.hits + s.misses;
+            if probes == 0 {
+                0.0
+            } else {
+                s.hits as f64 / probes as f64
+            }
+        })
+    }
+
+    /// Feeds one completed batch into the workload sketch and the time
+    /// series, and runs the advisor when a window has turned. The
+    /// request-path cost is wait-free (relaxed atomics plus one batch
+    /// copy); the locked heavy-hitter updates run on the sketcher
+    /// thread, and the advisor runs on at most one batch per window.
+    fn record_workload(&self, pairs: &[(VertexId, VertexId)], cache_hits: u64, wall_secs: f64) {
+        let Some(w) = &self.workload else { return };
+        if pairs.is_empty() {
+            return;
+        }
+        w.sketch.record_totals(pairs);
+        w.ship_hitters(pairs);
+        let now_s = unix_now_s();
+        w.ring.record(
+            pairs.len() as u64,
+            cache_hits,
+            (wall_secs * 1e9) as u64,
+            now_s,
+        );
+        let wid = now_s / w.ring.window_secs();
+        if w.advised_window.swap(wid, Ordering::Relaxed) == wid {
+            return;
+        }
+        let advice = advisor::advise(
+            w.sketch.distinct_pairs(),
+            self.cache.as_ref().map_or(0, AnswerCache::capacity),
+            self.cache_hit_rate(),
+        );
+        w.recommended
+            .store(advice.recommended as u64, Ordering::Relaxed);
+        if self.cfg.cache_adaptive && advice.resize {
+            if let Some(cache) = &self.cache {
+                cache.resize(advice.recommended);
+            }
+        }
     }
 
     /// The undirected index being served.
@@ -521,11 +810,15 @@ impl QueryEngine {
     }
 
     /// Closes the submission queue and joins the workers after they drain
-    /// it. Idempotent; also performed on drop.
+    /// it, then stops the workload sketcher thread. Idempotent; also
+    /// performed on drop.
     fn shutdown(&mut self) {
         self.tx.take();
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        if let Some(w) = &mut self.workload {
+            w.shutdown();
         }
     }
 
@@ -551,7 +844,9 @@ impl QueryEngine {
         mut span: Option<&mut Span>,
     ) -> Result<(Vec<SpcAnswer>, BatchReport, Vec<u64>), SubmitError> {
         let Some(cache) = &self.cache else {
-            return self.execute_pool(pairs, time_queries, admission, span);
+            let out = self.execute_pool(pairs, time_queries, admission, span)?;
+            self.record_workload(pairs, 0, out.1.wall_secs);
+            return Ok(out);
         };
         let n = pairs.len();
         if n == 0 {
@@ -607,6 +902,7 @@ impl QueryEngine {
             wall_secs: t0.elapsed().as_secs_f64(),
             reachable: answers.iter().filter(|a| a.is_reachable()).count(),
         };
+        self.record_workload(pairs, (n - missing_idx.len()) as u64, report.wall_secs);
         Ok((answers, report, latencies))
     }
 
@@ -1044,6 +1340,87 @@ mod tests {
     fn cache_disabled_by_default() {
         let e = engine(EngineConfig::default());
         assert!(e.cache().is_none());
+    }
+
+    #[test]
+    fn workload_sketch_records_batches_and_advises() {
+        let e = engine(EngineConfig {
+            workers: 2,
+            cache_capacity: 8192,
+            window_secs: 1,
+            ..EngineConfig::default()
+        });
+        // A skewed batch: one dominant pair plus a spread.
+        let mut ps = vec![(1u32, 2u32); 300];
+        ps.extend(pairs(200, 300, 61));
+        e.run(&ps);
+        let w = e.workload().expect("workload sketch on by default");
+        assert_eq!(w.total_pairs(), 500);
+        assert!(w.distinct_pairs() >= 1.0);
+        assert!(
+            e.workload_quiesce(std::time::Duration::from_secs(5)),
+            "sketcher thread did not drain"
+        );
+        assert_eq!(w.hot_pairs(1)[0].key, (1, 2));
+        assert!(w.hot_pair_share() > 0.4);
+        let ring = e.timeseries().expect("time series on by default");
+        let now = super::unix_now_s();
+        let recent = ring.recent(4, now);
+        assert!(!recent.is_empty(), "the open window must show traffic");
+        assert_eq!(recent.iter().map(|w| w.requests).sum::<u64>(), 1);
+        // The advisor ran on the first batch of the first window.
+        let advice = e.cache_advice().expect("advice available");
+        assert!(advice.recommended >= advisor::MIN_CAPACITY);
+        assert_eq!(
+            e.recommended_cache_capacity(),
+            Some(advisor::MIN_CAPACITY as u64),
+            "first verdict ran on a nearly-empty sketch"
+        );
+    }
+
+    #[test]
+    fn workload_sketch_can_be_disabled() {
+        let e = engine(EngineConfig {
+            workers: 1,
+            workload_sketch: false,
+            ..EngineConfig::default()
+        });
+        e.run(&pairs(64, 300, 5));
+        assert!(e.workload().is_none());
+        assert!(e.timeseries().is_none());
+        assert!(e.recommended_cache_capacity().is_none());
+        assert!(e.cache_advice().is_none());
+    }
+
+    #[test]
+    fn adaptive_cache_applies_the_advisors_verdict() {
+        // A deliberately oversized cache plus a tiny working set: the
+        // advisor must recommend (far) less and, with cache_adaptive on,
+        // shrink the live cache when its window turns.
+        let e = engine(EngineConfig {
+            workers: 2,
+            cache_capacity: 100_000,
+            cache_adaptive: true,
+            window_secs: 1,
+            ..EngineConfig::default()
+        });
+        let ps = pairs(500, 300, 17);
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        // Drive repeat traffic across at least two window turns.
+        while Instant::now() < deadline {
+            e.run(&ps);
+            if e.cache().unwrap().capacity() < 100_000 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        let live = e.cache().unwrap().capacity();
+        assert!(
+            live < 100_000,
+            "adaptive engine must shrink an oversized cache (live {live})"
+        );
+        // Answers stay correct across the resize.
+        assert_eq!(e.run(&ps), e.index().query_batch_sequential(&ps));
     }
 
     #[test]

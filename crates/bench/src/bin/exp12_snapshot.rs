@@ -1,10 +1,13 @@
 //! Exp 12: snapshot format v2 bulk load vs legacy v1 parse, and flat-arena
-//! vs per-vertex label storage query latency. Emits `[exp12-json]` lines
-//! for trajectory tracking.
+//! vs per-vertex label storage query latency, plus the cold-start serving
+//! comparison (copying load vs mmap vs sharded mmap). Emits `[exp12-json]`
+//! lines for trajectory tracking.
 
-use pspc_bench::experiments::exp12_snapshot;
+use pspc_bench::experiments::{exp12_cold_start, exp12_snapshot};
 use pspc_bench::ExpOptions;
 
 fn main() {
-    exp12_snapshot(&ExpOptions::from_args());
+    let opt = ExpOptions::from_args();
+    exp12_snapshot(&opt);
+    exp12_cold_start(&opt);
 }

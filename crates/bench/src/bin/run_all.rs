@@ -29,6 +29,7 @@ fn main() {
     exp10_service_throughput(&opt);
     exp11_daemon_throughput(&opt);
     exp12_snapshot(&opt);
+    exp12_cold_start(&opt);
     exp13_directed_dynamic(&opt);
     exp14_cache(&opt);
     exp15_obs(&opt);

@@ -25,6 +25,7 @@
 //! verbatim ([`crate::serialize`] format v2). The borrowed [`LabelView`]
 //! is the query-path handle into the arena.
 
+use crate::section::Section;
 use pspc_graph::VertexId;
 use pspc_order::VertexOrder;
 use serde::{Deserialize, Serialize};
@@ -254,37 +255,43 @@ impl<'a> LabelView<'a> {
 /// global arrays. Four allocations total, independent of the vertex
 /// count; rows are contiguous and rank-adjacent rows are cache-adjacent.
 /// The snapshot format v2 persists these arrays verbatim
-/// ([`crate::serialize`]).
+/// ([`crate::serialize`]), and because each array is a [`Section`] the
+/// arena can equally be served zero-copy from a page-aligned file mapping
+/// (the `--mmap` load path) — owned and mapped arenas are indistinguishable
+/// to query code.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct LabelArena {
     /// CSR row starts (`n + 1` entries, `offsets[0] == 0`).
-    offsets: Vec<u64>,
+    offsets: Section<u64>,
     /// Hub ranks, ascending within each row.
-    hubs: Vec<u32>,
+    hubs: Section<u32>,
     /// Distances, parallel to `hubs`.
-    dists: Vec<u16>,
+    dists: Section<u16>,
     /// Trough counts, parallel to `hubs`.
-    counts: Vec<Count>,
+    counts: Section<Count>,
 }
 
 impl LabelArena {
     /// Packs staged per-vertex label sets into one contiguous arena.
     pub fn from_label_sets(sets: Vec<LabelSet>) -> Self {
         let total: usize = sets.iter().map(LabelSet::len).sum();
-        let mut arena = LabelArena {
-            offsets: Vec::with_capacity(sets.len() + 1),
-            hubs: Vec::with_capacity(total),
-            dists: Vec::with_capacity(total),
-            counts: Vec::with_capacity(total),
-        };
-        arena.offsets.push(0);
+        let mut offsets = Vec::with_capacity(sets.len() + 1);
+        let mut hubs = Vec::with_capacity(total);
+        let mut dists = Vec::with_capacity(total);
+        let mut counts = Vec::with_capacity(total);
+        offsets.push(0);
         for s in &sets {
-            arena.hubs.extend_from_slice(s.hubs());
-            arena.dists.extend_from_slice(s.dists());
-            arena.counts.extend_from_slice(s.counts());
-            arena.offsets.push(arena.hubs.len() as u64);
+            hubs.extend_from_slice(s.hubs());
+            dists.extend_from_slice(s.dists());
+            counts.extend_from_slice(s.counts());
+            offsets.push(hubs.len() as u64);
         }
-        arena
+        LabelArena {
+            offsets: offsets.into(),
+            hubs: hubs.into(),
+            dists: dists.into(),
+            counts: counts.into(),
+        }
     }
 
     /// Reassembles an arena from raw CSR arrays (the snapshot v2 load
@@ -295,6 +302,20 @@ impl LabelArena {
         hubs: Vec<u32>,
         dists: Vec<u16>,
         counts: Vec<Count>,
+    ) -> Result<Self, String> {
+        Self::from_sections(offsets.into(), hubs.into(), dists.into(), counts.into())
+    }
+
+    /// Reassembles an arena from already-wrapped sections — owned or
+    /// borrowed from a file mapping (the `--mmap` load path). Performs the
+    /// same structural validation as [`LabelArena::from_raw`]; for mapped
+    /// sections this touches only the (small) offsets section, so it does
+    /// not fault the bulk label pages in.
+    pub fn from_sections(
+        offsets: Section<u64>,
+        hubs: Section<u32>,
+        dists: Section<u16>,
+        counts: Section<Count>,
     ) -> Result<Self, String> {
         let m = hubs.len();
         if dists.len() != m || counts.len() != m {
@@ -313,6 +334,14 @@ impl LabelArena {
             dists,
             counts,
         })
+    }
+
+    /// True when any section serves straight off a file mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped()
+            || self.hubs.is_mapped()
+            || self.dists.is_mapped()
+            || self.counts.is_mapped()
     }
 
     /// Number of vertices (CSR rows).
@@ -422,7 +451,7 @@ pub struct SpcIndex {
     labels: LabelArena,
     /// Vertex multiplicities by rank (`None` ⇒ all 1). Used by the
     /// neighborhood-equivalence reduction (paper §IV.B).
-    weights: Option<Vec<Count>>,
+    weights: Option<Section<Count>>,
     stats: IndexStats,
 }
 
@@ -445,6 +474,17 @@ impl SpcIndex {
         order: VertexOrder,
         labels: LabelArena,
         weights: Option<Vec<Count>>,
+        stats: IndexStats,
+    ) -> Self {
+        Self::from_arena_sections(order, labels, weights.map(Section::from_vec), stats)
+    }
+
+    /// Like [`SpcIndex::from_arena`] but accepts weights as a [`Section`],
+    /// so the zero-copy loader can keep them on the file mapping.
+    pub fn from_arena_sections(
+        order: VertexOrder,
+        labels: LabelArena,
+        weights: Option<Section<Count>>,
         mut stats: IndexStats,
     ) -> Self {
         assert_eq!(
@@ -513,6 +553,11 @@ impl SpcIndex {
     /// The flat label arena (rank-indexed CSR rows).
     pub fn label_arena(&self) -> &LabelArena {
         &self.labels
+    }
+
+    /// True when the index serves zero-copy off a file mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.labels.is_mapped() || self.weights.as_ref().is_some_and(|w| w.is_mapped())
     }
 
     /// Structural sanity check: hub order sorted, hubs ranked above owner,

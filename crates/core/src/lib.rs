@@ -34,20 +34,28 @@ pub mod dynamic;
 pub mod hpspc;
 pub mod label;
 pub mod landmark;
+pub mod mapped;
 pub mod query;
 pub mod reduce;
 pub mod scratch;
+pub mod section;
 pub mod serialize;
+pub mod shard;
 
 pub use builder::{build_pspc, Paradigm, PspcBuildStats, PspcConfig, SchedulePlan};
 pub use directed::DiSpcIndex;
 pub use dynamic::DynamicDistanceIndex;
 pub use hpspc::build_hpspc;
 pub use label::{Count, IndexStats, LabelArena, LabelEntry, LabelSet, LabelView, SpcIndex};
+pub use mapped::map_index_from_file;
 pub use query::BatchScratch;
 pub use reduce::ReducedIndex;
 pub use serialize::{
     any_index_from_binary, di_index_from_binary, di_index_to_binary, dyn_index_from_binary,
     dyn_index_to_binary, index_from_binary, index_to_binary, index_to_binary_v1,
     snapshot_kind_name, snapshot_size, SnapshotKind,
+};
+pub use shard::{
+    open_sharded, read_magic, sharded_to_owned, write_atomically, write_sharded_index,
+    ShardedSpcIndex,
 };

@@ -1,0 +1,323 @@
+//! Zero-copy snapshot loading: serve an index straight off the page cache.
+//!
+//! [`crate::serialize`] format v2 (and its directed sibling `PSPCDIR2`)
+//! was designed mmap-ready — fixed header, section table, naturally
+//! aligned little-endian bulk sections — but the classic loaders still
+//! copy every byte into fresh `Vec`s, so daemon cold start scales with
+//! index size. [`map_index_from_file`] instead `mmap(2)`s the snapshot
+//! (via the in-tree `memmap2` shim), validates the header and section
+//! table with the **same** checked-length parser the copying loaders use
+//! ([`crate::serialize`]'s `parse_v2_layout`/`parse_dir_layout`: checked
+//! `usize::try_from` on every length, exact total size), then builds
+//! [`Section`]-backed arenas whose bounds and alignment are re-checked
+//! before any in-place cast. Bytes are only faulted in when queries
+//! touch them, so load time is O(header + offsets), not O(index).
+//!
+//! # What is (and isn't) validated eagerly
+//!
+//! The copying loaders run the full structural validation
+//! ([`SpcIndex::validate`]) after load; doing that on a mapping would
+//! fault every page in and erase the cold-start win. The mapped loader
+//! therefore checks everything that **memory safety** and **absence of
+//! panics** rely on — header/section-table consistency, checked length
+//! narrowing, section bounds + alignment, CSR offset monotonicity and
+//! the order permutation (both small sections) — and trusts per-row hub
+//! sortedness, which only affects query *answers* on a deliberately
+//! corrupted file, exactly like a bit flip inside a `dists` section
+//! would. The parity proptests pin mapped and copied loads to
+//! bit-identical answers on good files.
+//!
+//! # Supported formats
+//!
+//! * `PSPCIDX2` → [`SnapshotKind::Undirected`], fully zero-copy (the
+//!   small `order` array is copied; it is rebuilt into a rank lookup
+//!   anyway).
+//! * `PSPCDIR2` → [`SnapshotKind::Directed`], fully zero-copy.
+//! * `PSPCDYN2` / legacy `PSPCIDX1` → `ErrorKind::Unsupported`: the
+//!   dynamic index mutates in place and v1 is per-entry encoded, so
+//!   neither can serve from a read-only mapping. `pspc serve --mmap`
+//!   catches this and falls back to the copying loader with a warning.
+//! * `PSPCSHM1` manifests → `ErrorKind::Unsupported` here; sharded
+//!   snapshots load through [`crate::shard`] instead.
+
+use crate::directed::DiSpcIndex;
+use crate::label::{IndexStats, LabelArena, SpcIndex};
+use crate::section::Section;
+use crate::serialize::{
+    bad, get_u32s, parse_dir_layout, parse_v2_layout, validate_order, SnapshotKind, MAGIC_DIR,
+    MAGIC_DYN, MAGIC_SHARD_MANIFEST, MAGIC_V1, MAGIC_V2,
+};
+use memmap2::Mmap;
+use std::fs::File;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+fn unsupported(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::Unsupported, msg.to_string())
+}
+
+/// Maps the snapshot at `path` and serves it zero-copy, dispatching on
+/// the magic. See the [module docs](self) for which formats qualify;
+/// unsupported ones return `ErrorKind::Unsupported` so callers can fall
+/// back to the copying [`crate::serialize::any_index_from_binary`].
+///
+/// The file must not be truncated or rewritten while the returned index
+/// is alive (standard mmap caveat; replace snapshots by atomic rename,
+/// which `pspc migrate` does).
+pub fn map_index_from_file(path: impl AsRef<Path>) -> io::Result<SnapshotKind> {
+    let path = path.as_ref();
+    let file = File::open(path)?;
+    if file.metadata()?.is_dir() {
+        // Opening a directory succeeds on Linux; reject it before mmap
+        // turns it into a confusing EACCES/ENODEV.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "unrecognized snapshot: path is a directory",
+        ));
+    }
+    // SAFETY: read-only private mapping; snapshot files are replaced by
+    // atomic rename, never truncated in place.
+    let map = Arc::new(unsafe { Mmap::map(&file) }?);
+    if map.len() < 8 {
+        return Err(bad(
+            "unrecognized snapshot: file shorter than the 8-byte magic",
+        ));
+    }
+    match &map[..8] {
+        m if m == MAGIC_V2 => map_v2(&map).map(SnapshotKind::Undirected),
+        m if m == MAGIC_DIR => map_dir(&map).map(SnapshotKind::Directed),
+        m if m == MAGIC_DYN => Err(unsupported(
+            "dynamic snapshots mutate in place and cannot be served zero-copy; use the copying loader",
+        )),
+        m if m == MAGIC_V1 => Err(unsupported(
+            "legacy v1 snapshots are per-entry encoded and cannot be served zero-copy; migrate to v2 or use the copying loader",
+        )),
+        m if m == MAGIC_SHARD_MANIFEST => Err(unsupported(
+            "sharded snapshot manifest; load it with shard::open_sharded",
+        )),
+        _ => Err(bad("unrecognized snapshot: not a PSPC index snapshot")),
+    }
+}
+
+/// Zero-copy load of a `PSPCIDX2` snapshot from an existing mapping.
+pub(crate) fn map_v2(map: &Arc<Mmap>) -> io::Result<SpcIndex> {
+    let layout = parse_v2_layout(map)?;
+    let (off, len) = layout.sections[0];
+    let offsets = Section::<u64>::from_mapped(map, off, len / 8)?;
+    let weights = if layout.has_weights {
+        let (off, len) = layout.sections[1];
+        Some(Section::<u64>::from_mapped(map, off, len / 8)?)
+    } else {
+        None
+    };
+    let (off, len) = layout.sections[2];
+    let counts = Section::<u64>::from_mapped(map, off, len / 8)?;
+    let (off, len) = layout.sections[3];
+    let order = validate_order(get_u32s(&map[off..off + len]))?;
+    let (off, len) = layout.sections[4];
+    let hubs = Section::<u32>::from_mapped(map, off, len / 4)?;
+    let (off, len) = layout.sections[5];
+    let dists = Section::<u16>::from_mapped(map, off, len / 2)?;
+    let arena = LabelArena::from_sections(offsets, hubs, dists, counts)
+        .map_err(|e| bad(&format!("bad label arena: {e}")))?;
+    if arena.num_vertices() != order.len() {
+        return Err(bad("label row count disagrees with the order"));
+    }
+    Ok(SpcIndex::from_arena_sections(
+        order,
+        arena,
+        weights,
+        IndexStats::default(),
+    ))
+}
+
+/// Zero-copy load of a `PSPCDIR2` snapshot from an existing mapping.
+fn map_dir(map: &Arc<Mmap>) -> io::Result<DiSpcIndex> {
+    let layout = parse_dir_layout(map)?;
+    let sec_u64 = |i: usize| {
+        let (off, len) = layout.sections[i];
+        Section::<u64>::from_mapped(map, off, len / 8)
+    };
+    let sec_u32 = |i: usize| {
+        let (off, len) = layout.sections[i];
+        Section::<u32>::from_mapped(map, off, len / 4)
+    };
+    let sec_u16 = |i: usize| {
+        let (off, len) = layout.sections[i];
+        Section::<u16>::from_mapped(map, off, len / 2)
+    };
+    let offsets_in = sec_u64(0)?;
+    let offsets_out = sec_u64(1)?;
+    let counts_in = sec_u64(2)?;
+    let counts_out = sec_u64(3)?;
+    let (off, len) = layout.sections[4];
+    let order = validate_order(get_u32s(&map[off..off + len]))?;
+    let hubs_in = sec_u32(5)?;
+    let hubs_out = sec_u32(6)?;
+    let dists_in = sec_u16(7)?;
+    let dists_out = sec_u16(8)?;
+    let lin = LabelArena::from_sections(offsets_in, hubs_in, dists_in, counts_in)
+        .map_err(|e| bad(&format!("bad in-label arena: {e}")))?;
+    let lout = LabelArena::from_sections(offsets_out, hubs_out, dists_out, counts_out)
+        .map_err(|e| bad(&format!("bad out-label arena: {e}")))?;
+    if lin.num_vertices() != order.len() || lout.num_vertices() != order.len() {
+        return Err(bad("label row counts disagree with the order"));
+    }
+    Ok(DiSpcIndex::from_arenas(
+        order,
+        lin,
+        lout,
+        IndexStats::default(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_pspc, PspcConfig};
+    use crate::serialize::{
+        any_index_from_binary, di_index_to_binary, dyn_index_to_binary, index_to_binary,
+        index_to_binary_v1, Bytes,
+    };
+    use pspc_graph::generators::barabasi_albert;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pspc-mapped-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn write_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = temp_path(name);
+        std::fs::File::create(&p).unwrap().write_all(bytes).unwrap();
+        p
+    }
+
+    fn build(n: usize, seed: u64) -> SpcIndex {
+        let g = barabasi_albert(n, 2, seed);
+        build_pspc(&g, &PspcConfig::default()).0
+    }
+
+    #[test]
+    fn mapped_v2_answers_match_copying_loader() {
+        let idx = build(150, 21);
+        let bytes = index_to_binary(&idx);
+        let path = write_file("v2", &bytes);
+        let mapped = map_index_from_file(&path).unwrap();
+        let SnapshotKind::Undirected(mapped) = mapped else {
+            panic!("expected undirected");
+        };
+        assert!(mapped.is_mapped());
+        assert!(!idx.is_mapped());
+        assert_eq!(mapped.label_arena(), idx.label_arena());
+        assert_eq!(mapped.order(), idx.order());
+        for (s, t) in [(0u32, 149u32), (3, 99), (50, 51), (7, 7)] {
+            assert_eq!(idx.query(s, t), mapped.query(s, t));
+        }
+        // The mapped index outlives the mapping handle scope: Sections
+        // hold the Arc, so dropping nothing else matters. Clone works too.
+        let cloned = mapped.clone();
+        drop(mapped);
+        assert_eq!(idx.query(1, 140), cloned.query(1, 140));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_directed_answers_match() {
+        use crate::directed::pspc::{build_di_pspc, DiPspcConfig};
+        let g = pspc_graph::digraph::erdos_renyi_digraph(80, 320, 5);
+        let idx = build_di_pspc(&g, &DiPspcConfig::default());
+        let path = write_file("dir", &di_index_to_binary(&idx));
+        let SnapshotKind::Directed(mapped) = map_index_from_file(&path).unwrap() else {
+            panic!("expected directed");
+        };
+        for (s, t) in [(0u32, 79u32), (7, 33), (12, 12), (79, 0)] {
+            assert_eq!(idx.query(s, t), mapped.query(s, t));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unsupported_kinds_error_with_unsupported_kind() {
+        use pspc_order::OrderingStrategy;
+        let g = pspc_graph::generators::erdos_renyi(30, 60, 3);
+        let dynix = crate::dynamic::DynamicDistanceIndex::build(&g, OrderingStrategy::Degree);
+        let p_dyn = write_file("dyn", &dyn_index_to_binary(&dynix));
+        let p_v1 = write_file("v1", &index_to_binary_v1(&build(30, 3)));
+        for p in [&p_dyn, &p_v1] {
+            let err = map_index_from_file(p).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Unsupported, "{err}");
+            // The copying loader still accepts these files.
+            let bytes = Bytes::from(std::fs::read(p).unwrap());
+            assert!(any_index_from_binary(bytes).is_ok());
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn short_files_and_directories_error_crisply() {
+        let empty = write_file("empty", b"");
+        let seven = write_file("seven", b"PSPCIDX");
+        let err = map_index_from_file(&empty).unwrap_err();
+        assert!(err.to_string().contains("non-zero length"), "{err}");
+        let err = map_index_from_file(&seven).unwrap_err();
+        assert!(err.to_string().contains("unrecognized snapshot"), "{err}");
+        let err = map_index_from_file(std::env::temp_dir()).unwrap_err();
+        assert!(
+            err.to_string().contains("directory") || err.kind() == io::ErrorKind::InvalidInput,
+            "{err}"
+        );
+        let err = map_index_from_file(temp_path("does-not-exist")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        for p in [empty, seven] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn truncations_and_corruption_error_not_segfault() {
+        let idx = build(60, 9);
+        let bytes = index_to_binary(&idx).to_vec();
+        // Every prefix length (stepped for speed, exact around the header)
+        // must produce a clean error.
+        for len in (0..bytes.len())
+            .step_by(31)
+            .chain([8, 79, 80, bytes.len() - 1])
+        {
+            let p = write_file("trunc", &bytes[..len]);
+            assert!(map_index_from_file(&p).is_err(), "prefix {len} accepted");
+        }
+        // Flipping a section-table byte must error, not mis-slice.
+        let mut tampered = bytes.clone();
+        tampered[33] ^= 0x01;
+        let p = write_file("tamper", &tampered);
+        assert!(map_index_from_file(&p).is_err());
+        // Trailing bytes are rejected (exact-length rule).
+        let mut extended = bytes;
+        extended.push(0);
+        let p2 = write_file("extended", &extended);
+        assert!(map_index_from_file(&p2).is_err());
+        std::fs::remove_file(temp_path("trunc")).unwrap();
+        std::fs::remove_file(p).unwrap();
+        std::fs::remove_file(p2).unwrap();
+    }
+
+    #[test]
+    fn weighted_mapped_round_trip() {
+        use crate::builder::build_pspc_with_order;
+        use pspc_order::OrderingStrategy;
+        let g = barabasi_albert(48, 2, 3);
+        let w: Vec<u64> = (0..48u64).map(|i| 1 + i % 4).collect();
+        let o = OrderingStrategy::Degree.compute(&g);
+        let idx = build_pspc_with_order(&g, o, Some(&w), &PspcConfig::default()).0;
+        let path = write_file("weighted", &index_to_binary(&idx));
+        let SnapshotKind::Undirected(mapped) = map_index_from_file(&path).unwrap() else {
+            panic!("expected undirected");
+        };
+        assert_eq!(mapped.weights(), idx.weights());
+        assert_eq!(idx.query(7, 31), mapped.query(7, 31));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

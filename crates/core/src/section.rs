@@ -1,0 +1,264 @@
+//! Dual-backing storage for bulk index sections: owned `Vec<T>` or a byte
+//! range borrowed from a shared, page-aligned file mapping.
+//!
+//! The snapshot format v2 lays its bulk sections out naturally aligned and
+//! little-endian precisely so a loader can serve them in place from an
+//! `mmap(2)`-ed file instead of copying every byte into fresh `Vec`s.
+//! [`Section`] is the storage type that makes both backings look identical
+//! to the rest of the crate: it dereferences to `&[T]`, so [`LabelArena`]
+//! accessors, the query merge, and every test work unchanged whether the
+//! data lives on the heap or on the page cache.
+//!
+//! # Safety model
+//!
+//! A mapped section is only ever constructed by [`Section::from_mapped`],
+//! which checks — before the cast — that
+//!
+//! * the element type is a plain-old-data scalar ([`SectionElem`], a sealed
+//!   trait implemented for `u16`/`u32`/`u64` only, every bit pattern valid);
+//! * the byte range lies fully inside the mapping (checked arithmetic, no
+//!   overflow);
+//! * the start pointer is aligned for `T` (mappings are page-aligned, so
+//!   this holds whenever the *offset* is aligned, but the check is on the
+//!   final pointer to be robust);
+//! * the target is little-endian (`cfg(target_endian)`), since the on-disk
+//!   encoding is LE and a zero-copy view cannot byteswap. Big-endian hosts
+//!   get an `Unsupported` error and fall back to the copying loader.
+//!
+//! Each mapped section holds an `Arc` on the mapping, so the `munmap` only
+//! happens after the last section (or clone of one) is dropped — eviction
+//! of a shard from the residency cache while a query still reads it is
+//! therefore safe by construction.
+//!
+//! [`LabelArena`]: crate::label::LabelArena
+
+use std::io;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use memmap2::Mmap;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u16 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+/// Plain-old-data element types that may back a mapped [`Section`].
+///
+/// Sealed: only the fixed-width unsigned scalars the snapshot formats use.
+/// Every bit pattern is a valid value, so reinterpreting well-aligned
+/// in-bounds file bytes as `[T]` cannot produce an invalid value.
+pub trait SectionElem: sealed::Sealed + Copy + Send + Sync + 'static {}
+impl SectionElem for u16 {}
+impl SectionElem for u32 {}
+impl SectionElem for u64 {}
+
+enum Repr<T> {
+    Owned(Vec<T>),
+    /// `ptr..ptr + len` elements inside `_map`; the `Arc` keeps the mapping
+    /// alive for as long as any section (or clone) references it.
+    Mapped {
+        ptr: *const T,
+        len: usize,
+        _map: Arc<Mmap>,
+    },
+}
+
+/// A bulk index section backed either by an owned `Vec<T>` (the build and
+/// copying-load paths) or by a range of a shared file mapping (the
+/// zero-copy load path). Dereferences to `&[T]` either way.
+pub struct Section<T: SectionElem> {
+    repr: Repr<T>,
+}
+
+// SAFETY: the mapped variant is an immutable view of a PROT_READ private
+// mapping; `T` is a scalar. No mutation is ever exposed.
+unsafe impl<T: SectionElem> Send for Section<T> {}
+unsafe impl<T: SectionElem> Sync for Section<T> {}
+
+impl<T: SectionElem> Section<T> {
+    /// Wraps an owned vector (infallible; this is today's path).
+    pub fn from_vec(v: Vec<T>) -> Self {
+        Section {
+            repr: Repr::Owned(v),
+        }
+    }
+
+    /// Creates a zero-copy section over `elems` elements of `map` starting
+    /// at `byte_offset`, after validating bounds and alignment.
+    ///
+    /// All arithmetic is checked; a corrupt section table errors here and
+    /// can never produce an out-of-bounds or misaligned view.
+    pub fn from_mapped(map: &Arc<Mmap>, byte_offset: usize, elems: usize) -> io::Result<Self> {
+        if cfg!(target_endian = "big") {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "zero-copy sections require a little-endian host",
+            ));
+        }
+        let byte_len = elems
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or_else(|| err_inval("section byte length overflows usize"))?;
+        let end = byte_offset
+            .checked_add(byte_len)
+            .ok_or_else(|| err_inval("section end offset overflows usize"))?;
+        if end > map.len() {
+            return Err(err_inval("section extends past end of mapping"));
+        }
+        let ptr = unsafe { map.as_ref().as_ptr().add(byte_offset) };
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(err_inval("section start is misaligned for element type"));
+        }
+        Ok(Section {
+            repr: Repr::Mapped {
+                ptr: ptr as *const T,
+                len: elems,
+                _map: Arc::clone(map),
+            },
+        })
+    }
+
+    /// True when the section serves straight off a file mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, Repr::Mapped { .. })
+    }
+
+    /// Copies the section into a fresh owned vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    /// The section contents as a slice (same as `Deref`).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Owned(v) => v,
+            // SAFETY: `from_mapped` proved `ptr..ptr+len` in-bounds and
+            // aligned, the Arc keeps the mapping alive, and `T` accepts
+            // every bit pattern.
+            Repr::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+fn err_inval(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("bad snapshot: {msg}"))
+}
+
+impl<T: SectionElem> Deref for Section<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: SectionElem> From<Vec<T>> for Section<T> {
+    fn from(v: Vec<T>) -> Self {
+        Section::from_vec(v)
+    }
+}
+
+impl<T: SectionElem> Default for Section<T> {
+    fn default() -> Self {
+        Section::from_vec(Vec::new())
+    }
+}
+
+impl<T: SectionElem> Clone for Section<T> {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            Repr::Owned(v) => Section::from_vec(v.clone()),
+            Repr::Mapped { ptr, len, _map } => Section {
+                repr: Repr::Mapped {
+                    ptr: *ptr,
+                    len: *len,
+                    _map: Arc::clone(_map),
+                },
+            },
+        }
+    }
+}
+
+impl<T: SectionElem + std::fmt::Debug> std::fmt::Debug for Section<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: SectionElem + PartialEq> PartialEq for Section<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: SectionElem + Eq> Eq for Section<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pspc-section-{}-{}", std::process::id(), name));
+        std::fs::File::create(&p).unwrap().write_all(bytes).unwrap();
+        p
+    }
+
+    fn map_of(path: &std::path::Path) -> Arc<Mmap> {
+        let f = std::fs::File::open(path).unwrap();
+        Arc::new(unsafe { Mmap::map(&f) }.unwrap())
+    }
+
+    #[test]
+    fn owned_round_trip() {
+        let s: Section<u32> = vec![1, 2, 3].into();
+        assert_eq!(&*s, &[1, 2, 3]);
+        assert!(!s.is_mapped());
+        assert_eq!(s.clone(), s);
+        assert_eq!(s.to_vec(), vec![1, 2, 3]);
+        assert_eq!(Section::<u16>::default().len(), 0);
+    }
+
+    #[test]
+    fn mapped_views_file_bytes() {
+        let vals: Vec<u64> = (0..64).map(|i| i * 0x0101_0101).collect();
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let path = temp_file("mapped", &bytes);
+        let map = map_of(&path);
+        let s = Section::<u64>::from_mapped(&map, 0, 64).unwrap();
+        assert!(s.is_mapped());
+        assert_eq!(&*s, &vals[..]);
+        let tail = Section::<u64>::from_mapped(&map, 8, 63).unwrap();
+        assert_eq!(&*tail, &vals[1..]);
+        // Clones share the mapping and stay valid after the original drops.
+        let c = s.clone();
+        drop(s);
+        drop(map);
+        assert_eq!(&c[..3], &vals[..3]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_rejects_out_of_bounds_and_misalignment() {
+        let path = temp_file("bounds", &[0u8; 64]);
+        let map = map_of(&path);
+        // Past the end.
+        assert!(Section::<u64>::from_mapped(&map, 0, 9).is_err());
+        assert!(Section::<u64>::from_mapped(&map, 64, 1).is_err());
+        // Overflowing arithmetic.
+        assert!(Section::<u64>::from_mapped(&map, usize::MAX, 1).is_err());
+        assert!(Section::<u64>::from_mapped(&map, 0, usize::MAX / 4).is_err());
+        // Misaligned start (mapping base is page-aligned, offset 4 is not
+        // 8-aligned).
+        assert!(Section::<u64>::from_mapped(&map, 4, 1).is_err());
+        assert!(Section::<u16>::from_mapped(&map, 1, 1).is_err());
+        // Zero-length is fine anywhere aligned, even at the end.
+        assert_eq!(Section::<u64>::from_mapped(&map, 64, 0).unwrap().len(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

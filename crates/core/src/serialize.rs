@@ -99,6 +99,60 @@
 //! section table against the header counts (rejecting truncation and
 //! trailing bytes exactly like v2), and both loaded indexes pass the
 //! kind's structural validation, so corrupt input errors — never panics.
+//!
+//! # Untrusted lengths
+//!
+//! Every byte length and element count read from a snapshot is untrusted.
+//! All section arithmetic happens in `u128` (so corrupt headers cannot
+//! overflow the checks) and every narrowing to `usize` goes through
+//! `usize::try_from` — a length that does not fit the host's address
+//! space is a parse error, never a silent truncation. This matters
+//! doubly on the zero-copy path ([`crate::mapped`]), where a mis-sliced
+//! section would become an out-of-bounds view of the mapping rather
+//! than a short `memcpy`.
+//!
+//! # Sharded snapshots (`PSPCSHM1` + `PSPCSHD1`)
+//!
+//! For indexes larger than RAM, `pspc build --shard-bytes N` (and
+//! `pspc migrate --shard`) split an **undirected** index into a small
+//! *manifest* plus per-rank-range *shard files* that the daemon maps
+//! lazily under an LRU residency cap (see [`crate::shard`]). All
+//! integers little-endian, like every other format here.
+//!
+//! **Manifest** (`<path>`, magic `PSPCSHM1`) — fixed 48-byte header, a
+//! shard table, then the global order and optional weights arrays
+//! (small, always loaded owned):
+//!
+//! | offset    | size   | field |
+//! |----------:|-------:|-------|
+//! | 0         | 8      | magic `"PSPCSHM1"` |
+//! | 8         | 8      | `n` — vertex count (`u64`, must fit `u32`) |
+//! | 16        | 8      | `m` — total label entries (`u64`) |
+//! | 24        | 8      | `flags` (`u64`; bit 0 = weights array present) |
+//! | 32        | 8      | `s` — shard count (`u64`, ≥ 1) |
+//! | 40        | 8      | target payload bytes per shard (informational) |
+//! | 48        | 32·s   | shard table: `start_rank`, `end_rank` (exclusive), `entries`, `file_bytes` — four `u64` per shard |
+//! | 48 + 32·s | n·8    | `weights` (`u64`), only if flag bit 0 |
+//! | —         | n·4    | `order` (`u32`, `order[rank] = vertex`) |
+//!
+//! Shard ranges must tile `0..n` contiguously in rank order, and the
+//! per-shard `entries`/`file_bytes` must agree with the shard files.
+//!
+//! **Shard file** (`<path>.NNNN`, 4-digit shard index, magic
+//! `"PSPCSHD1"`) — one rank range's rows of the label arena, offsets
+//! rebased to start at 0, header 72 bytes (a multiple of 8, so every
+//! section is naturally aligned in a page-aligned mapping exactly like
+//! v2):
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 8    | magic `"PSPCSHD1"` |
+//! | 8      | 8    | shard index (`u64`, cross-checked with the manifest) |
+//! | 16     | 8    | `start_rank` (`u64`) |
+//! | 24     | 8    | `end_rank` (`u64`, exclusive; `nr = end - start`) |
+//! | 32     | 8    | `entries` — label entries in this shard (`u64`) |
+//! | 40     | 32   | section table: four `u64` byte lengths |
+//! | 72     | —    | sections: `offsets` (`u64`, `(nr+1)·8`), `counts` (`u64`, `entries·8`), `hubs` (`u32`, `entries·4`), `dists` (`u16`, `entries·2`) |
 
 use crate::directed::DiSpcIndex;
 use crate::dynamic::DynamicDistanceIndex;
@@ -110,10 +164,14 @@ pub use bytes::Bytes;
 use pspc_order::VertexOrder;
 use std::io;
 
-const MAGIC_V1: &[u8; 8] = b"PSPCIDX1";
-const MAGIC_V2: &[u8; 8] = b"PSPCIDX2";
-const MAGIC_DIR: &[u8; 8] = b"PSPCDIR2";
-const MAGIC_DYN: &[u8; 8] = b"PSPCDYN2";
+pub(crate) const MAGIC_V1: &[u8; 8] = b"PSPCIDX1";
+pub(crate) const MAGIC_V2: &[u8; 8] = b"PSPCIDX2";
+pub(crate) const MAGIC_DIR: &[u8; 8] = b"PSPCDIR2";
+pub(crate) const MAGIC_DYN: &[u8; 8] = b"PSPCDYN2";
+/// Magic of the sharded-snapshot manifest (see [`crate::shard`]).
+pub(crate) const MAGIC_SHARD_MANIFEST: &[u8; 8] = b"PSPCSHM1";
+/// Magic of a single shard file (see [`crate::shard`]).
+pub(crate) const MAGIC_SHARD_FILE: &[u8; 8] = b"PSPCSHD1";
 /// Bytes before the first v2 section: magic + n + m + flags + 6 lengths.
 const V2_HEADER_BYTES: usize = 8 + 8 + 8 + 8 + 6 * 8;
 /// Directed header: magic + n + m_in + m_out + flags + 9 lengths.
@@ -121,8 +179,159 @@ const DIR_HEADER_BYTES: usize = 8 + 8 + 8 + 8 + 8 + 9 * 8;
 /// Dynamic header: magic + n + m + a + flags + 6 lengths.
 const DYN_HEADER_BYTES: usize = 8 + 8 + 8 + 8 + 8 + 6 * 8;
 
-fn bad(msg: &str) -> io::Error {
+pub(crate) fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Checked narrowing of an untrusted snapshot length to `usize`: a value
+/// that does not fit the host address space is a parse error, never a
+/// silent `as` truncation (the bug this guards against only bites on
+/// 32-bit hosts, but the zero-copy loader turns any mis-slice into an
+/// out-of-bounds view, so *every* narrowing goes through here).
+pub(crate) fn checked_len(v: u128, what: &str) -> io::Result<usize> {
+    usize::try_from(v).map_err(|_| bad(&format!("{what} exceeds the host address space")))
+}
+
+/// Reads the little-endian `u64` at byte offset `at` (caller has bounds-
+/// checked `data.len()` against the fixed header size).
+fn u64_at(data: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(data[at..at + 8].try_into().unwrap())
+}
+
+// ----------------------------------------------------------- header layout
+//
+// The copying readers and the zero-copy mapped loader share these layout
+// parsers, so the length/alignment/bounds discipline is enforced in
+// exactly one place per format.
+
+/// Validated layout of a v2 (`PSPCIDX2`) snapshot: header counts plus the
+/// byte offset and length of each of the six sections.
+pub(crate) struct V2Layout {
+    /// Vertex count (fits `u32` rank space).
+    #[allow(dead_code)]
+    pub n: usize,
+    /// Total label entries.
+    #[allow(dead_code)]
+    pub m: usize,
+    /// Whether section 1 (weights) is present.
+    pub has_weights: bool,
+    /// `(byte offset, byte length)` per section, in file order.
+    pub sections: [(usize, usize); 6],
+}
+
+/// Parses and fully validates a v2 header + section table against
+/// `data.len()`: magic, flags, rank-space fit, per-section lengths
+/// recomputed from `(n, m, flags)` in `u128`, checked `usize` narrowing,
+/// and the exact-total-length rule (no truncation, no trailing bytes).
+pub(crate) fn parse_v2_layout(data: &[u8]) -> io::Result<V2Layout> {
+    if data.len() < 8 || &data[..8] != MAGIC_V2 {
+        return Err(bad("not a v2 PSPC snapshot"));
+    }
+    if data.len() < V2_HEADER_BYTES {
+        return Err(bad("truncated v2 header"));
+    }
+    let n64 = u64_at(data, 8);
+    let m64 = u64_at(data, 16);
+    let flags = u64_at(data, 24);
+    if flags > 1 {
+        return Err(bad("unknown v2 flags"));
+    }
+    if n64 > u32::MAX as u64 + 1 {
+        return Err(bad("vertex count exceeds rank space"));
+    }
+    let has_weights = flags & 1 == 1;
+    // Expected section lengths from (n, m, flags) in u128: a corrupt
+    // header can claim any counts, and the arithmetic must not overflow.
+    let (n, m) = (n64 as u128, m64 as u128);
+    let expect: [u128; 6] = [
+        (n + 1) * 8,
+        if has_weights { n * 8 } else { 0 },
+        m * 8,
+        n * 4,
+        m * 4,
+        m * 2,
+    ];
+    let mut total = V2_HEADER_BYTES as u128;
+    let mut sections = [(0usize, 0usize); 6];
+    let mut at = V2_HEADER_BYTES;
+    for (i, &want) in expect.iter().enumerate() {
+        if u64_at(data, 32 + 8 * i) as u128 != want {
+            return Err(bad(&format!("section {i} length disagrees with header")));
+        }
+        let len = checked_len(want, "section length")?;
+        sections[i] = (at, len);
+        at = at
+            .checked_add(len)
+            .ok_or_else(|| bad("section end overflows the host address space"))?;
+        total += want;
+    }
+    if data.len() as u128 != total {
+        return Err(bad(if (data.len() as u128) < total {
+            "truncated v2 section data"
+        } else {
+            "trailing bytes after v2 sections"
+        }));
+    }
+    Ok(V2Layout {
+        n: checked_len(n, "vertex count")?,
+        m: checked_len(m, "entry count")?,
+        has_weights,
+        sections,
+    })
+}
+
+/// Validated layout of a directed (`PSPCDIR2`) snapshot.
+pub(crate) struct DirLayout {
+    /// Vertex count (fits `u32` rank space).
+    #[allow(dead_code)]
+    pub n: usize,
+    /// `(byte offset, byte length)` per section, in file order.
+    pub sections: [(usize, usize); 9],
+}
+
+/// Directed analogue of [`parse_v2_layout`].
+pub(crate) fn parse_dir_layout(data: &[u8]) -> io::Result<DirLayout> {
+    if data.len() < 8 || &data[..8] != MAGIC_DIR {
+        return Err(bad("not a directed PSPC snapshot"));
+    }
+    if data.len() < DIR_HEADER_BYTES {
+        return Err(bad("truncated directed header"));
+    }
+    let n64 = u64_at(data, 8);
+    let m_in64 = u64_at(data, 16);
+    let m_out64 = u64_at(data, 24);
+    if u64_at(data, 32) != 0 {
+        return Err(bad("unknown directed flags"));
+    }
+    if n64 > u32::MAX as u64 + 1 {
+        return Err(bad("vertex count exceeds rank space"));
+    }
+    let expect = dir_section_lengths(n64 as u128, m_in64 as u128, m_out64 as u128);
+    let mut total = DIR_HEADER_BYTES as u128;
+    let mut sections = [(0usize, 0usize); 9];
+    let mut at = DIR_HEADER_BYTES;
+    for (i, &want) in expect.iter().enumerate() {
+        if u64_at(data, 40 + 8 * i) as u128 != want {
+            return Err(bad(&format!("section {i} length disagrees with header")));
+        }
+        let len = checked_len(want, "section length")?;
+        sections[i] = (at, len);
+        at = at
+            .checked_add(len)
+            .ok_or_else(|| bad("section end overflows the host address space"))?;
+        total += want;
+    }
+    if data.len() as u128 != total {
+        return Err(bad(if (data.len() as u128) < total {
+            "truncated directed section data"
+        } else {
+            "trailing bytes after directed sections"
+        }));
+    }
+    Ok(DirLayout {
+        n: checked_len(n64 as u128, "vertex count")?,
+        sections,
+    })
 }
 
 // ---------------------------------------------------------------- bulk I/O
@@ -133,23 +342,30 @@ fn bad(msg: &str) -> io::Error {
 // element; it exists for correctness, not speed.
 
 macro_rules! bulk_codec {
-    ($put:ident, $get:ident, $ty:ty, $width:expr) => {
-        fn $put(out: &mut Vec<u8>, vals: &[$ty]) {
+    ($get:ident, $wr:ident, $ty:ty, $width:expr) => {
+        /// Streams a whole section to any writer: one bulk write on
+        /// little-endian targets (a `Vec<u8>` sink makes this the classic
+        /// exact-size in-memory serialize; a `BufWriter<File>` makes it
+        /// the streaming migrate path).
+        pub(crate) fn $wr<W: io::Write>(w: &mut W, vals: &[$ty]) -> io::Result<()> {
             #[cfg(target_endian = "little")]
-            // SAFETY: any initialized $ty slice is readable as bytes; the
-            // length in bytes cannot overflow because the slice exists.
-            out.extend_from_slice(unsafe {
+            // SAFETY: as above — an initialized $ty slice is readable as
+            // bytes.
+            return w.write_all(unsafe {
                 std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), vals.len() * $width)
             });
             #[cfg(not(target_endian = "little"))]
-            for &v in vals {
-                out.extend_from_slice(&v.to_le_bytes());
+            {
+                for &v in vals {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+                Ok(())
             }
         }
 
         /// Decodes a whole section. `src.len()` must be a multiple of the
         /// element width (the caller has already validated section sizes).
-        fn $get(src: &[u8]) -> Vec<$ty> {
+        pub(crate) fn $get(src: &[u8]) -> Vec<$ty> {
             debug_assert_eq!(src.len() % $width, 0);
             let n = src.len() / $width;
             let mut v: Vec<$ty> = Vec::with_capacity(n);
@@ -171,9 +387,9 @@ macro_rules! bulk_codec {
     };
 }
 
-bulk_codec!(put_u64s, get_u64s, u64, 8);
-bulk_codec!(put_u32s, get_u32s, u32, 4);
-bulk_codec!(put_u16s, get_u16s, u16, 2);
+bulk_codec!(get_u64s, write_u64s, u64, 8);
+bulk_codec!(get_u32s, write_u32s, u32, 4);
+bulk_codec!(get_u16s, write_u16s, u16, 2);
 
 // ---------------------------------------------------------------------- v2
 
@@ -192,37 +408,11 @@ pub fn snapshot_size(idx: &SpcIndex) -> usize {
 /// ([`snapshot_size`]) and filled with bulk section writes — no
 /// reallocation, no per-entry encoding.
 pub fn index_to_binary(idx: &SpcIndex) -> Bytes {
-    let arena = idx.label_arena();
-    let n = idx.num_vertices();
-    let m = arena.num_entries();
     let total = snapshot_size(idx);
     let mut buf: Vec<u8> = Vec::with_capacity(total);
     #[cfg(debug_assertions)]
     let initial_capacity = buf.capacity();
-    buf.put_slice(MAGIC_V2);
-    buf.put_u64_le(n as u64);
-    buf.put_u64_le(m as u64);
-    buf.put_u64_le(u64::from(idx.weights().is_some()));
-    // Section table.
-    buf.put_u64_le((n as u64 + 1) * 8);
-    buf.put_u64_le(if idx.weights().is_some() {
-        n as u64 * 8
-    } else {
-        0
-    });
-    buf.put_u64_le(m as u64 * 8);
-    buf.put_u64_le(n as u64 * 4);
-    buf.put_u64_le(m as u64 * 4);
-    buf.put_u64_le(m as u64 * 2);
-    // Sections, descending alignment.
-    put_u64s(&mut buf, arena.offsets());
-    if let Some(w) = idx.weights() {
-        put_u64s(&mut buf, w);
-    }
-    put_u64s(&mut buf, arena.counts());
-    put_u32s(&mut buf, idx.order().order());
-    put_u32s(&mut buf, arena.hubs());
-    put_u16s(&mut buf, arena.dists());
+    write_index_to(&mut buf, idx).expect("writing to a Vec cannot fail");
     debug_assert_eq!(buf.len(), total, "v2 size accounting must be exact");
     #[cfg(debug_assertions)]
     debug_assert_eq!(
@@ -233,61 +423,57 @@ pub fn index_to_binary(idx: &SpcIndex) -> Bytes {
     Bytes::from(buf)
 }
 
+/// Streams the v2 snapshot of `idx` to any writer — same wire bytes as
+/// [`index_to_binary`], but section by section, so callers like
+/// `pspc migrate` never buffer a whole destination snapshot in memory.
+/// Wrap `w` in a [`std::io::BufWriter`] when targeting a file.
+pub fn write_index_to<W: io::Write>(w: &mut W, idx: &SpcIndex) -> io::Result<()> {
+    let arena = idx.label_arena();
+    let n = idx.num_vertices();
+    let m = arena.num_entries();
+    let mut hdr: Vec<u8> = Vec::with_capacity(V2_HEADER_BYTES);
+    hdr.put_slice(MAGIC_V2);
+    hdr.put_u64_le(n as u64);
+    hdr.put_u64_le(m as u64);
+    hdr.put_u64_le(u64::from(idx.weights().is_some()));
+    // Section table.
+    hdr.put_u64_le((n as u64 + 1) * 8);
+    hdr.put_u64_le(if idx.weights().is_some() {
+        n as u64 * 8
+    } else {
+        0
+    });
+    hdr.put_u64_le(m as u64 * 8);
+    hdr.put_u64_le(n as u64 * 4);
+    hdr.put_u64_le(m as u64 * 4);
+    hdr.put_u64_le(m as u64 * 2);
+    w.write_all(&hdr)?;
+    // Sections, descending alignment.
+    write_u64s(w, arena.offsets())?;
+    if let Some(wt) = idx.weights() {
+        write_u64s(w, wt)?;
+    }
+    write_u64s(w, arena.counts())?;
+    write_u32s(w, idx.order().order())?;
+    write_u32s(w, arena.hubs())?;
+    write_u16s(w, arena.dists())?;
+    Ok(())
+}
+
 fn index_from_binary_v2(data: Bytes) -> io::Result<SpcIndex> {
-    if data.len() < V2_HEADER_BYTES {
-        return Err(bad("truncated v2 header"));
-    }
-    let mut hdr = data.slice(8..V2_HEADER_BYTES);
-    let n64 = hdr.get_u64_le();
-    let m64 = hdr.get_u64_le();
-    let flags = hdr.get_u64_le();
-    if flags > 1 {
-        return Err(bad("unknown v2 flags"));
-    }
-    if n64 > u32::MAX as u64 + 1 {
-        return Err(bad("vertex count exceeds rank space"));
-    }
-    let has_weights = flags & 1 == 1;
-    // Expected section lengths from (n, m, flags) in u128: a corrupt
-    // header can claim any counts, and the arithmetic must not overflow.
-    let (n, m) = (n64 as u128, m64 as u128);
-    let expect: [u128; 6] = [
-        (n + 1) * 8,
-        if has_weights { n * 8 } else { 0 },
-        m * 8,
-        n * 4,
-        m * 4,
-        m * 2,
-    ];
-    let mut total = V2_HEADER_BYTES as u128;
-    for (i, &want) in expect.iter().enumerate() {
-        let got = hdr.get_u64_le() as u128;
-        if got != want {
-            return Err(bad(&format!("section {i} length disagrees with header")));
-        }
-        total += want;
-    }
-    if data.len() as u128 != total {
-        return Err(bad(if (data.len() as u128) < total {
-            "truncated v2 section data"
-        } else {
-            "trailing bytes after v2 sections"
-        }));
-    }
-    // Bulk-read each section (lengths are now trusted and fit usize,
-    // since they sum to data.len()).
-    let mut at = V2_HEADER_BYTES;
-    let mut section = |len: u128| {
-        let lo = at;
-        at += len as usize;
-        data.slice(lo..at)
+    // Shared with the zero-copy loader: all length validation and checked
+    // usize narrowing happens in parse_v2_layout.
+    let layout = parse_v2_layout(&data)?;
+    let section = |i: usize| {
+        let (lo, len) = layout.sections[i];
+        data.slice(lo..lo + len)
     };
-    let offsets = get_u64s(&section(expect[0]));
-    let weights = has_weights.then(|| get_u64s(&section(expect[1])));
-    let counts = get_u64s(&section(expect[2]));
-    let order_vec = get_u32s(&section(expect[3]));
-    let hubs = get_u32s(&section(expect[4]));
-    let dists = get_u16s(&section(expect[5]));
+    let offsets = get_u64s(&section(0));
+    let weights = layout.has_weights.then(|| get_u64s(&section(1)));
+    let counts = get_u64s(&section(2));
+    let order_vec = get_u32s(&section(3));
+    let hubs = get_u32s(&section(4));
+    let dists = get_u16s(&section(5));
 
     let order = validate_order(order_vec)?;
     let arena = LabelArena::from_raw(offsets, hubs, dists, counts)
@@ -299,7 +485,7 @@ fn index_from_binary_v2(data: Bytes) -> io::Result<SpcIndex> {
 }
 
 /// Checks `order[rank] = vertex` is a permutation and wraps it.
-fn validate_order(order: Vec<u32>) -> io::Result<VertexOrder> {
+pub(crate) fn validate_order(order: Vec<u32>) -> io::Result<VertexOrder> {
     let n = order.len();
     let mut seen = vec![false; n];
     for &v in &order {
@@ -355,11 +541,19 @@ pub fn index_to_binary_v1(idx: &SpcIndex) -> Bytes {
 }
 
 fn index_from_binary_v1(mut data: Bytes) -> io::Result<SpcIndex> {
-    if data.len() < 17 || &data[..8] != MAGIC_V1 {
-        return Err(bad("not a PSPC index snapshot"));
+    // This parser doubles as the catch-all for unknown bytes (see
+    // index_from_binary), so its magic rejection must be crisp: a stray
+    // config file or an empty/7-byte file gets "unrecognized snapshot",
+    // never a panic or a misleading truncation message.
+    if data.len() < 8 || &data[..8] != MAGIC_V1 {
+        return Err(bad("unrecognized snapshot: not a PSPC index snapshot"));
+    }
+    if data.len() < 17 {
+        return Err(bad("truncated v1 header"));
     }
     data.advance(8);
-    let n = data.get_u64_le() as usize;
+    let n = usize::try_from(data.get_u64_le())
+        .map_err(|_| bad("v1 vertex count exceeds the address space"))?;
     // Saturating arithmetic: a corrupt header can claim any vertex count,
     // and the size check must reject it rather than overflow.
     if data.remaining() < n.saturating_mul(4).saturating_add(1) {
@@ -385,7 +579,8 @@ fn index_from_binary_v1(mut data: Bytes) -> io::Result<SpcIndex> {
         if data.remaining() < 4 {
             return Err(bad("truncated label header"));
         }
-        let k = data.get_u32_le() as usize;
+        let k = usize::try_from(data.get_u32_le())
+            .map_err(|_| bad("v1 label count exceeds the address space"))?;
         if data.remaining() < k.saturating_mul(14) {
             return Err(bad("truncated label entries"));
         }
@@ -438,37 +633,48 @@ pub fn di_snapshot_size(idx: &DiSpcIndex) -> usize {
     let n = idx.num_vertices() as u128;
     let m_in = idx.lin_arena().num_entries() as u128;
     let m_out = idx.lout_arena().num_entries() as u128;
-    DIR_HEADER_BYTES + dir_section_lengths(n, m_in, m_out).iter().sum::<u128>() as usize
+    let sections: u128 = dir_section_lengths(n, m_in, m_out).iter().sum();
+    // The index is already resident, so its snapshot size fits usize.
+    DIR_HEADER_BYTES + usize::try_from(sections).expect("in-memory index snapshot size")
 }
 
 /// Serializes a directed index as a `PSPCDIR2` snapshot (exact-size
 /// single allocation, bulk section writes — see the [module docs](self)
 /// for the layout).
 pub fn di_index_to_binary(idx: &DiSpcIndex) -> Bytes {
+    let total = di_snapshot_size(idx);
+    let mut buf: Vec<u8> = Vec::with_capacity(total);
+    write_di_index_to(&mut buf, idx).expect("writing to a Vec cannot fail");
+    debug_assert_eq!(buf.len(), total, "directed size accounting must be exact");
+    Bytes::from(buf)
+}
+
+/// Streams the `PSPCDIR2` snapshot of `idx` to any writer (same wire
+/// bytes as [`di_index_to_binary`]; see [`write_index_to`]).
+pub fn write_di_index_to<W: io::Write>(w: &mut W, idx: &DiSpcIndex) -> io::Result<()> {
     let (lin, lout) = (idx.lin_arena(), idx.lout_arena());
     let n = idx.num_vertices();
     let (m_in, m_out) = (lin.num_entries(), lout.num_entries());
-    let total = di_snapshot_size(idx);
-    let mut buf: Vec<u8> = Vec::with_capacity(total);
-    buf.put_slice(MAGIC_DIR);
-    buf.put_u64_le(n as u64);
-    buf.put_u64_le(m_in as u64);
-    buf.put_u64_le(m_out as u64);
-    buf.put_u64_le(0); // flags
+    let mut hdr: Vec<u8> = Vec::with_capacity(DIR_HEADER_BYTES);
+    hdr.put_slice(MAGIC_DIR);
+    hdr.put_u64_le(n as u64);
+    hdr.put_u64_le(m_in as u64);
+    hdr.put_u64_le(m_out as u64);
+    hdr.put_u64_le(0); // flags
     for len in dir_section_lengths(n as u128, m_in as u128, m_out as u128) {
-        buf.put_u64_le(len as u64);
+        hdr.put_u64_le(len as u64);
     }
-    put_u64s(&mut buf, lin.offsets());
-    put_u64s(&mut buf, lout.offsets());
-    put_u64s(&mut buf, lin.counts());
-    put_u64s(&mut buf, lout.counts());
-    put_u32s(&mut buf, idx.order().order());
-    put_u32s(&mut buf, lin.hubs());
-    put_u32s(&mut buf, lout.hubs());
-    put_u16s(&mut buf, lin.dists());
-    put_u16s(&mut buf, lout.dists());
-    debug_assert_eq!(buf.len(), total, "directed size accounting must be exact");
-    Bytes::from(buf)
+    w.write_all(&hdr)?;
+    write_u64s(w, lin.offsets())?;
+    write_u64s(w, lout.offsets())?;
+    write_u64s(w, lin.counts())?;
+    write_u64s(w, lout.counts())?;
+    write_u32s(w, idx.order().order())?;
+    write_u32s(w, lin.hubs())?;
+    write_u32s(w, lout.hubs())?;
+    write_u16s(w, lin.dists())?;
+    write_u16s(w, lout.dists())?;
+    Ok(())
 }
 
 /// The nine `PSPCDIR2` section lengths determined by `(n, m_in, m_out)`,
@@ -489,52 +695,22 @@ fn dir_section_lengths(n: u128, m_in: u128, m_out: u128) -> [u128; 9] {
 
 /// Deserializes a `PSPCDIR2` snapshot.
 pub fn di_index_from_binary(data: Bytes) -> io::Result<DiSpcIndex> {
-    if data.len() < 8 || &data[..8] != MAGIC_DIR {
-        return Err(bad("not a directed PSPC snapshot"));
-    }
-    if data.len() < DIR_HEADER_BYTES {
-        return Err(bad("truncated directed header"));
-    }
-    let mut hdr = data.slice(8..DIR_HEADER_BYTES);
-    let n64 = hdr.get_u64_le();
-    let m_in64 = hdr.get_u64_le();
-    let m_out64 = hdr.get_u64_le();
-    if hdr.get_u64_le() != 0 {
-        return Err(bad("unknown directed flags"));
-    }
-    if n64 > u32::MAX as u64 + 1 {
-        return Err(bad("vertex count exceeds rank space"));
-    }
-    let expect = dir_section_lengths(n64 as u128, m_in64 as u128, m_out64 as u128);
-    let mut total = DIR_HEADER_BYTES as u128;
-    for (i, &want) in expect.iter().enumerate() {
-        if hdr.get_u64_le() as u128 != want {
-            return Err(bad(&format!("section {i} length disagrees with header")));
-        }
-        total += want;
-    }
-    if data.len() as u128 != total {
-        return Err(bad(if (data.len() as u128) < total {
-            "truncated directed section data"
-        } else {
-            "trailing bytes after directed sections"
-        }));
-    }
-    let mut at = DIR_HEADER_BYTES;
-    let mut section = |len: u128| {
-        let lo = at;
-        at += len as usize;
-        data.slice(lo..at)
+    // Shared with the zero-copy loader: all length validation and checked
+    // usize narrowing happens in parse_dir_layout.
+    let layout = parse_dir_layout(&data)?;
+    let section = |i: usize| {
+        let (lo, len) = layout.sections[i];
+        data.slice(lo..lo + len)
     };
-    let offsets_in = get_u64s(&section(expect[0]));
-    let offsets_out = get_u64s(&section(expect[1]));
-    let counts_in = get_u64s(&section(expect[2]));
-    let counts_out = get_u64s(&section(expect[3]));
-    let order_vec = get_u32s(&section(expect[4]));
-    let hubs_in = get_u32s(&section(expect[5]));
-    let hubs_out = get_u32s(&section(expect[6]));
-    let dists_in = get_u16s(&section(expect[7]));
-    let dists_out = get_u16s(&section(expect[8]));
+    let offsets_in = get_u64s(&section(0));
+    let offsets_out = get_u64s(&section(1));
+    let counts_in = get_u64s(&section(2));
+    let counts_out = get_u64s(&section(3));
+    let order_vec = get_u32s(&section(4));
+    let hubs_in = get_u32s(&section(5));
+    let hubs_out = get_u32s(&section(6));
+    let dists_in = get_u16s(&section(7));
+    let dists_out = get_u16s(&section(8));
 
     let order = validate_order(order_vec)?;
     let lin = LabelArena::from_raw(offsets_in, hubs_in, dists_in, counts_in)
@@ -558,7 +734,9 @@ pub fn dyn_snapshot_size(idx: &DynamicDistanceIndex) -> usize {
     let n = idx.num_vertices() as u128;
     let m = idx.num_entries() as u128;
     let a = 2 * idx.num_edges() as u128;
-    DYN_HEADER_BYTES + dyn_section_lengths(n, m, a).iter().sum::<u128>() as usize
+    let sections: u128 = dyn_section_lengths(n, m, a).iter().sum();
+    // The index is already resident, so its snapshot size fits usize.
+    DYN_HEADER_BYTES + usize::try_from(sections).expect("in-memory index snapshot size")
 }
 
 /// The six `PSPCDYN2` section lengths determined by `(n, m, a)`.
@@ -570,19 +748,31 @@ fn dyn_section_lengths(n: u128, m: u128, a: u128) -> [u128; 6] {
 /// per-row adjacency and label vectors are flattened to CSR on the way
 /// out; `updated_entries` is not persisted.
 pub fn dyn_index_to_binary(idx: &DynamicDistanceIndex) -> Bytes {
+    let total = dyn_snapshot_size(idx);
+    let mut buf: Vec<u8> = Vec::with_capacity(total);
+    write_dyn_index_to(&mut buf, idx).expect("writing to a Vec cannot fail");
+    debug_assert_eq!(buf.len(), total, "dynamic size accounting must be exact");
+    Bytes::from(buf)
+}
+
+/// Streams the `PSPCDYN2` snapshot of `idx` to any writer (same wire
+/// bytes as [`dyn_index_to_binary`]; see [`write_index_to`]). The
+/// per-row label sections are emitted element-wise, so wrap `w` in a
+/// [`std::io::BufWriter`] when targeting a file.
+pub fn write_dyn_index_to<W: io::Write>(w: &mut W, idx: &DynamicDistanceIndex) -> io::Result<()> {
     let n = idx.num_vertices();
     let m = idx.num_entries();
     let a = 2 * idx.num_edges();
-    let total = dyn_snapshot_size(idx);
-    let mut buf: Vec<u8> = Vec::with_capacity(total);
-    buf.put_slice(MAGIC_DYN);
-    buf.put_u64_le(n as u64);
-    buf.put_u64_le(m as u64);
-    buf.put_u64_le(a as u64);
-    buf.put_u64_le(0); // flags
+    let mut hdr: Vec<u8> = Vec::with_capacity(DYN_HEADER_BYTES);
+    hdr.put_slice(MAGIC_DYN);
+    hdr.put_u64_le(n as u64);
+    hdr.put_u64_le(m as u64);
+    hdr.put_u64_le(a as u64);
+    hdr.put_u64_le(0); // flags
     for len in dyn_section_lengths(n as u128, m as u128, a as u128) {
-        buf.put_u64_le(len as u64);
+        hdr.put_u64_le(len as u64);
     }
+    w.write_all(&hdr)?;
     let mut adj_offsets: Vec<u64> = Vec::with_capacity(n + 1);
     let mut lab_offsets: Vec<u64> = Vec::with_capacity(n + 1);
     adj_offsets.push(0);
@@ -594,25 +784,23 @@ pub fn dyn_index_to_binary(idx: &DynamicDistanceIndex) -> Bytes {
         adj_offsets.push(at_a);
         lab_offsets.push(at_m);
     }
-    put_u64s(&mut buf, &adj_offsets);
-    put_u64s(&mut buf, &lab_offsets);
-    put_u32s(&mut buf, idx.order().order());
+    write_u64s(w, &adj_offsets)?;
+    write_u64s(w, &lab_offsets)?;
+    write_u32s(w, idx.order().order())?;
     for r in 0..n as u32 {
-        put_u32s(&mut buf, idx.adj_of_rank(r));
+        write_u32s(w, idx.adj_of_rank(r))?;
     }
     for r in 0..n as u32 {
-        let row = idx.labels_of_rank(r);
-        for &(h, _) in row {
-            buf.put_u32_le(h);
+        for &(h, _) in idx.labels_of_rank(r) {
+            w.write_all(&h.to_le_bytes())?;
         }
     }
     for r in 0..n as u32 {
         for &(_, d) in idx.labels_of_rank(r) {
-            buf.put_u16_le(d);
+            w.write_all(&d.to_le_bytes())?;
         }
     }
-    debug_assert_eq!(buf.len(), total, "dynamic size accounting must be exact");
-    Bytes::from(buf)
+    Ok(())
 }
 
 /// Deserializes a `PSPCDYN2` snapshot.
@@ -649,17 +837,20 @@ pub fn dyn_index_from_binary(data: Bytes) -> io::Result<DynamicDistanceIndex> {
         }));
     }
     let mut at = DYN_HEADER_BYTES;
-    let mut section = |len: u128| {
+    let mut section = |len: u128| -> io::Result<Bytes> {
+        let len = checked_len(len, "section length")?;
         let lo = at;
-        at += len as usize;
-        data.slice(lo..at)
+        at = lo
+            .checked_add(len)
+            .ok_or_else(|| bad("section end overflows the host address space"))?;
+        Ok(data.slice(lo..at))
     };
-    let adj_offsets = get_u64s(&section(expect[0]));
-    let lab_offsets = get_u64s(&section(expect[1]));
-    let order_vec = get_u32s(&section(expect[2]));
-    let adj_flat = get_u32s(&section(expect[3]));
-    let hubs = get_u32s(&section(expect[4]));
-    let dists = get_u16s(&section(expect[5]));
+    let adj_offsets = get_u64s(&section(expect[0])?);
+    let lab_offsets = get_u64s(&section(expect[1])?);
+    let order_vec = get_u32s(&section(expect[2])?);
+    let adj_flat = get_u32s(&section(expect[3])?);
+    let hubs = get_u32s(&section(expect[4])?);
+    let dists = get_u16s(&section(expect[5])?);
 
     let order = validate_order(order_vec)?;
     let rows = |offsets: &[u64], total: usize, what: &str| -> io::Result<Vec<(usize, usize)>> {
@@ -734,6 +925,7 @@ pub fn snapshot_kind_name(data: &[u8]) -> Option<&'static str> {
         m if m == MAGIC_V1 || m == MAGIC_V2 => Some("undirected"),
         m if m == MAGIC_DIR => Some("directed"),
         m if m == MAGIC_DYN => Some("dynamic"),
+        m if m == MAGIC_SHARD_MANIFEST => Some("sharded"),
         _ => None,
     }
 }
@@ -745,6 +937,11 @@ pub fn any_index_from_binary(data: Bytes) -> io::Result<SnapshotKind> {
     match snapshot_kind_name(&data) {
         Some("directed") => di_index_from_binary(data).map(SnapshotKind::Directed),
         Some("dynamic") => dyn_index_from_binary(data).map(SnapshotKind::Dynamic),
+        // A sharded manifest references sibling shard files, so it cannot
+        // be loaded from one byte buffer; callers go through crate::shard.
+        Some("sharded") => Err(bad(
+            "sharded snapshot manifest; load it with shard::open_sharded or shard::sharded_to_owned",
+        )),
         // Undirected formats (and anything unrecognized, so the error
         // message comes from the v1 parser as before).
         _ => index_from_binary(data).map(SnapshotKind::Undirected),
@@ -881,6 +1078,58 @@ mod tests {
         let mut tampered = good;
         tampered[8..16].copy_from_slice(&(u32::MAX as u64 + 2).to_le_bytes());
         assert!(index_from_binary(Bytes::from(tampered)).is_err());
+    }
+
+    #[test]
+    fn four_gib_boundary_lengths_error_not_panic() {
+        // Byte-flip the entry count to values straddling the 4 GiB
+        // (`u32`) boundary. On 32-bit hosts `usize::try_from` must
+        // reject the section lengths; on 64-bit hosts the declared
+        // sections dwarf `data.len()` and the exact-total check fires.
+        // Either way: clean parse error, no panic, no giant allocation.
+        let idx = build(20, 9);
+        let good = index_to_binary(&idx).to_vec();
+        for m in [(1u64 << 32) - 1, 1 << 32, (1 << 32) + 1, u64::MAX / 8] {
+            // Entry count alone disagrees with the section table.
+            let mut tampered = good.clone();
+            tampered[16..24].copy_from_slice(&m.to_le_bytes());
+            assert!(
+                index_from_binary(Bytes::from(tampered)).is_err(),
+                "m = {m} accepted"
+            );
+            // Entry count AND the dependent table entries patched to
+            // agree, exercising the checked-conversion path itself
+            // (counts = m*8 @48, hubs = m*4 @64, dists = m*2 @72).
+            let mut tampered = good.clone();
+            tampered[16..24].copy_from_slice(&m.to_le_bytes());
+            tampered[48..56].copy_from_slice(&(m.wrapping_mul(8)).to_le_bytes());
+            tampered[64..72].copy_from_slice(&(m.wrapping_mul(4)).to_le_bytes());
+            tampered[72..80].copy_from_slice(&(m.wrapping_mul(2)).to_le_bytes());
+            assert!(
+                index_from_binary(Bytes::from(tampered)).is_err(),
+                "consistent m = {m} accepted"
+            );
+        }
+        // Same discipline on the directed format: flip its entry count
+        // (m @16) across the boundary.
+        let dgood = di_index_to_binary(&build_directed(24, 7)).to_vec();
+        for m in [(1u64 << 32) - 1, 1 << 32, (1 << 32) + 1] {
+            let mut tampered = dgood.clone();
+            tampered[16..24].copy_from_slice(&m.to_le_bytes());
+            assert!(
+                di_index_from_binary(Bytes::from(tampered)).is_err(),
+                "directed m = {m} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn checked_len_rejects_address_space_overflow() {
+        // Lengths past the host address space must produce the crisp
+        // error, not wrap. `1 << 64` exceeds usize on every host.
+        assert!(checked_len(1u128 << 64, "test length").is_err());
+        assert!(checked_len(u128::MAX, "test length").is_err());
+        assert_eq!(checked_len(4096, "test length").unwrap(), 4096);
     }
 
     #[test]

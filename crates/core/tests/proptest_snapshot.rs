@@ -15,7 +15,10 @@ use pspc_core::serialize::{
     dyn_index_to_binary, index_from_binary, index_to_binary, index_to_binary_v1,
     snapshot_kind_name, Bytes,
 };
-use pspc_core::{DiSpcIndex, DynamicDistanceIndex, PspcConfig, SnapshotKind, SpcIndex};
+use pspc_core::{
+    map_index_from_file, open_sharded, sharded_to_owned, write_sharded_index, DiSpcIndex,
+    DynamicDistanceIndex, PspcConfig, SnapshotKind, SpcIndex,
+};
 use pspc_graph::digraph::DiGraphBuilder;
 use pspc_graph::{Graph, GraphBuilder};
 use pspc_order::OrderingStrategy;
@@ -341,5 +344,169 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+/// A collision-free temp path for file-backed property cases.
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "pspc-prop-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// RAII cleanup of a snapshot path and any `.NNNN` shard siblings.
+struct TempSnapshot(std::path::PathBuf);
+
+impl Drop for TempSnapshot {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        for i in 0..128 {
+            let mut name = self.0.file_name().unwrap().to_os_string();
+            name.push(format!(".{i:04}"));
+            if std::fs::remove_file(self.0.with_file_name(name)).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The mapped loader and the copying loader produce bit-identical
+    /// answers over arbitrary undirected snapshots (weighted included).
+    #[test]
+    fn mapped_matches_copying_loader(g in arb_graph(30, 80), weighted in any::<bool>()) {
+        let idx = build_index(&g, weighted);
+        let path = TempSnapshot(temp_path("map-und"));
+        std::fs::write(&path.0, index_to_binary(&idx)).unwrap();
+        let loaded = map_index_from_file(&path.0).unwrap();
+        prop_assert!(matches!(loaded, SnapshotKind::Undirected(_)));
+        let SnapshotKind::Undirected(mapped) = loaded else { unreachable!() };
+        prop_assert!(mapped.is_mapped());
+        prop_assert_eq!(idx.order(), mapped.order());
+        prop_assert_eq!(idx.weights(), mapped.weights());
+        let n = g.num_vertices() as u32;
+        for s in 0..n.min(6) {
+            for t in 0..n {
+                prop_assert_eq!(idx.query(s, t), mapped.query(s, t));
+            }
+        }
+    }
+
+    /// Same parity for arbitrary directed snapshots.
+    #[test]
+    fn mapped_directed_matches_copying_loader(
+        n in 2usize..24,
+        arcs in vec((0u32..24, 0u32..24), 0..80),
+    ) {
+        let idx = build_directed(n, &arcs);
+        let path = TempSnapshot(temp_path("map-dir"));
+        std::fs::write(&path.0, di_index_to_binary(&idx)).unwrap();
+        let loaded = map_index_from_file(&path.0).unwrap();
+        prop_assert!(matches!(loaded, SnapshotKind::Directed(_)));
+        let SnapshotKind::Directed(mapped) = loaded else { unreachable!() };
+        for s in 0..(n as u32).min(6) {
+            for t in 0..n as u32 {
+                prop_assert_eq!(idx.query(s, t), mapped.query(s, t));
+            }
+        }
+    }
+
+    /// Dynamic snapshots are never mapped (they mutate in place): the
+    /// mapped loader signals `Unsupported` and the copying loader keeps
+    /// working on the same file.
+    #[test]
+    fn mapped_dynamic_is_unsupported(
+        n in 2usize..20,
+        edges in vec((0u32..20, 0u32..20), 0..50),
+    ) {
+        let idx = build_dynamic(n, &edges, &[]);
+        let path = TempSnapshot(temp_path("map-dyn"));
+        std::fs::write(&path.0, dyn_index_to_binary(&idx)).unwrap();
+        let err = map_index_from_file(&path.0).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+        prop_assert!(any_index_from_binary(Bytes::from(std::fs::read(&path.0).unwrap())).is_ok());
+    }
+
+    /// Sharded snapshots round-trip: the lazily-mapped sharded index and
+    /// the owned reader both answer bit-identically to the source index,
+    /// for arbitrary graphs, shard-size targets and residency caps.
+    #[test]
+    fn sharded_matches_source_index(
+        g in arb_graph(30, 80),
+        weighted in any::<bool>(),
+        shard_bytes in 128u64..4096,
+        max_resident in 1usize..4,
+    ) {
+        let idx = build_index(&g, weighted);
+        let path = TempSnapshot(temp_path("shard"));
+        write_sharded_index(&idx, &path.0, shard_bytes).unwrap();
+        let owned = sharded_to_owned(&path.0).unwrap();
+        prop_assert_eq!(idx.label_arena(), owned.label_arena());
+        prop_assert_eq!(idx.order(), owned.order());
+        prop_assert_eq!(idx.weights(), owned.weights());
+        let sharded = open_sharded(&path.0, max_resident).unwrap();
+        let n = g.num_vertices() as u32;
+        for s in 0..n.min(6) {
+            for t in 0..n {
+                prop_assert_eq!(idx.query(s, t), sharded.query(s, t));
+            }
+            prop_assert!(sharded.resident_shards() <= sharded.max_resident());
+        }
+    }
+
+    /// Truncating the manifest anywhere, or a shard file at and around
+    /// every section boundary, errors — never UB, segfault or panic.
+    #[test]
+    fn sharded_truncation_errors_at_every_boundary(
+        g in arb_graph(24, 60),
+        weighted in any::<bool>(),
+        manifest_cut_seed in any::<u64>(),
+        jitter in 0usize..4,
+    ) {
+        let idx = build_index(&g, weighted);
+        let path = TempSnapshot(temp_path("shard-trunc"));
+        write_sharded_index(&idx, &path.0, 512).unwrap();
+        let manifest = std::fs::read(&path.0).unwrap();
+
+        // Arbitrary manifest prefix (strictly shorter) is rejected.
+        let cut = (manifest_cut_seed % manifest.len() as u64) as usize;
+        if cut < manifest.len() {
+            std::fs::write(&path.0, &manifest[..cut]).unwrap();
+            prop_assert!(open_sharded(&path.0, 2).is_err(), "manifest prefix {} accepted", cut);
+            prop_assert!(sharded_to_owned(&path.0).is_err());
+            std::fs::write(&path.0, &manifest).unwrap();
+        }
+
+        // Shard 0 cut at every section boundary ± jitter is rejected.
+        let mut name = path.0.file_name().unwrap().to_os_string();
+        name.push(".0000");
+        let shard0 = path.0.with_file_name(name);
+        let bytes = std::fs::read(&shard0).unwrap();
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let mut cuts = vec![0usize, 8, 71, 72];
+        let mut at = 72; // fixed shard header
+        for i in 0..4 {
+            at += u64_at(40 + 8 * i) as usize;
+            cuts.push(at);
+        }
+        prop_assert_eq!(*cuts.last().unwrap(), bytes.len());
+        for cut in cuts {
+            for len in cut.saturating_sub(jitter)..=(cut + jitter).min(bytes.len()) {
+                if len == bytes.len() {
+                    continue;
+                }
+                std::fs::write(&shard0, &bytes[..len]).unwrap();
+                prop_assert!(open_sharded(&path.0, 2).is_err(), "shard cut {} accepted", len);
+                prop_assert!(sharded_to_owned(&path.0).is_err());
+            }
+        }
+        std::fs::write(&shard0, &bytes).unwrap();
+        prop_assert!(open_sharded(&path.0, 2).is_ok());
     }
 }

@@ -8,18 +8,18 @@
 use crate::client::RemoteClient;
 use crate::server::{serve_with_obs, ObsConfig};
 use pspc_core::SnapshotKind;
-use pspc_obs::info;
+use pspc_obs::{info, warn};
 use pspc_service::cli::{load_any_index, OutputFormat};
 use pspc_service::pairs::{read_pairs, write_answers, write_answers_json};
 use pspc_service::EngineConfig;
 
 const USAGE: &str = "usage: pspc serve <index> [--addr host:port] [--workers n] \
 [--queue-depth n] [--chunk n] [--no-sort] [--cache-capacity n] [--cache-shards n] \
-[--cache-adaptive] [--no-trace] [--no-sketch] \
+[--cache-adaptive] [--no-trace] [--no-sketch] [--mmap [--max-resident-shards k]] \
 | pspc query --remote host:port \
 [--pairs <file|->] [--format tsv|json] [--trace-id n] [s t ...] | \
 pspc insert --remote host:port \
-[--pairs <file|->] [u v ...] | pspc migrate <old> <new> | \
+[--pairs <file|->] [u v ...] | pspc migrate <old> <new> [--shard [--shard-bytes n]] | \
 pspc build|query|bench ... (see `pspc help` for the local subcommands)";
 
 /// Entry point of the `pspc` binary: dispatches `serve`, `migrate`,
@@ -39,12 +39,39 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// `pspc migrate <old> <new>`: re-encodes any readable snapshot — legacy
-/// undirected v1 or any current kind — in its kind's v2 section layout,
-/// so old indexes gain the bulk-load path without a rebuild.
+/// Default target label-payload bytes per shard for
+/// `pspc migrate --shard` when `--shard-bytes` is not given: 256 MiB.
+const DEFAULT_SHARD_BYTES: u64 = 256 << 20;
+
+/// `pspc migrate <old> <new> [--shard [--shard-bytes n]]`: re-encodes
+/// any readable snapshot — legacy undirected v1, any current kind, or a
+/// shard manifest — in its kind's v2 section layout; `--shard` emits a
+/// sharded snapshot (manifest + shard files) instead, for undirected
+/// indexes only. The destination is streamed through a temp file and an
+/// atomic rename, so a failed migrate never leaves a truncated snapshot
+/// under the destination name.
 fn cmd_migrate(args: &[String]) -> Result<(), String> {
-    use pspc_core::serialize::{di_index_to_binary, dyn_index_to_binary, index_to_binary};
-    let [old, new] = args else {
+    use pspc_core::serialize::{write_di_index_to, write_dyn_index_to, write_index_to};
+    let mut paths: Vec<&str> = Vec::new();
+    let mut shard = false;
+    let mut shard_bytes = DEFAULT_SHARD_BYTES;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shard" => shard = true,
+            "--shard-bytes" => {
+                shard = true;
+                shard_bytes = it
+                    .next()
+                    .ok_or("missing value for --shard-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --shard-bytes: {e}"))?;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}\n{USAGE}")),
+            path => paths.push(path),
+        }
+    }
+    let [old, new] = paths[..] else {
         return Err(format!("migrate: expected <old> <new>\n{USAGE}"));
     };
     if old == new {
@@ -53,12 +80,35 @@ fn cmd_migrate(args: &[String]) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     let snapshot = load_any_index(old)?;
     let load_secs = t0.elapsed().as_secs_f64();
-    let bytes = match &snapshot {
-        SnapshotKind::Undirected(i) => index_to_binary(i),
-        SnapshotKind::Directed(i) => di_index_to_binary(i),
-        SnapshotKind::Dynamic(i) => dyn_index_to_binary(i),
-    };
-    std::fs::write(new, &bytes).map_err(|e| format!("writing {new}: {e}"))?;
+    if shard {
+        let SnapshotKind::Undirected(i) = &snapshot else {
+            return Err(format!(
+                "migrate: --shard applies to undirected snapshots only, not {}",
+                snapshot.name()
+            ));
+        };
+        let shards = pspc_core::write_sharded_index(i, new, shard_bytes)
+            .map_err(|e| format!("writing {new}: {e}"))?;
+        info!(
+            "migrated snapshot to sharded layout",
+            old = old,
+            new = new,
+            shards = shards,
+            vertices = snapshot.num_vertices(),
+            load_ms = format!("{:.1}", load_secs * 1e3),
+        );
+        return Ok(());
+    }
+    pspc_core::write_atomically(std::path::Path::new(new), |f| {
+        let mut w = std::io::BufWriter::new(f);
+        match &snapshot {
+            SnapshotKind::Undirected(i) => write_index_to(&mut w, i),
+            SnapshotKind::Directed(i) => write_di_index_to(&mut w, i),
+            SnapshotKind::Dynamic(i) => write_dyn_index_to(&mut w, i),
+        }?;
+        std::io::Write::flush(&mut w)
+    })
+    .map_err(|e| format!("writing {new}: {e}"))?;
     info!(
         "migrated snapshot",
         old = old,
@@ -66,9 +116,26 @@ fn cmd_migrate(args: &[String]) -> Result<(), String> {
         kind = snapshot.name(),
         vertices = snapshot.num_vertices(),
         load_ms = format!("{:.1}", load_secs * 1e3),
-        bytes = bytes.len(),
+        bytes = std::fs::metadata(new).map(|m| m.len()).unwrap_or(0),
     );
     Ok(())
+}
+
+/// Loads a snapshot zero-copy for `pspc serve --mmap`: a shard manifest
+/// opens as a lazily-mapped [`pspc_service::IndexKind::Sharded`] index
+/// with `max_resident` residency; anything else goes through
+/// [`pspc_core::map_index_from_file`]. `ErrorKind::Unsupported` means
+/// the snapshot kind cannot be mapped (dynamic, legacy v1) — the caller
+/// falls back to the copying loader with a warning.
+fn load_mmap_index(path: &str, max_resident: usize) -> std::io::Result<pspc_service::IndexKind> {
+    let magic = pspc_core::read_magic(path)?;
+    if pspc_core::snapshot_kind_name(&magic) == Some("sharded") {
+        return Ok(pspc_service::IndexKind::Sharded(pspc_core::open_sharded(
+            path,
+            max_resident,
+        )?));
+    }
+    Ok(pspc_core::map_index_from_file(path)?.into())
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -76,6 +143,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:7411".to_string();
     let mut cfg = EngineConfig::default();
     let mut obs = ObsConfig::default();
+    let mut mmap = false;
+    let mut max_resident_shards = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| -> Result<&String, String> {
@@ -113,6 +182,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             // Let the advisor resize the result cache between windows.
             "--cache-adaptive" => cfg.cache_adaptive = true,
+            "--mmap" => mmap = true,
+            // Residency cap for a sharded index under --mmap; 0 (the
+            // default) keeps every shard mapped.
+            "--max-resident-shards" => {
+                max_resident_shards = value("--max-resident-shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-resident-shards: {e}"))?
+            }
             "--no-trace" => obs.tracing = false,
             // Disable the workload sketches (HLL + heavy hitters +
             // time-series); /debug/hotspots then reports enabled:false.
@@ -127,14 +204,41 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
     let index_path = index_path.ok_or("serve: missing index path")?;
+    if max_resident_shards > 0 && !mmap {
+        return Err("serve: --max-resident-shards needs --mmap".into());
+    }
     let t0 = std::time::Instant::now();
-    let index: pspc_service::IndexKind = load_any_index(index_path)?.into();
+    let mut mapped = false;
+    let index: pspc_service::IndexKind = if mmap {
+        match load_mmap_index(index_path, max_resident_shards) {
+            Ok(k) => {
+                mapped = true;
+                k
+            }
+            // Unsupported means the kind cannot be mapped (dynamic,
+            // legacy v1): serve it anyway through the copying loader.
+            // Anything else (corrupt, missing, truncated) is fatal —
+            // silently degrading would mask real damage.
+            Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+                warn!(
+                    "mmap load unsupported; falling back to the copying loader",
+                    path = index_path,
+                    reason = e.to_string(),
+                );
+                load_any_index(index_path)?.into()
+            }
+            Err(e) => return Err(format!("loading {index_path}: {e}")),
+        }
+    } else {
+        load_any_index(index_path)?.into()
+    };
     let load_ms = t0.elapsed().as_secs_f64() * 1e3;
     info!(
         "index loaded",
         path = index_path,
         kind = index.name(),
         vertices = index.num_vertices(),
+        mmap = mapped,
         load_ms = format!("{load_ms:.1}"),
     );
     let insertable = index.is_dynamic();
@@ -162,6 +266,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let handle =
         serve_with_obs(index, &addr, cfg, obs).map_err(|e| format!("binding {addr}: {e}"))?;
     handle.record_index_load_ms(load_ms);
+    handle.record_index_mmap(mapped);
     info!(
         "endpoints ready",
         addr = handle.local_addr(),

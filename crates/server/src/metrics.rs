@@ -33,8 +33,11 @@ pub struct Metrics {
     index_load_ms: AtomicU64,
     /// Label bytes of the served index.
     label_bytes: AtomicU64,
-    /// Served index kind code (0 undirected, 1 directed, 2 dynamic).
+    /// Served index kind code (0 undirected, 1 directed, 2 dynamic,
+    /// 3 sharded).
     index_kind: AtomicU64,
+    /// Whether the served index is memory-mapped (0 copied, 1 mapped).
+    index_mmap: AtomicU64,
     /// Accepted insert requests.
     insert_requests: AtomicU64,
     /// Edges actually applied by inserts (duplicates excluded).
@@ -64,6 +67,7 @@ impl Default for Metrics {
             index_load_ms: AtomicU64::new(0f64.to_bits()),
             label_bytes: AtomicU64::new(0),
             index_kind: AtomicU64::new(0),
+            index_mmap: AtomicU64::new(0),
             insert_requests: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             insert_conflicts: AtomicU64::new(0),
@@ -140,6 +144,13 @@ impl Metrics {
         self.index_kind.store(code as u64, Ordering::Relaxed);
     }
 
+    /// Records whether the served index is backed by a memory mapping
+    /// (gauge; set once at startup from the `--mmap` load outcome, so it
+    /// reads 0 after a fallback to the copying loader).
+    pub fn set_index_mmap(&self, mapped: bool) {
+        self.index_mmap.store(mapped as u64, Ordering::Relaxed);
+    }
+
     /// Records one accepted insert request, how many edges it actually
     /// added, and its service latency.
     pub fn record_insert(&self, applied: u64, latency_ns: u64) {
@@ -173,7 +184,9 @@ impl Metrics {
             index_load_ms: f64::from_bits(self.index_load_ms.load(Ordering::Relaxed)),
             label_bytes: self.label_bytes.load(Ordering::Relaxed),
             index_kind: self.index_kind.load(Ordering::Relaxed),
+            index_mmap: self.index_mmap.load(Ordering::Relaxed),
             index_generation: engine.index_generation,
+            resident_shards: engine.resident_shards,
             insert_requests: self.insert_requests.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             insert_conflicts: self.insert_conflicts.load(Ordering::Relaxed),
@@ -207,6 +220,9 @@ pub struct EngineGauges {
     pub queued_chunks: u64,
     /// The served index's generation counter (0 for static kinds).
     pub index_generation: u64,
+    /// Currently mapped shards of a sharded index; `None` when the
+    /// served index is not sharded (the gauge line is then omitted).
+    pub resident_shards: Option<u64>,
     /// Per-worker busy-time/chunk counters, index-aligned with worker
     /// ids.
     pub workers: Vec<WorkerStat>,
@@ -255,11 +271,17 @@ pub struct MetricsSnapshot {
     pub index_load_ms: f64,
     /// Label payload bytes of the served index.
     pub label_bytes: u64,
-    /// Served index kind code (0 undirected, 1 directed, 2 dynamic).
+    /// Served index kind code (0 undirected, 1 directed, 2 dynamic,
+    /// 3 sharded).
     pub index_kind: u64,
+    /// Whether the served index is memory-mapped (0 copied, 1 mapped).
+    pub index_mmap: u64,
     /// The served index's generation counter (0 for static kinds;
     /// advanced by applied inserts).
     pub index_generation: u64,
+    /// Currently mapped shards; `None` unless the served index is
+    /// sharded.
+    pub resident_shards: Option<u64>,
     /// Accepted insert requests.
     pub insert_requests: u64,
     /// Edges actually applied by inserts.
@@ -426,9 +448,25 @@ impl MetricsSnapshot {
             &mut t,
             "pspc_index_kind",
             "gauge",
-            "Served index kind (0 undirected, 1 directed, 2 dynamic).",
+            "Served index kind (0 undirected, 1 directed, 2 dynamic, 3 sharded).",
         );
         sample(&mut t, "pspc_index_kind", "", self.index_kind);
+        family(
+            &mut t,
+            "pspc_index_mmap",
+            "gauge",
+            "Whether the served index is memory-mapped (0 copied, 1 mapped).",
+        );
+        sample(&mut t, "pspc_index_mmap", "", self.index_mmap);
+        if let Some(resident) = self.resident_shards {
+            family(
+                &mut t,
+                "pspc_index_resident_shards",
+                "gauge",
+                "Currently mapped shards of the served sharded index.",
+            );
+            sample(&mut t, "pspc_index_resident_shards", "", resident);
+        }
         family(
             &mut t,
             "pspc_index_generation",
@@ -735,6 +773,7 @@ mod tests {
         m.set_index_load_ms(12.5);
         m.set_label_bytes(1234);
         m.set_index_kind(2);
+        m.set_index_mmap(true);
         m.record_insert(3, 8_000);
         m.record_insert(0, 2_000);
         m.record_insert_conflict();
@@ -764,6 +803,11 @@ mod tests {
         assert!(text.contains("pspc_index_load_ms 12.50\n"));
         assert!(text.contains("pspc_index_label_bytes 1234\n"));
         assert!(text.contains("pspc_index_kind 2\n"));
+        assert!(text.contains("pspc_index_mmap 1\n"));
+        assert!(
+            !text.contains("pspc_index_resident_shards"),
+            "residency gauge is sharded-only"
+        );
         assert!(text.contains("pspc_index_generation 0\n"));
         assert!(text.contains("pspc_insert_requests_total 2\n"));
         assert!(text.contains("pspc_inserts_total 3\n"));
@@ -794,6 +838,7 @@ mod tests {
         let s = m.snapshot(EngineGauges {
             queued_chunks: 0,
             index_generation: 0,
+            resident_shards: Some(2),
             workers: vec![
                 WorkerStat {
                     busy_ns: 1_000_000,
@@ -873,6 +918,7 @@ mod tests {
         assert!(text.contains("pspc_worker_chunks_total{worker=\"0\"} 3"));
         assert!(text.contains("pspc_worker_chunks_total{worker=\"1\"} 1"));
         assert!(text.contains("pspc_worker_busy_seconds{worker=\"0\"} 0.001"));
+        assert!(text.contains("pspc_index_resident_shards 2\n"));
     }
 
     #[test]
@@ -881,6 +927,7 @@ mod tests {
         let s = m.snapshot(EngineGauges {
             queued_chunks: 0,
             index_generation: 5,
+            resident_shards: None,
             workers: Vec::new(),
             cache: Some(CacheStats {
                 hits: 10,

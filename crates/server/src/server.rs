@@ -105,6 +105,11 @@ impl Shared {
         EngineGauges {
             queued_chunks: self.engine.queued_chunks() as u64,
             index_generation: self.engine.kind().generation(),
+            resident_shards: self
+                .engine
+                .kind()
+                .as_sharded()
+                .map(|s| s.resident_shards() as u64),
             workers: self.engine.worker_stats(),
             cache: self.engine.cache().map(|c| c.stats()),
             workload: self.engine.workload().map(|w| WorkloadGauges {
@@ -302,6 +307,14 @@ impl ServerHandle {
     /// calls this right after [`serve`] with the wall-clock it measured.
     pub fn record_index_load_ms(&self, ms: f64) {
         self.shared.metrics.set_index_load_ms(ms);
+    }
+
+    /// Records whether the served index is memory-mapped, surfacing it
+    /// as the `pspc_index_mmap` gauge. `pspc serve --mmap` calls this
+    /// with the actual load outcome — `false` after a graceful fallback
+    /// to the copying loader.
+    pub fn record_index_mmap(&self, mapped: bool) {
+        self.shared.metrics.set_index_mmap(mapped);
     }
 
     /// Stops accepting, lets in-flight requests finish, drains the

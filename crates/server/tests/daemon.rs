@@ -900,3 +900,88 @@ fn tracing_can_be_disabled_without_losing_service() {
     assert_eq!(m.served, 1, "service itself is unaffected");
     assert!(m.stage_hists.iter().all(|h| h.count() == 0));
 }
+
+#[test]
+fn sharded_index_serves_with_bounded_residency_and_gauges() {
+    use pspc_core::{open_sharded, write_sharded_index};
+    use pspc_service::IndexKind;
+
+    let index = small_index();
+    let dir = std::env::temp_dir().join(format!("pspc_daemon_shard_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("index.pspc");
+    let shards = write_sharded_index(&index, &manifest, 4096).unwrap();
+    assert!(shards > 1, "want a multi-shard snapshot, got {shards}");
+
+    let sharded = open_sharded(&manifest, 2).unwrap();
+    let handle = serve(
+        IndexKind::Sharded(sharded),
+        "127.0.0.1:0",
+        EngineConfig::default(),
+    )
+    .unwrap();
+    handle.record_index_mmap(true);
+    let addr = handle.local_addr().to_string();
+
+    // Remote answers are bit-identical to the source index's sequential
+    // reference, across both protocols.
+    let ps = pairs(400, 300, 23);
+    let expect = index.query_batch_sequential(&ps);
+    assert_eq!(
+        RemoteClient::connect(&addr)
+            .unwrap()
+            .query_batch(&ps)
+            .unwrap(),
+        expect
+    );
+    let mut body = Vec::new();
+    write_answers(&ps, &expect, &mut body).unwrap();
+    let tsv: String = ps.iter().map(|(s, t)| format!("{s} {t}\n")).collect();
+    let (status, got) = http_request(&addr, "POST", "/query", tsv.as_bytes());
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(got, body);
+
+    // The gauges: kind 3, mmap 1, residency present and within the cap.
+    let (status, metrics) = http_request(&addr, "GET", "/metrics", &[]);
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(metrics).unwrap();
+    assert!(text.contains("pspc_index_kind 3\n"), "kind gauge:\n{text}");
+    assert!(text.contains("pspc_index_mmap 1\n"), "mmap gauge:\n{text}");
+    let resident: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("pspc_index_resident_shards "))
+        .expect("resident-shards gauge present for sharded kind")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(resident <= 2, "residency {resident} exceeds the cap");
+    assert!(
+        text.contains("pspc_index_label_bytes"),
+        "label-bytes gauge still present"
+    );
+
+    // Inserts are cleanly refused: sharded snapshots are static.
+    let (status, _) = http_request(&addr, "POST", "/insert", b"0 1\n");
+    assert!(status.contains("409"), "{status}");
+
+    let m = handle.shutdown();
+    assert!(m.served >= 2);
+    assert_eq!(m.index_kind, 3);
+    assert_eq!(m.index_mmap, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn non_sharded_index_omits_residency_gauge() {
+    let index = small_index();
+    let (handle, addr) = start(&index, EngineConfig::default());
+    let (status, metrics) = http_request(&addr, "GET", "/metrics", &[]);
+    assert!(status.contains("200"), "{status}");
+    let text = String::from_utf8(metrics).unwrap();
+    assert!(text.contains("pspc_index_mmap 0\n"), "{text}");
+    assert!(
+        !text.contains("pspc_index_resident_shards"),
+        "residency gauge must be omitted for non-sharded kinds:\n{text}"
+    );
+    handle.shutdown();
+}

@@ -31,7 +31,7 @@
 //! with [`InsertError::NotDynamic`] (the daemon maps this to HTTP 409).
 
 use parking_lot::RwLock;
-use pspc_core::{DiSpcIndex, DynamicDistanceIndex, SnapshotKind, SpcIndex};
+use pspc_core::{DiSpcIndex, DynamicDistanceIndex, ShardedSpcIndex, SnapshotKind, SpcIndex};
 use pspc_graph::{SpcAnswer, VertexId};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -50,6 +50,10 @@ pub enum IndexKind {
     /// The insertion-only dynamic distance index, mutable under a write
     /// lock while queries drain around it.
     Dynamic(DynamicShared),
+    /// The undirected index served from a sharded snapshot with bounded
+    /// mapped residency (`pspc serve --mmap` on a shard manifest).
+    /// Query semantics are identical to [`IndexKind::Undirected`].
+    Sharded(ShardedSpcIndex),
 }
 
 /// The shared state of a served dynamic index: the labeling behind its
@@ -135,16 +139,27 @@ impl IndexKind {
             IndexKind::Undirected(_) => "undirected",
             IndexKind::Directed(_) => "directed",
             IndexKind::Dynamic(_) => "dynamic",
+            IndexKind::Sharded(_) => "sharded",
         }
     }
 
     /// Numeric kind code for metrics gauges: 0 undirected, 1 directed,
-    /// 2 dynamic.
+    /// 2 dynamic, 3 sharded.
     pub fn code(&self) -> u8 {
         match self {
             IndexKind::Undirected(_) => 0,
             IndexKind::Directed(_) => 1,
             IndexKind::Dynamic(_) => 2,
+            IndexKind::Sharded(_) => 3,
+        }
+    }
+
+    /// The sharded index behind this kind, if any — the daemon samples
+    /// its residency gauge (`pspc_index_resident_shards`) from here.
+    pub fn as_sharded(&self) -> Option<&ShardedSpcIndex> {
+        match self {
+            IndexKind::Sharded(i) => Some(i),
+            _ => None,
         }
     }
 
@@ -154,6 +169,7 @@ impl IndexKind {
             IndexKind::Undirected(i) => i.num_vertices(),
             IndexKind::Directed(i) => i.num_vertices(),
             IndexKind::Dynamic(d) => d.index.read().num_vertices(),
+            IndexKind::Sharded(i) => i.num_vertices(),
         }
     }
 
@@ -170,6 +186,7 @@ impl IndexKind {
             IndexKind::Undirected(i) => i.stats().label_bytes,
             IndexKind::Directed(i) => i.stats().label_bytes,
             IndexKind::Dynamic(d) => d.index.read().num_entries() * 6,
+            IndexKind::Sharded(i) => i.label_bytes(),
         }
     }
 
@@ -189,6 +206,7 @@ impl IndexKind {
             // re-rank — so ranks translated here stay valid even if an
             // insert lands before the chunks execute.
             IndexKind::Dynamic(d) => translate(d.index.read().order()),
+            IndexKind::Sharded(i) => translate(i.order()),
         }
     }
 
@@ -198,6 +216,7 @@ impl IndexKind {
             IndexKind::Undirected(i) => i.query_ranks(rs, rt),
             IndexKind::Directed(i) => i.query_ranks(rs, rt),
             IndexKind::Dynamic(d) => dyn_answer(d.index.read().distance_ranks(rs, rt)),
+            IndexKind::Sharded(i) => i.query_ranks(rs, rt),
         }
     }
 
@@ -209,6 +228,7 @@ impl IndexKind {
         match self {
             IndexKind::Undirected(i) => i.query_rank_batch_into(rank_pairs, out),
             IndexKind::Directed(i) => i.query_rank_batch_into(rank_pairs, out),
+            IndexKind::Sharded(i) => i.query_rank_batch_into(rank_pairs, out),
             IndexKind::Dynamic(d) => {
                 let idx = d.index.read();
                 out.clear();
@@ -247,6 +267,7 @@ impl IndexKind {
         match self {
             IndexKind::Undirected(i) => run(&mut |rs, rt| i.query_ranks(rs, rt)),
             IndexKind::Directed(i) => run(&mut |rs, rt| i.query_ranks(rs, rt)),
+            IndexKind::Sharded(i) => run(&mut |rs, rt| i.query_ranks(rs, rt)),
             IndexKind::Dynamic(d) => {
                 let idx = d.index.read();
                 run(&mut |rs, rt| dyn_answer(idx.distance_ranks(rs, rt)));
@@ -260,6 +281,7 @@ impl IndexKind {
         match self {
             IndexKind::Undirected(i) => i.query_batch_sequential(pairs),
             IndexKind::Directed(i) => i.query_batch_sequential(pairs),
+            IndexKind::Sharded(i) => i.query_batch_sequential(pairs),
             IndexKind::Dynamic(d) => {
                 let idx = d.index.read();
                 pairs
@@ -327,7 +349,7 @@ impl IndexKind {
     /// resize racing an insert still serves no stale answer.
     pub fn generation(&self) -> u64 {
         match self {
-            IndexKind::Undirected(_) | IndexKind::Directed(_) => 0,
+            IndexKind::Undirected(_) | IndexKind::Directed(_) | IndexKind::Sharded(_) => 0,
             IndexKind::Dynamic(d) => d.generation.load(Ordering::Acquire),
         }
     }
@@ -358,6 +380,12 @@ impl From<DiSpcIndex> for IndexKind {
 impl From<DynamicDistanceIndex> for IndexKind {
     fn from(i: DynamicDistanceIndex) -> Self {
         IndexKind::Dynamic(DynamicShared::new(i))
+    }
+}
+
+impl From<ShardedSpcIndex> for IndexKind {
+    fn from(i: ShardedSpcIndex) -> Self {
+        IndexKind::Sharded(i)
     }
 }
 

@@ -1,0 +1,220 @@
+//! In-tree shim for the `memmap2` crate: read-only file memory mappings.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! minimal slice of the real `memmap2` API that this workspace uses: mapping
+//! an entire file read-only with [`Mmap::map`] and dereferencing the mapping
+//! as a `&[u8]`. The mapping is created with `PROT_READ | MAP_PRIVATE`
+//! directly via the `mmap(2)` / `munmap(2)` syscall wrappers that the
+//! platform libc exports (std already links libc on unix targets, so the
+//! `extern "C"` declarations below resolve without any extra crate).
+//!
+//! Semantics match the real crate where it matters to us:
+//!
+//! * mappings are page-aligned by construction (the kernel guarantees it);
+//! * a zero-length file cannot be mapped (`mmap` would return `EINVAL`), so
+//!   [`Mmap::map`] returns an error for it, exactly like upstream;
+//! * the mapping is unmapped on [`Drop`];
+//! * `Mmap` is `Send + Sync` — the memory is never written through this
+//!   handle and `MAP_PRIVATE` isolates it from other processes' writes at
+//!   page granularity.
+//!
+//! Unsupported (non-unix) targets get a stub that always returns an
+//! `Unsupported` error, which callers treat as "fall back to the copying
+//! loader". Swapping the workspace dependency back to the registry version
+//! of `memmap2` restores the full crate.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::os::raw::{c_int, c_long};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: c_long,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+}
+
+/// An immutable, read-only memory-mapped view of an entire file.
+pub struct Mmap {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only (`PROT_READ`) and private (`MAP_PRIVATE`);
+// no interior mutability is exposed, so sharing across threads is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the whole `file` read-only.
+    ///
+    /// # Safety
+    ///
+    /// As with the real `memmap2` crate, the caller must ensure the
+    /// underlying file is not truncated or rewritten while the mapping is
+    /// alive; doing so can change the mapped bytes or raise `SIGBUS`.
+    #[cfg(unix)]
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+
+        let meta = file.metadata()?;
+        let len64 = meta.len();
+        let len = usize::try_from(len64)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings with EINVAL; surface the
+            // same `InvalidInput` error the real crate produces.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "memory map must have a non-zero length",
+            ));
+        }
+        let ptr = sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr as *mut u8,
+            len,
+        })
+    }
+
+    /// Stub for non-unix targets: always fails with `Unsupported`, which the
+    /// pspc loaders treat as "use the copying loader instead".
+    #[cfg(not(unix))]
+    pub unsafe fn map(_file: &File) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory mapping is not supported on this platform (memmap2 shim)",
+        ))
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the mapping is empty (never the case for a live mapping).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len` bytes,
+        // valid until `Drop` runs.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.deref()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("ptr", &self.ptr)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        // SAFETY: `ptr`/`len` came from a successful mmap call and are
+        // unmapped exactly once.
+        unsafe {
+            sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("memmap2-shim-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(&map[..], &payload[..]);
+        // Mappings are page-aligned, which the zero-copy loader relies on.
+        assert_eq!(map.ptr as usize % 4096, 0);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_errors() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let err = unsafe { Mmap::map(&file) }.unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let path = temp_path("threads");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[7u8; 4096])
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        let map = std::sync::Arc::new(unsafe { Mmap::map(&file) }.unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&map);
+                std::thread::spawn(move || m.iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * 4096);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
